@@ -1,0 +1,596 @@
+(* Benchmark harness: regenerates every table and figure of the
+   evaluation (see DESIGN.md §4 and EXPERIMENTS.md).
+
+     dune exec bench/main.exe [--] [e2e|suite|sweep|fusion_ablation|
+       speculation_ablation|compile_time|memory|constraints|
+       mixed_precision|horizontal|cpu|serving|specialization|micro|all]
+
+   "all" runs E1..E13; "micro" runs the Bechamel compiler
+   microbenchmarks. *)
+
+module Suite = Models.Suite
+module Common = Models.Common
+module E = Baselines.Executor
+module Systems = Baselines.Systems
+module Planner = Fusion.Planner
+module Cluster = Fusion.Cluster
+module Kernel = Codegen.Kernel
+module Profile = Runtime.Profile
+
+let devices = [ Gpusim.Device.a10; Gpusim.Device.t4 ]
+
+let header title =
+  Printf.printf "\n==============================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "==============================================================\n"
+
+let env_to_string env =
+  String.concat "," (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) env)
+
+(* ----------------------------------------------------------------------
+   E1: end-to-end inference latency & speedups (the headline figures:
+   one per device). *)
+
+let e2e () =
+  header "E1: end-to-end speedup of BladeDISC over each baseline (per device)";
+  let paper_avg =
+    [
+      ("pytorch", 3.54); ("torchscript", 3.12); ("tvm", 1.95); ("onnxrt", 1.47);
+      ("xla", 1.24); ("inductor", 2.93); ("tensorrt", 1.46);
+    ]
+  in
+  let names = List.map (fun s -> s.E.s_name) Systems.all_strategies in
+  let baseline_names = List.filter (fun n -> n <> "bladedisc") names in
+  let speedups : (string, float list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter (fun n -> Hashtbl.replace speedups n (ref [])) baseline_names;
+  List.iter
+    (fun device ->
+      Printf.printf "\n-- device %s --\n" device.Gpusim.Device.name;
+      Printf.printf "%-11s %-26s %10s  %s\n" "model" "shape" "disc(us)"
+        (String.concat " " (List.map (fun n -> Printf.sprintf "%11s" n) baseline_names));
+      List.iter
+        (fun entry ->
+          let execs =
+            List.map
+              (fun s -> (s.E.s_name, E.make_from_strategy s (entry.Suite.build ())))
+              Systems.all_strategies
+          in
+          let disc = List.assoc "bladedisc" execs in
+          List.iter
+            (fun env ->
+              let d = (disc.E.run ~device env).E.latency_us in
+              let cells =
+                List.map
+                  (fun n ->
+                    let r = (List.assoc n execs).E.run ~device env in
+                    let x = r.E.latency_us /. d in
+                    (Hashtbl.find speedups n) := x :: !(Hashtbl.find speedups n);
+                    Printf.sprintf "%10.2fx" x)
+                  baseline_names
+              in
+              Printf.printf "%-11s %-26s %10.0f  %s\n" entry.Suite.name (env_to_string env) d
+                (String.concat " " cells))
+            entry.Suite.bench_dims)
+        Suite.all)
+    devices;
+  Printf.printf "\n-- summary over both devices (speedup of BladeDISC) --\n";
+  Printf.printf "%-12s %10s %10s %12s %10s\n" "baseline" "avg" "max" "paper-avg" "paper-max";
+  let paper_max =
+    [
+      ("pytorch", 6.95); ("torchscript", 6.25); ("tvm", 4.08); ("onnxrt", 2.04);
+      ("xla", 2.06); ("inductor", 7.92); ("tensorrt", 4.16);
+    ]
+  in
+  List.iter
+    (fun n ->
+      let xs = !(Hashtbl.find speedups n) in
+      let avg = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+      let mx = List.fold_left Float.max 0.0 xs in
+      Printf.printf "%-12s %9.2fx %9.2fx %11.2fx %9.2fx\n" n avg mx (List.assoc n paper_avg)
+        (List.assoc n paper_max))
+    baseline_names
+
+(* ----------------------------------------------------------------------
+   E2: the model-suite characteristics table. *)
+
+let suite () =
+  header "E2: model suite (Table: workloads and their dynamism)";
+  Printf.printf "%-11s %6s %5s %5s %5s %5s %5s  %s\n" "model" "insts" "ew" "shape" "red"
+    "lib" "dyn" "dynamism";
+  List.iter
+    (fun entry ->
+      let built = entry.Suite.build () in
+      let g = built.Common.graph in
+      ignore (Ir.Passes.run_all g);
+      let count cls =
+        Ir.Graph.fold g (fun n i -> if Ir.Op.fusion_class i.Ir.Graph.op = cls then n + 1 else n) 0
+      in
+      Printf.printf "%-11s %6d %5d %5d %5d %5d %5d  %s\n" entry.Suite.name
+        (Ir.Graph.num_insts g) (count Ir.Op.Elementwise) (count Ir.Op.Shape_manipulating)
+        (count Ir.Op.Reduction) (count Ir.Op.Library)
+        (List.length built.Common.dims)
+        entry.Suite.dynamism)
+    Suite.all
+
+(* ----------------------------------------------------------------------
+   E3: latency across input shapes (figure: one line per system; static
+   compilers show padding cliffs and recompile stalls, BladeDISC is
+   smooth). Includes per-shape one-off compilation cost for the
+   per-signature systems. *)
+
+let sweep () =
+  header "E3: latency across the dynamic-dimension sweep (A10)";
+  let device = Gpusim.Device.a10 in
+  let systems = [ "pytorch"; "xla"; "tvm"; "tensorrt"; "bladedisc" ] in
+  List.iter
+    (fun entry ->
+      let dim_name, values = entry.Suite.sweep in
+      Printf.printf "\n-- %s: sweeping %s (other dims at first bench point) --\n"
+        entry.Suite.name dim_name;
+      let base_env = List.hd entry.Suite.bench_dims in
+      let execs =
+        List.map (fun n -> (n, Systems.make n (entry.Suite.build ()))) systems
+      in
+      Printf.printf "%-6s %s\n" dim_name
+        (String.concat " "
+           (List.map (fun n -> Printf.sprintf "%18s" (n ^ "(us|cms)")) systems));
+      List.iter
+        (fun v ->
+          let env = List.map (fun (n, b) -> (n, if n = dim_name then v else b)) base_env in
+          let cells =
+            List.map
+              (fun n ->
+                let r = (List.assoc n execs).E.run ~device env in
+                Printf.sprintf "%10.0f|%6.0f" r.E.latency_us r.E.compile_ms)
+              systems
+          in
+          Printf.printf "%-6d %s\n" v (String.concat " " cells))
+        values)
+    Suite.all;
+  Printf.printf
+    "\n(compile-ms column: one-off compilation triggered by first sight of that shape;\n\
+    \ XLA recompiles per pow2 bucket, TVM re-tunes per exact shape, BladeDISC never.)\n"
+
+(* ----------------------------------------------------------------------
+   E4: fusion ablation (figure: kernels & latency under each planner). *)
+
+let fusion_ablation () =
+  header "E4: fusion ablation — kernel counts and latency per planner variant (A10)";
+  let variants =
+    [
+      ("no-fusion", Planner.no_fusion_config);
+      ("static-only", Planner.static_only_config);
+      ("no-products", Planner.no_product_config);
+      ("kLoop+kInput", Planner.no_stitch_config);
+      ("+kStitch", Planner.default_config);
+    ]
+  in
+  Printf.printf "%-11s %-13s %8s %6s %7s %8s %10s\n" "model" "variant" "kernels" "loops"
+    "stitch" "launches" "latency_us";
+  List.iter
+    (fun entry ->
+      List.iter
+        (fun (vname, cfg) ->
+          let built = entry.Suite.build () in
+          ignore (Ir.Passes.run_all built.Common.graph);
+          let plan = Planner.plan ~config:cfg built.Common.graph in
+          let exe = Runtime.Executable.compile built.Common.graph plan in
+          let env = List.hd entry.Suite.bench_dims in
+          let bnd = Common.binding_for built env in
+          let profile = Runtime.Executable.simulate ~device:Gpusim.Device.a10 exe bnd in
+          Printf.printf "%-11s %-13s %8d %6d %7d %8d %10.0f\n" entry.Suite.name vname
+            (Cluster.num_kernels plan)
+            (Cluster.count_kind plan Cluster.Loop + Cluster.count_kind plan Cluster.Input)
+            (Cluster.count_kind plan Cluster.Stitch)
+            profile.Profile.launches (Profile.total_us profile))
+        variants)
+    Suite.all
+
+(* ----------------------------------------------------------------------
+   E5: speculation ablation (figure: latency with/without speculative
+   codegen versions, on vectorization-friendly and -unfriendly shapes). *)
+
+let speculation_ablation () =
+  header "E5: speculation ablation — compile-time versions + runtime selection (A10)";
+  Printf.printf "%-11s %-26s %12s %12s %8s\n" "model" "shape" "spec-on(us)" "spec-off(us)"
+    "gain";
+  List.iter
+    (fun entry ->
+      let mk codegen =
+        let built = entry.Suite.build () in
+        ignore (Ir.Passes.run_all built.Common.graph);
+        let plan = Planner.plan built.Common.graph in
+        (built, Runtime.Executable.compile ~codegen built.Common.graph plan)
+      in
+      let built_on, exe_on = mk Kernel.default_config in
+      let built_off, exe_off = mk Kernel.no_speculation_config in
+      List.iter
+        (fun env ->
+          let t_on =
+            Profile.total_us
+              (Runtime.Executable.simulate exe_on (Common.binding_for built_on env))
+          in
+          let t_off =
+            Profile.total_us
+              (Runtime.Executable.simulate exe_off (Common.binding_for built_off env))
+          in
+          Printf.printf "%-11s %-26s %12.0f %12.0f %7.2fx\n" entry.Suite.name
+            (env_to_string env) t_on t_off (t_off /. t_on))
+        entry.Suite.bench_dims)
+    Suite.all
+
+(* ----------------------------------------------------------------------
+   E6: compilation cost to serve a realistic trace of shapes. *)
+
+let compile_time () =
+  header "E6: one-off compilation/tuning cost to serve a 64-request shape trace";
+  let systems = [ "bladedisc"; "xla"; "tvm"; "tensorrt"; "inductor"; "onnxrt" ] in
+  Printf.printf "%-11s %s\n" "model"
+    (String.concat " " (List.map (fun n -> Printf.sprintf "%14s" (n ^ "(s)")) systems));
+  List.iter
+    (fun entry ->
+      let envs = Workloads.Trace.environments ~seed:7 (Workloads.Trace.serving_mix entry) ~n:64 in
+      let cells =
+        List.map
+          (fun n ->
+            let ex = Systems.make n (entry.Suite.build ()) in
+            List.iter
+              (fun env -> ignore (ex.E.run ~device:Gpusim.Device.a10 env))
+              envs;
+            Printf.sprintf "%14.1f" (ex.E.total_compile_ms () /. 1000.0))
+          systems
+      in
+      Printf.printf "%-11s %s\n" entry.Suite.name (String.concat " " cells))
+    Suite.all;
+  Printf.printf "\n(XLA compiles per pow2 bucket signature; TVM tunes per exact signature;\n\
+                \ the others compile once. BladeDISC's single compile is seconds.)\n"
+
+(* ----------------------------------------------------------------------
+   E7: peak device memory, including padding waste. *)
+
+let memory () =
+  header "E7: peak device memory at the largest benchmark shape (A10)";
+  let systems = [ "bladedisc"; "xla"; "pytorch" ] in
+  Printf.printf "%-11s %-26s %s\n" "model" "shape"
+    (String.concat " " (List.map (fun n -> Printf.sprintf "%16s" (n ^ "(MB)")) systems));
+  List.iter
+    (fun entry ->
+      let env = List.nth entry.Suite.bench_dims (List.length entry.Suite.bench_dims - 1) in
+      let cells =
+        List.map
+          (fun n ->
+            let ex = Systems.make n (entry.Suite.build ()) in
+            let r = ex.E.run ~device:Gpusim.Device.a10 env in
+            Printf.sprintf "%16.1f"
+              (float_of_int r.E.profile.Profile.peak_bytes /. 1e6))
+          systems
+      in
+      Printf.printf "%-11s %-26s %s\n" entry.Suite.name (env_to_string env)
+        (String.concat " " cells))
+    Suite.all;
+  Printf.printf "\n(PyTorch keeps every intermediate alive longer (no fused liveness);\n\
+                \ XLA additionally pads buffers to bucket shapes.)\n";
+  Printf.printf "\n-- RAL static buffer planning (BladeDISC, largest shape) --\n";
+  Printf.printf "%-11s %12s %12s %8s\n" "model" "arena(MB)" "naive(MB)" "reuse";
+  List.iter
+    (fun entry ->
+      let built = entry.Suite.build () in
+      ignore (Ir.Passes.run_all built.Common.graph);
+      let plan = Planner.plan built.Common.graph in
+      let exe = Runtime.Executable.compile built.Common.graph plan in
+      let env = List.nth entry.Suite.bench_dims (List.length entry.Suite.bench_dims - 1) in
+      let p = Runtime.Memplan.plan exe (Common.binding_for built env) in
+      assert (Runtime.Memplan.validate p);
+      Printf.printf "%-11s %12.2f %12.2f %7.1fx\n" entry.Suite.name
+        (float_of_int p.Runtime.Memplan.arena_bytes /. 1e6)
+        (float_of_int p.Runtime.Memplan.naive_bytes /. 1e6)
+        (float_of_int p.Runtime.Memplan.naive_bytes
+        /. float_of_int (max 1 p.Runtime.Memplan.arena_bytes)))
+    Suite.all
+
+(* ----------------------------------------------------------------------
+   E8: shape-constraint coverage — what the symbolic machinery proves. *)
+
+let constraints () =
+  header "E8: shape-constraint coverage per model";
+  Printf.printf "%-11s %6s %8s %8s %10s %10s %13s\n" "model" "insts" "symbols" "classes"
+    "prod.facts" "dyn.slots" "equal-pairs";
+  List.iter
+    (fun entry ->
+      let built = entry.Suite.build () in
+      ignore (Ir.Passes.run_all built.Common.graph);
+      let s = Disc.Stats.coverage built.Common.graph in
+      Printf.printf "%-11s %6d %8d %8d %10d %10d %6d/%6d\n" entry.Suite.name
+        s.Disc.Stats.num_insts s.Disc.Stats.num_symbols s.Disc.Stats.num_classes
+        s.Disc.Stats.num_product_facts s.Disc.Stats.dynamic_dim_slots
+        s.Disc.Stats.proven_equal_pairs s.Disc.Stats.total_pairs_sampled)
+    Suite.all;
+  Printf.printf "\n(classes << symbols: propagation collapses almost all dynamic dims onto\n\
+                \ the handful of true input symbols — that collapse is what enables fusion.)\n"
+
+(* ----------------------------------------------------------------------
+   E9 (extension): mixed-precision deployment — fp32 vs fp16 latency and
+   memory. Not a table in the paper's main evaluation, but a deployment
+   mode BladeDISC supports; DESIGN.md lists it as an extension. *)
+
+let mixed_precision () =
+  header "E9 (extension): fp16 inference vs fp32 (A10)";
+  Printf.printf "%-11s %-26s %12s %12s %8s %12s %12s\n" "model" "shape" "fp32(us)"
+    "fp16(us)" "speedup" "fp32-peakMB" "fp16-peakMB";
+  List.iter
+    (fun entry ->
+      let env = List.hd entry.Suite.bench_dims in
+      let measure ~half =
+        let built = entry.Suite.build () in
+        if half then ignore (Ir.Precision.to_f16 built.Common.graph);
+        ignore (Ir.Passes.run_all built.Common.graph);
+        let plan = Planner.plan built.Common.graph in
+        let exe = Runtime.Executable.compile built.Common.graph plan in
+        Runtime.Executable.simulate exe (Common.binding_for built env)
+      in
+      let p32 = measure ~half:false and p16 = measure ~half:true in
+      Printf.printf "%-11s %-26s %12.0f %12.0f %7.2fx %12.1f %12.1f\n" entry.Suite.name
+        (env_to_string env) (Profile.total_us p32) (Profile.total_us p16)
+        (Profile.total_us p32 /. Profile.total_us p16)
+        (float_of_int p32.Profile.peak_bytes /. 1e6)
+        (float_of_int p16.Profile.peak_bytes /. 1e6))
+    Suite.all
+
+(* ----------------------------------------------------------------------
+   E10 (extension): horizontal fusion — packing independent same-domain
+   kLoop kernels into one launch (AStitch-style, off by default). *)
+
+let horizontal_ablation () =
+  header "E10 (extension): horizontal kLoop packing (A10, smallest bench shape)";
+  Printf.printf "%-11s %9s %9s %8s %12s %12s %8s\n" "model" "kernels" "+horiz" "packed"
+    "latency(us)" "+horiz(us)" "gain";
+  List.iter
+    (fun entry ->
+      let measure config =
+        let built = entry.Suite.build () in
+        ignore (Ir.Passes.run_all built.Common.graph);
+        let plan = Planner.plan ~config built.Common.graph in
+        let exe = Runtime.Executable.compile built.Common.graph plan in
+        let env = List.hd entry.Suite.bench_dims in
+        let p = Runtime.Executable.simulate exe (Common.binding_for built env) in
+        (plan, p)
+      in
+      let plan0, p0 = measure Planner.default_config in
+      let plan1, p1 = measure Planner.horizontal_config in
+      Printf.printf "%-11s %9d %9d %8d %12.0f %12.0f %7.2fx\n" entry.Suite.name
+        (Cluster.num_kernels plan0) (Cluster.num_kernels plan1)
+        (Cluster.count_kind plan1 Cluster.Horizontal)
+        (Profile.total_us p0) (Profile.total_us p1)
+        (Profile.total_us p0 /. Profile.total_us p1))
+    Suite.all
+
+(* ----------------------------------------------------------------------
+   E11 (extension): CPU deployment — the same compiled artifacts on the
+   Xeon profile (dispatch is cheap, throughput is scarce: fusion still
+   wins, mostly through memory traffic rather than launch count). *)
+
+let cpu () =
+  header "E11 (extension): CPU inference (Xeon profile), BladeDISC vs op-by-op";
+  let device = Gpusim.Device.xeon in
+  Printf.printf "%-11s %-26s %12s %12s %12s %10s\n" "model" "shape" "disc(us)"
+    "pytorch(us)" "onnxrt(us)" "vs eager";
+  List.iter
+    (fun entry ->
+      let env = List.hd entry.Suite.bench_dims in
+      let lat name =
+        let ex = Systems.make name (entry.Suite.build ()) in
+        (ex.E.run ~device env).E.latency_us
+      in
+      let d = lat "bladedisc" and pt = lat "pytorch" and ort = lat "onnxrt" in
+      Printf.printf "%-11s %-26s %12.0f %12.0f %12.0f %9.2fx\n" entry.Suite.name
+        (env_to_string env) d pt ort (pt /. d))
+    Suite.all
+
+(* ----------------------------------------------------------------------
+   E12 (extension): tail latency under dynamic batching — the serving
+   experiment that motivates the whole paper. Systems warm up at deploy
+   time; per-signature compilers still stall the queue in-band on every
+   new shape signature. *)
+
+let serving () =
+  header "E12 (extension): p99 latency behind a dynamically-batched endpoint (A10)";
+  let device = Gpusim.Device.a10 in
+  let module Q = Workloads.Queueing in
+  Printf.printf "%-11s %-11s %9s %9s %9s %11s %7s\n" "model" "system" "p50(ms)" "p95(ms)"
+    "p99(ms)" "mean-batch" "stalls";
+  List.iter
+    (fun (mname, dim_specs, batch_dim, qps) ->
+      let entry = Suite.find mname in
+      let arrivals = Q.generate_arrivals ~seed:11 ~qps ~n:300 ~dims:dim_specs in
+      let policy = { Q.max_batch = 8; max_wait_us = 2000.0 } in
+      List.iter
+        (fun name ->
+          let ex = Systems.make name (entry.Suite.build ()) in
+          ignore (ex.E.run ~device (Q.batch_env ~batch_dim [ List.hd arrivals ]));
+          let stalls = ref 0 in
+          let service env =
+            let r = ex.E.run ~device env in
+            if r.E.compile_ms > 100.0 then incr stalls;
+            r.E.latency_us +. (r.E.compile_ms *. 1000.0)
+          in
+          let o = Q.simulate ~arrivals ~policy ~batch_dim ~service in
+          Printf.printf "%-11s %-11s %9.1f %9.1f %9.1f %11.1f %7d\n" mname name
+            (Q.percentile o.Q.latencies_us 0.5 /. 1000.0)
+            (Q.percentile o.Q.latencies_us 0.95 /. 1000.0)
+            (Q.percentile o.Q.latencies_us 0.99 /. 1000.0)
+            o.Q.mean_batch !stalls)
+        [ "bladedisc"; "onnxrt"; "xla"; "pytorch" ];
+      print_newline ())
+    [
+      ("bert", [ ("seq", Workloads.Trace.Bimodal (24, 160)) ], "batch", 150.0);
+      ("dien", [ ("hist", Workloads.Trace.Skewed (5, 100)) ], "batch", 2000.0);
+    ];
+  Printf.printf "(a stall is an in-band compilation > 100 ms blocking the serving queue)\n"
+
+(* ----------------------------------------------------------------------
+   E13 (extension): hot-shape specialization — static variants for
+   likely shapes next to the shape-generic artifact (hybrid
+   static/dynamic deployment). *)
+
+let specialization () =
+  header "E13 (extension): hot-shape specialization (A10, first likely shape)";
+  Printf.printf "%-11s %12s %12s %8s %14s\n" "model" "generic(us)" "hot(us)" "gain"
+    "extra-compile(s)";
+  List.iter
+    (fun entry ->
+      let built = entry.Suite.build () in
+      let hot_env = List.hd entry.Suite.bench_dims in
+      let sp = Disc.Specialize.create ~hot_envs:[ hot_env ] built in
+      let hot_p, src = Disc.Specialize.serve sp hot_env in
+      assert (src = `Hot);
+      (* a near-miss shape runs the generic artifact *)
+      let miss_env = List.map (fun (n, v) -> (n, v)) hot_env in
+      let generic_p, _ = Disc.Specialize.serve sp miss_env in
+      ignore generic_p;
+      (* compare generic artifact at the same hot shape *)
+      let dims = List.map (fun (n, v) -> (Common.dim_exn sp.Disc.Specialize.built n, v)) hot_env in
+      let gen_p = Disc.Compiler.simulate sp.Disc.Specialize.generic dims in
+      Printf.printf "%-11s %12.0f %12.0f %7.2fx %14.1f\n" entry.Suite.name
+        (Profile.total_us gen_p) (Profile.total_us hot_p)
+        (Profile.total_us gen_p /. Profile.total_us hot_p)
+        ((Disc.Specialize.total_compile_ms sp
+         -. sp.Disc.Specialize.generic.Disc.Compiler.compile_time_ms)
+        /. 1000.0))
+    Suite.all
+
+(* ----------------------------------------------------------------------
+   Bechamel microbenchmarks of the compiler itself. *)
+
+let micro () =
+  header "micro: Bechamel benchmarks of compiler phases (wall clock, this host)";
+  let open Bechamel in
+  let build_test =
+    Test.make ~name:"build_bert_graph" (Staged.stage (fun () -> ignore (Models.Bert.build ())))
+  in
+  let passes_test =
+    Test.make ~name:"graph_passes_bert"
+      (Staged.stage (fun () ->
+           let b = Models.Bert.build () in
+           ignore (Ir.Passes.run_all b.Common.graph)))
+  in
+  let fusion_test =
+    Test.make ~name:"fusion_planning_bert"
+      (Staged.stage
+         (let b = Models.Bert.build () in
+          ignore (Ir.Passes.run_all b.Common.graph);
+          fun () -> ignore (Planner.plan b.Common.graph)))
+  in
+  let simulate_test =
+    Test.make ~name:"simulate_bert_one_shape"
+      (Staged.stage
+         (let b = Models.Bert.build () in
+          ignore (Ir.Passes.run_all b.Common.graph);
+          let plan = Planner.plan b.Common.graph in
+          let exe = Runtime.Executable.compile b.Common.graph plan in
+          fun () ->
+            ignore
+              (Runtime.Executable.simulate exe
+                 (Common.binding_for b [ ("batch", 4); ("seq", 73) ]))))
+  in
+  let products_test =
+    Test.make ~name:"product_equality_query"
+      (Staged.stage
+         (let tab = Symshape.Table.create () in
+          let b = Symshape.Table.fresh tab and s = Symshape.Table.fresh tab in
+          let m = Symshape.Table.fresh tab in
+          Symshape.Table.record_product_equal tab [| b; s |] [| m |];
+          fun () ->
+            ignore
+              (Symshape.Table.products_equal tab
+                 [| b; s; Symshape.Sym.Static 768 |]
+                 [| m; Symshape.Sym.Static 768 |])))
+  in
+  let clone_test =
+    Test.make ~name:"clone_bert_graph"
+      (Staged.stage
+         (let b = Models.Bert.build () in
+          fun () -> ignore (Ir.Clone.clone b.Common.graph)))
+  in
+  let memplan_test =
+    Test.make ~name:"memplan_bert_one_shape"
+      (Staged.stage
+         (let b = Models.Bert.build () in
+          ignore (Ir.Passes.run_all b.Common.graph);
+          let plan = Planner.plan b.Common.graph in
+          let exe = Runtime.Executable.compile b.Common.graph plan in
+          fun () ->
+            ignore
+              (Runtime.Memplan.plan exe (Common.binding_for b [ ("batch", 4); ("seq", 73) ]))))
+  in
+  let parse_test =
+    Test.make ~name:"parse_softmax_mlp"
+      (Staged.stage
+         (let b = Models.Dien.build ~config:Models.Dien.tiny () in
+          let text = Ir.Printer.to_string ~with_symbols:true b.Common.graph in
+          fun () -> ignore (Ir.Parser.parse text)))
+  in
+  let tests =
+    [
+      build_test; passes_test; fusion_test; simulate_test; products_test; clone_test;
+      memplan_test; parse_test;
+    ]
+  in
+  let benchmark test =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+    let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"g" ~fmt:"%s %s" [ test ]) in
+    let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+    Hashtbl.iter
+      (fun name result ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] -> Printf.printf "%-32s %12.1f ns/run\n" name est
+        | _ -> Printf.printf "%-32s (no estimate)\n" name)
+      results
+  in
+  List.iter benchmark tests
+
+(* ---------------------------------------------------------------------- *)
+
+let all () =
+  e2e ();
+  suite ();
+  sweep ();
+  fusion_ablation ();
+  speculation_ablation ();
+  compile_time ();
+  memory ();
+  constraints ();
+  mixed_precision ();
+  horizontal_ablation ();
+  cpu ();
+  serving ();
+  specialization ()
+
+let () =
+  let cmd = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  match cmd with
+  | "e2e" -> e2e ()
+  | "suite" -> suite ()
+  | "sweep" -> sweep ()
+  | "fusion_ablation" -> fusion_ablation ()
+  | "speculation_ablation" -> speculation_ablation ()
+  | "compile_time" -> compile_time ()
+  | "memory" -> memory ()
+  | "constraints" -> constraints ()
+  | "mixed_precision" -> mixed_precision ()
+  | "horizontal" -> horizontal_ablation ()
+  | "cpu" -> cpu ()
+  | "serving" -> serving ()
+  | "specialization" -> specialization ()
+  | "micro" -> micro ()
+  | "all" -> all ()
+  | other ->
+      Printf.eprintf
+        "unknown experiment %s\n\
+         usage: main.exe \
+         [e2e|suite|sweep|fusion_ablation|speculation_ablation|compile_time|memory|constraints|mixed_precision|micro|all]\n"
+        other;
+      exit 1

@@ -1,0 +1,256 @@
+(* discc — command-line driver for the BladeDISC reproduction.
+
+     discc list
+     discc compile --model bert [--tiny] [--planner VARIANT] [--dump ir|plan|symbols]
+     discc run --model bert --dims batch=4,seq=73 [--device A10|T4] [--planner V]
+     discc exec --model bert --dims batch=2,seq=5   (tiny data-plane run)
+     discc compare --model bert --dims batch=4,seq=73 [--device D]  (all systems) *)
+
+open Cmdliner
+
+module Suite = Models.Suite
+module Common = Models.Common
+module Planner = Fusion.Planner
+module Compiler = Disc.Compiler
+
+let planner_of_string = function
+  | "default" -> Ok Planner.default_config
+  | "no-fusion" -> Ok Planner.no_fusion_config
+  | "static-only" -> Ok Planner.static_only_config
+  | "no-products" -> Ok Planner.no_product_config
+  | "no-stitch" -> Ok Planner.no_stitch_config
+  | other -> Error (Printf.sprintf "unknown planner %S" other)
+
+let parse_dims s =
+  String.split_on_char ',' s
+  |> List.map (fun kv ->
+         match String.split_on_char '=' kv with
+         | [ k; v ] -> (String.trim k, int_of_string (String.trim v))
+         | _ -> failwith (Printf.sprintf "bad --dims entry %S (want name=value)" kv))
+
+let device_of_string s =
+  match Gpusim.Device.by_name s with
+  | Some d -> d
+  | None -> failwith (Printf.sprintf "unknown device %S (A10 or T4)" s)
+
+(* common options *)
+let model_arg =
+  let doc = "Model from the suite (see `discc list`)." in
+  Arg.(required & opt (some string) None & info [ "model"; "m" ] ~docv:"NAME" ~doc)
+
+let tiny_arg =
+  let doc = "Use the structurally-identical test-scale configuration." in
+  Arg.(value & flag & info [ "tiny" ] ~doc)
+
+let planner_arg =
+  let doc = "Fusion planner variant: default, no-fusion, static-only, no-products, no-stitch." in
+  Arg.(value & opt string "default" & info [ "planner" ] ~docv:"VARIANT" ~doc)
+
+let device_arg =
+  let doc = "Simulated device: A10 or T4." in
+  Arg.(value & opt string "A10" & info [ "device"; "d" ] ~docv:"DEV" ~doc)
+
+let dims_arg =
+  let doc = "Dynamic dimension values, e.g. batch=4,seq=73." in
+  Arg.(required & opt (some string) None & info [ "dims" ] ~docv:"DIMS" ~doc)
+
+let build_model name tiny =
+  let entry = Suite.find name in
+  if tiny then entry.Suite.build_tiny () else entry.Suite.build ()
+
+let options_of planner_name =
+  match planner_of_string planner_name with
+  | Ok p -> { Compiler.default_options with planner = p }
+  | Error e -> failwith e
+
+(* --- list ---------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "%-12s %-10s %s\n" "name" "dyn dims" "description";
+    List.iter
+      (fun e ->
+        let built = e.Suite.build_tiny () in
+        Printf.printf "%-12s %-10s %s\n" e.Suite.name
+          (String.concat "," (List.map fst built.Common.dims))
+          e.Suite.description)
+      Suite.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the model suite") Term.(const run $ const ())
+
+(* --- compile ------------------------------------------------------------- *)
+
+let compile_cmd =
+  let dump_arg =
+    let doc = "What to print: ir, plan, symbols, stats, kernels (repeatable)." in
+    Arg.(value & opt_all string [] & info [ "dump" ] ~docv:"WHAT" ~doc)
+  in
+  let run model tiny planner dumps =
+    let built = build_model model tiny in
+    let c = Compiler.compile ~options:(options_of planner) built.Common.graph in
+    Printf.printf
+      "compiled %s (%s): %d instructions -> %d kernels; simulated compile %.1f s; %s\n" model
+      (if tiny then "tiny" else "paper scale")
+      (Ir.Graph.num_insts built.Common.graph)
+      (List.length c.Compiler.plan.Fusion.Cluster.clusters)
+      (c.Compiler.compile_time_ms /. 1000.0)
+      (Ir.Passes.stats_to_string c.Compiler.pass_stats);
+    List.iter
+      (fun what ->
+        match what with
+        | "ir" -> print_string (Ir.Printer.to_string built.Common.graph)
+        | "plan" -> print_string (Fusion.Cluster.to_string c.Compiler.plan)
+        | "symbols" ->
+            Format.printf "%a@." Symshape.Table.pp (Ir.Graph.symtab built.Common.graph)
+        | "stats" ->
+            print_endline (Disc.Stats.to_string (Disc.Stats.coverage built.Common.graph))
+        | "kernels" ->
+            print_string
+              (Codegen.Emit.emit_program built.Common.graph c.Compiler.plan
+                 Codegen.Kernel.default_config)
+        | other -> Printf.eprintf "unknown --dump %s\n" other)
+      dumps
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a model and inspect the pipeline")
+    Term.(const run $ model_arg $ tiny_arg $ planner_arg $ dump_arg)
+
+(* --- run (cost simulation) ------------------------------------------------ *)
+
+let run_cmd =
+  let run model tiny planner device dims =
+    let built = build_model model tiny in
+    let c = Compiler.compile ~options:(options_of planner) built.Common.graph in
+    let device = device_of_string device in
+    let env = parse_dims dims in
+    let binding =
+      List.map (fun (n, v) -> (Common.dim_exn built n, v)) env
+    in
+    let profile = Compiler.simulate ~device c binding in
+    Printf.printf "%s on %s at %s:\n  %s\n" model device.Gpusim.Device.name dims
+      (Runtime.Profile.to_string profile);
+    (* top kernels *)
+    let recs =
+      List.sort
+        (fun a b -> compare b.Runtime.Profile.time_us a.Runtime.Profile.time_us)
+        profile.Runtime.Profile.records
+    in
+    Printf.printf "  top kernels:\n";
+    List.iteri
+      (fun i r ->
+        if i < 8 then
+          Printf.printf "    %-8s %-8s %-14s %8.1f us\n" r.Runtime.Profile.kname
+            r.Runtime.Profile.kind r.Runtime.Profile.version_tag r.Runtime.Profile.time_us)
+      recs
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Simulate one inference at given dynamic-dim values")
+    Term.(const run $ model_arg $ tiny_arg $ planner_arg $ device_arg $ dims_arg)
+
+(* --- exec (data plane, tiny) ---------------------------------------------- *)
+
+let exec_cmd =
+  let run model dims =
+    let built = build_model model true in
+    let env = parse_dims dims in
+    let inputs = Common.test_inputs built env in
+    let c = Compiler.compile built.Common.graph in
+    let outs, profile = Compiler.run c inputs in
+    Printf.printf "%s (tiny) at %s: %s\n" model dims (Runtime.Profile.to_string profile);
+    List.iteri
+      (fun i o -> Printf.printf "  output %d: %s\n" i (Tensor.Nd.to_string o))
+      outs
+  in
+  Cmd.v
+    (Cmd.info "exec" ~doc:"Execute the tiny model on real data and print outputs")
+    Term.(const run $ model_arg $ dims_arg)
+
+(* --- compile-file ----------------------------------------------------------- *)
+
+let compile_file_cmd =
+  let file_arg =
+    let doc = "Path to a textual graph (.disc) file; see examples/graphs/." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let dump_arg =
+    let doc = "What to print: ir, plan, symbols, kernels (repeatable)." in
+    Arg.(value & opt_all string [] & info [ "dump" ] ~docv:"WHAT" ~doc)
+  in
+  let run file planner dumps =
+    let src = In_channel.with_open_text file In_channel.input_all in
+    let g = Ir.Parser.parse src in
+    let c = Compiler.compile ~options:(options_of planner) g in
+    Printf.printf "parsed and compiled %s: %d instructions -> %d kernels\n" file
+      (Ir.Graph.num_insts g)
+      (List.length c.Compiler.plan.Fusion.Cluster.clusters);
+    List.iter
+      (fun what ->
+        match what with
+        | "ir" -> print_string (Ir.Printer.to_string ~with_symbols:true g)
+        | "plan" -> print_string (Fusion.Cluster.to_string c.Compiler.plan)
+        | "symbols" -> Format.printf "%a@." Symshape.Table.pp (Ir.Graph.symtab g)
+        | "kernels" ->
+            print_string
+              (Codegen.Emit.emit_program g c.Compiler.plan Codegen.Kernel.default_config)
+        | other -> Printf.eprintf "unknown --dump %s\n" other)
+      dumps
+  in
+  Cmd.v
+    (Cmd.info "compile-file" ~doc:"Parse and compile a textual .disc graph")
+    Term.(const run $ file_arg $ planner_arg $ dump_arg)
+
+(* --- explain ----------------------------------------------------------------- *)
+
+let explain_cmd =
+  let a_arg = Arg.(required & opt (some int) None & info [ "inst-a" ] ~docv:"ID" ~doc:"First instruction id.") in
+  let b_arg = Arg.(required & opt (some int) None & info [ "inst-b" ] ~docv:"ID" ~doc:"Second instruction id.") in
+  let run model tiny planner a b =
+    let built = build_model model tiny in
+    let options = options_of planner in
+    let c = Compiler.compile ~options built.Common.graph in
+    let v =
+      Fusion.Explain.explain ~config:options.Compiler.planner built.Common.graph
+        c.Compiler.plan ~a ~b
+    in
+    Printf.printf "%%%d (%s) vs %%%d (%s): %s\n" a
+      (Ir.Op.to_string (Ir.Graph.inst built.Common.graph a).Ir.Graph.op)
+      b
+      (Ir.Op.to_string (Ir.Graph.inst built.Common.graph b).Ir.Graph.op)
+      (Fusion.Explain.verdict_to_string v)
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Explain why two instructions did (not) fuse")
+    Term.(const run $ model_arg $ tiny_arg $ planner_arg $ a_arg $ b_arg)
+
+(* --- compare --------------------------------------------------------------- *)
+
+let compare_cmd =
+  let run model device dims =
+    let device = device_of_string device in
+    let env = parse_dims dims in
+    let entry = Suite.find model in
+    Printf.printf "%-12s %12s %12s %10s\n" "system" "latency(us)" "compile(ms)" "vs disc";
+    let disc = Baselines.Systems.make "bladedisc" (entry.Suite.build ()) in
+    let d = (disc.Baselines.Executor.run ~device env).Baselines.Executor.latency_us in
+    List.iter
+      (fun s ->
+        let ex =
+          Baselines.Executor.make_from_strategy s (entry.Suite.build ())
+        in
+        let r = ex.Baselines.Executor.run ~device env in
+        Printf.printf "%-12s %12.0f %12.0f %9.2fx\n" s.Baselines.Executor.s_name
+          r.Baselines.Executor.latency_us r.Baselines.Executor.compile_ms
+          (r.Baselines.Executor.latency_us /. d))
+      Baselines.Systems.all_strategies
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Compare all systems at one shape")
+    Term.(const run $ model_arg $ device_arg $ dims_arg)
+
+let () =
+  let info =
+    Cmd.info "discc" ~version:"1.0"
+      ~doc:"BladeDISC dynamic-shape ML compiler reproduction driver"
+  in
+  exit (Cmd.eval (Cmd.group info
+       [ list_cmd; compile_cmd; compile_file_cmd; run_cmd; exec_cmd; explain_cmd; compare_cmd ]))

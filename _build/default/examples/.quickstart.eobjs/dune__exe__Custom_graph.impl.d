@@ -1,0 +1,1 @@
+examples/custom_graph.ml: Array Codegen Disc Float Fusion In_channel Ir List Printf Runtime String Symshape Sys Tensor

@@ -1,0 +1,1 @@
+examples/nlp_serving.ml: Array Baselines Gpusim List Models Printf String Workloads

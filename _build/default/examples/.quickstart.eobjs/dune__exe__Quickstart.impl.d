@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Disc Float Fusion Ir List Printf Runtime String Symshape Tensor

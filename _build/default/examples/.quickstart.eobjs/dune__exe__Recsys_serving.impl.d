@@ -1,0 +1,1 @@
+examples/recsys_serving.ml: Baselines Fusion Gpusim Ir List Models Printf String

@@ -1,0 +1,1 @@
+examples/shape_explorer.ml: Array Format Fusion Ir List Printf String Symshape Tensor

@@ -1,0 +1,1 @@
+examples/shape_explorer.mli:

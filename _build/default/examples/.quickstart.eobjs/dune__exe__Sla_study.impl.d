@@ -1,0 +1,1 @@
+examples/sla_study.ml: Baselines Gpusim List Models Printf Workloads

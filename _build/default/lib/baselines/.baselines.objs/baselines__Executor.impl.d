@@ -1,0 +1,1 @@
+lib/baselines/executor.ml: Codegen Fusion Gpusim Hashtbl Ir List Models Runtime Symshape

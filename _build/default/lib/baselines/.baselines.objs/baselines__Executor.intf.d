@@ -1,0 +1,1 @@
+lib/baselines/executor.mli: Codegen Fusion Gpusim Models Runtime Symshape

@@ -1,0 +1,1 @@
+lib/baselines/systems.ml: Codegen Executor Float Fusion Gpusim List Models Printf

@@ -1,0 +1,175 @@
+(* The seven comparator systems plus BladeDISC itself, as strategies
+   (see executor.ml). Knob values are calibrated so that each system's
+   *mechanism* is faithful (what fuses, what pads, what recompiles, what
+   dispatch costs); see EXPERIMENTS.md for the mapping to the paper. *)
+
+module Planner = Fusion.Planner
+module Kernel = Codegen.Kernel
+module E = Executor
+
+let cap_mem x (w : Gpusim.Cost.kernel_work) =
+  { w with Gpusim.Cost.mem_efficiency = Float.min 0.95 (w.Gpusim.Cost.mem_efficiency *. x) }
+
+let cap_compute x (w : Gpusim.Cost.kernel_work) =
+  { w with Gpusim.Cost.compute_efficiency = Float.min 0.85 (w.Gpusim.Cost.compute_efficiency *. x) }
+
+let no_pad env = env
+let pad_pow2 env = List.map (fun (n, v) -> (n, E.bucket v)) env
+
+(* PyTorch eager: every operator is its own kernel behind the Python
+   dispatcher; no compilation of any kind. *)
+let pytorch : E.strategy =
+  {
+    s_name = "pytorch";
+    s_description = "eager op-by-op, Python dispatch, no fusion";
+    planner = Planner.no_fusion_config;
+    codegen = Kernel.no_speculation_config;
+    host_overhead_us = 4.0;
+    fixed_host_us = 20.0;
+    pad_env = no_pad;
+    tune = E.id_tune;
+    compile_cost_ms = (fun ~num_kernels:_ ~num_insts:_ -> 0.0);
+    compile_per_signature = false;
+  }
+
+(* TorchScript: the Python interpreter is gone, but its fuser needs
+   static shapes, so on dynamic-shape graphs execution stays op-by-op. *)
+let torchscript : E.strategy =
+  {
+    s_name = "torchscript";
+    s_description = "scripted op-by-op; fuser requires static shapes";
+    planner = Planner.static_only_config;
+    codegen = Kernel.no_speculation_config;
+    host_overhead_us = 2.4;
+    fixed_host_us = 10.0;
+    pad_env = no_pad;
+    tune = E.id_tune;
+    compile_cost_ms = (fun ~num_kernels:_ ~num_insts -> 0.5 *. float_of_int num_insts);
+    compile_per_signature = false;
+  }
+
+(* ONNX Runtime: lean C++ dispatch plus a library of hand-fused kernels
+   (attention softmax, layernorm, gelu); fusion scope is bounded by the
+   pattern library rather than by shape reasoning. *)
+let onnxruntime : E.strategy =
+  {
+    s_name = "onnxrt";
+    s_description = "op-by-op with pattern-library fused kernels";
+    planner = { Planner.default_config with max_cluster_size = Some 6 };
+    codegen = Kernel.no_speculation_config;
+    host_overhead_us = 1.6;
+    fixed_host_us = 6.0;
+    pad_env = no_pad;
+    tune = cap_mem 0.95;
+    compile_cost_ms = (fun ~num_kernels:_ ~num_insts -> 1.0 *. float_of_int num_insts);
+    compile_per_signature = false;
+  }
+
+(* XLA: a strong static-shape fusion compiler. Dynamic dims are rounded
+   to power-of-two buckets; each new bucket signature triggers a full
+   compilation, and execution pays for the padding. No shared-memory
+   stitch fusion. *)
+let xla : E.strategy =
+  {
+    s_name = "xla";
+    s_description = "static compiler: pow2 bucketing + padding, compile per bucket";
+    planner = Planner.no_stitch_config;
+    codegen = Kernel.default_config;
+    host_overhead_us = 0.5;
+    fixed_host_us = 3.0;
+    pad_env = pad_pow2;
+    tune = E.id_tune;
+    compile_cost_ms =
+      (fun ~num_kernels ~num_insts ->
+        (150.0 *. float_of_int num_kernels) +. (2.0 *. float_of_int num_insts) +. 3000.0);
+    compile_per_signature = true;
+  }
+
+(* TVM: per-shape autotuned kernels — excellent steady-state kernels for
+   shapes it has tuned, at an enormous per-signature tuning cost; the
+   relay graph runtime adds moderate dispatch overhead. *)
+let tvm : E.strategy =
+  {
+    s_name = "tvm";
+    s_description = "dynamic-shape Relay: default schedules, graph runtime";
+    planner = Planner.no_stitch_config;
+    codegen = Kernel.no_speculation_config;
+    host_overhead_us = 2.6;
+    fixed_host_us = 10.0;
+    pad_env = no_pad;
+    tune = (fun w -> cap_compute 0.7 (cap_mem 0.62 w));
+    compile_cost_ms =
+      (fun ~num_kernels ~num_insts:_ ->
+        (* autotuning: ~trials x measurement per distinct kernel *)
+        (2500.0 *. float_of_int num_kernels) +. 30000.0);
+    compile_per_signature = true;
+  }
+
+(* Torch Inductor (dynamic shapes): symbolic sizes with guards; good
+   pointwise/reduction fusion but symbol reasoning does not cross
+   reshapes (no product facts), and dispatch pays guard evaluation. *)
+let inductor : E.strategy =
+  {
+    s_name = "inductor";
+    s_description = "dynamic-shape guards + Triton; no product-equality reasoning";
+    planner =
+      { Planner.default_config with oracle = Planner.Symbolic_dims; enable_stitch = false };
+    codegen = Kernel.no_speculation_config;
+    host_overhead_us = 11.0;
+    fixed_host_us = 70.0;
+    pad_env = no_pad;
+    tune = cap_mem 0.75;
+    compile_cost_ms =
+      (fun ~num_kernels ~num_insts:_ -> (250.0 *. float_of_int num_kernels) +. 8000.0);
+    compile_per_signature = false;
+  }
+
+(* TensorRT: offline-built engine with dynamic-shape optimization
+   profiles; kernels are the best tuned of all systems, fusion is
+   strong but static (no dynamic stitch), engine build is very slow. *)
+let tensorrt : E.strategy =
+  {
+    s_name = "tensorrt";
+    s_description = "engine with optimization profiles; best static kernels";
+    planner = Planner.no_stitch_config;
+    codegen = Kernel.default_config;
+    host_overhead_us = 0.9;
+    fixed_host_us = 6.0;
+    pad_env = no_pad;
+    tune = (fun w -> cap_compute 1.12 (cap_mem 0.66 w));
+    compile_cost_ms =
+      (fun ~num_kernels ~num_insts:_ ->
+        (800.0 *. float_of_int num_kernels) +. 60000.0);
+    compile_per_signature = false;
+  }
+
+(* BladeDISC: the full pipeline from this repository — symbolic shapes,
+   kLoop/kInput/kStitch fusion, speculative codegen, lean RAL runtime;
+   one compilation serves all shapes. *)
+let bladedisc : E.strategy =
+  {
+    s_name = "bladedisc";
+    s_description = "this work: symbolic shapes, stitch fusion, speculation";
+    planner = Planner.default_config;
+    codegen = Kernel.default_config;
+    host_overhead_us = 0.3;
+    fixed_host_us = 1.0;
+    pad_env = no_pad;
+    tune = E.id_tune;
+    compile_cost_ms =
+      (fun ~num_kernels ~num_insts ->
+        (120.0 *. float_of_int num_kernels) +. (1.5 *. float_of_int num_insts) +. 400.0);
+    compile_per_signature = false;
+  }
+
+let all_strategies =
+  [ pytorch; torchscript; tvm; onnxruntime; xla; inductor; tensorrt; bladedisc ]
+
+let baselines_only = List.filter (fun s -> s.E.s_name <> "bladedisc") all_strategies
+
+let by_name name =
+  match List.find_opt (fun s -> s.E.s_name = name) all_strategies with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "unknown system %s" name)
+
+let make name (built : Models.Common.built) = E.make_from_strategy (by_name name) built

@@ -1,0 +1,1 @@
+lib/codegen/emit.ml: Array Buffer Fusion Hashtbl Ir Kernel List Printf Scanf String Symshape Tensor

@@ -1,0 +1,1 @@
+lib/codegen/kernel.ml: Array Float Fusion Gpusim Hashtbl Ir List Printf Stdlib String Symshape Tensor

@@ -1,0 +1,238 @@
+(* Pseudo-CUDA rendering of compiled kernels.
+
+   The execution substrate is simulated, but the code-generation
+   questions the paper solves are real and visible here: a single kernel
+   body parameterized by runtime dims (never shape constants), index
+   remapping for broadcast/reshape/transpose computed from those dims,
+   block-per-row reductions, shared-memory relays between kStitch
+   stages, and the guarded speculative versions.
+
+   The output is for humans (and tests): `discc compile --dump kernel`. *)
+
+module Sym = Symshape.Sym
+module Table = Symshape.Table
+module Graph = Ir.Graph
+module Op = Ir.Op
+module Cluster = Fusion.Cluster
+
+let buf_add = Buffer.add_string
+
+(* C-ish name for a value. *)
+let vname id = Printf.sprintf "v%d" id
+
+(* Render a symbolic dim as either a literal or a runtime dims[] load. *)
+let dim_expr (tab : Table.t) (dim_slot : (int, int) Hashtbl.t) (d : Sym.dim) =
+  match Table.resolve tab d with
+  | Sym.Static v -> string_of_int v
+  | Sym.Sym root ->
+      let slot =
+        match Hashtbl.find_opt dim_slot root with
+        | Some s -> s
+        | None ->
+            let s = Hashtbl.length dim_slot in
+            Hashtbl.add dim_slot root s;
+            s
+      in
+      Printf.sprintf "dims[%d]" slot
+
+let shape_numel_expr tab dim_slot (s : Sym.shape) =
+  if Array.length s = 0 then "1"
+  else String.concat " * " (Array.to_list (Array.map (dim_expr tab dim_slot) s))
+
+let unary_c = function
+  | Op.Neg -> ("-(%s)", true)
+  | Op.Abs -> ("fabsf(%s)", true)
+  | Op.Exp -> ("__expf(%s)", true)
+  | Op.Log -> ("__logf(%s)", true)
+  | Op.Tanh -> ("tanhf(%s)", true)
+  | Op.Sqrt -> ("sqrtf(%s)", true)
+  | Op.Rsqrt -> ("rsqrtf(%s)", true)
+  | Op.Erf -> ("erff(%s)", true)
+  | Op.Sign -> ("copysignf(%s != 0.f, %s)", false)
+  | Op.Ceil -> ("ceilf(%s)", true)
+  | Op.Floor -> ("floorf(%s)", true)
+  | Op.Logistic -> ("1.f / (1.f + __expf(-(%s)))", true)
+  | Op.Not -> ("!(%s)", true)
+
+let binary_c = function
+  | Op.Add -> "%s + %s"
+  | Op.Sub -> "%s - %s"
+  | Op.Mul -> "%s * %s"
+  | Op.Div -> "%s / %s"
+  | Op.Pow -> "__powf(%s, %s)"
+  | Op.Max -> "fmaxf(%s, %s)"
+  | Op.Min -> "fminf(%s, %s)"
+  | Op.Rem -> "fmodf(%s, %s)"
+  | Op.And -> "%s && %s"
+  | Op.Or -> "%s || %s"
+
+let cmp_c = function
+  | Op.Eq -> "==" | Op.Ne -> "!=" | Op.Lt -> "<" | Op.Le -> "<=" | Op.Gt -> ">" | Op.Ge -> ">="
+
+(* Statement for one member instruction at linear index [idx] of the
+   kernel domain. Inputs are loads from global (or shared) memory;
+   shape-manipulating members become index arithmetic comments + remapped
+   loads of their producers. *)
+let member_stmt tab dim_slot ~is_input (i : Graph.inst) =
+  let a k = vname i.args.(k) in
+  let load id from =
+    Printf.sprintf "float %s = %s;" (vname id) from
+  in
+  match i.op with
+  | Op.Parameter _ | Op.Constant _ -> Printf.sprintf "/* %s resident */" (vname i.id)
+  | Op.Unary u ->
+      let fmt, single = unary_c u in
+      let body =
+        if single then Printf.sprintf (Scanf.format_from_string fmt "%s") (a 0)
+        else Printf.sprintf (Scanf.format_from_string fmt "%s%s") (a 0) (a 0)
+      in
+      Printf.sprintf "float %s = %s;" (vname i.id) body
+  | Op.Binary b ->
+      Printf.sprintf "float %s = %s;" (vname i.id)
+        (Printf.sprintf (Scanf.format_from_string (binary_c b) "%s%s") (a 0) (a 1))
+  | Op.Compare c ->
+      Printf.sprintf "bool %s = %s %s %s;" (vname i.id) (a 0) (cmp_c c) (a 1)
+  | Op.Select -> Printf.sprintf "float %s = %s ? %s : %s;" (vname i.id) (a 0) (a 1) (a 2)
+  | Op.Cast d ->
+      Printf.sprintf "%s %s = (%s)%s;"
+        (if Tensor.Dtype.is_floating d then "float" else "int")
+        (vname i.id)
+        (if Tensor.Dtype.is_floating d then "float" else "int")
+        (a 0)
+  | Op.Broadcast { dims; out } ->
+      let mapping =
+        String.concat ", " (Array.to_list (Array.mapi (fun k d -> Printf.sprintf "%d->%d" k d) dims))
+      in
+      load i.id
+        (Printf.sprintf "%s /* broadcast: src dims [%s] of out %s; stride-0 on the rest */"
+           (a 0) mapping
+           (shape_numel_expr tab dim_slot out))
+  | Op.Reshape out ->
+      load i.id
+        (Printf.sprintf "%s /* reshape: same linear index, logical shape numel=%s */" (a 0)
+           (shape_numel_expr tab dim_slot out))
+  | Op.Transpose perm ->
+      load i.id
+        (Printf.sprintf "%s /* transpose perm=[%s]: idx delinearized and permuted */" (a 0)
+           (String.concat "," (List.map string_of_int (Array.to_list perm))))
+  | Op.Slice _ -> load i.id (Printf.sprintf "%s /* slice: offset index */" (a 0))
+  | Op.Pad { value; _ } ->
+      load i.id (Printf.sprintf "in_bounds(idx) ? %s : %gf /* pad */" (a 0) value)
+  | Op.Iota { dim; _ } ->
+      Printf.sprintf "float %s = (float)index_along_dim(idx, %d);" (vname i.id) dim
+  | Op.Reduce { kind; dims } ->
+      let comb =
+        match kind with
+        | Op.R_sum -> "acc += x"
+        | Op.R_prod -> "acc *= x"
+        | Op.R_max -> "acc = fmaxf(acc, x)"
+        | Op.R_min -> "acc = fminf(acc, x)"
+        | Op.R_any -> "acc = acc || (x != 0.f)"
+      in
+      if is_input then
+        Printf.sprintf
+          "float %s = block_reduce(row, [](float acc, float x){ %s; }) /* dims=[%s] */;"
+          (vname i.id) comb
+          (String.concat "," (List.map string_of_int dims))
+      else Printf.sprintf "float %s = warp_reduce(%s);" (vname i.id) (a 0)
+  | Op.Dot | Op.Conv2d _ -> Printf.sprintf "/* %s: library call, not emitted */" (vname i.id)
+  | Op.Gather ->
+      Printf.sprintf "float %s = %s[(int)%s * row_stride + tail_idx];" (vname i.id) (a 0) (a 1)
+  | Op.Concat { axis } ->
+      Printf.sprintf "float %s = concat_select(idx, %d /* axis */);" (vname i.id) axis
+  | Op.Reduce_window { window = wh, ww; strides = sh, sw; _ } ->
+      Printf.sprintf
+        "float %s = window_reduce(%s, /*window*/%dx%d, /*strides*/%dx%d);" (vname i.id)
+        (a 0) wh ww sh sw
+  | Op.Argmax { dim } ->
+      Printf.sprintf "int %s = argmax_along(%s, %d);" (vname i.id) (a 0) dim
+
+let emit_version (buf : Buffer.t) (v : Kernel.version) =
+  buf_add buf
+    (Printf.sprintf
+       "// version %-18s guards: %s\n" v.Kernel.tag
+       (String.concat " && "
+          (List.filter
+             (fun s -> s <> "")
+             [
+               (if v.Kernel.vectorized then "innermost %% 4 == 0" else "");
+               (if v.Kernel.tree_reduce then "is_pow2(row)" else "");
+               (if v.Kernel.persistent then "numel <= resident_threads" else "");
+             ])
+       ^ if v.Kernel.vectorized || v.Kernel.tree_reduce || v.Kernel.persistent then "" else "always"))
+
+let emit (g : Graph.t) (k : Kernel.t) : string =
+  let tab = Graph.symtab g in
+  let c = k.Kernel.cluster in
+  let dim_slot : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let buf = Buffer.create 1024 in
+  let domain = shape_numel_expr tab dim_slot c.Cluster.domain in
+  buf_add buf (Printf.sprintf "// %s (%s)\n" k.Kernel.name (Cluster.kind_to_string c.Cluster.kind));
+  List.iter (emit_version buf) k.Kernel.versions;
+  let params =
+    String.concat ", "
+      (List.map (fun id -> "const float* " ^ vname id) c.Cluster.inputs
+      @ List.map (fun id -> "float* out_" ^ vname id) c.Cluster.outputs
+      @ [ "const int64_t* dims" ])
+  in
+  buf_add buf (Printf.sprintf "__global__ void %s(%s) {\n" k.Kernel.name params);
+  (match c.Cluster.kind with
+  | Cluster.Loop | Cluster.Single | Cluster.Horizontal ->
+      buf_add buf (Printf.sprintf "  int64_t numel = %s;\n" domain);
+      buf_add buf
+        "  for (int64_t idx = blockIdx.x * blockDim.x + threadIdx.x;\n\
+        \       idx < numel; idx += gridDim.x * blockDim.x) {\n";
+      List.iter
+        (fun m ->
+          let i = Graph.inst g m in
+          buf_add buf ("    " ^ member_stmt tab dim_slot ~is_input:false i ^ "\n"))
+        c.Cluster.members;
+      List.iter
+        (fun o -> buf_add buf (Printf.sprintf "    out_%s[idx] = %s;\n" (vname o) (vname o)))
+        c.Cluster.outputs;
+      buf_add buf "  }\n"
+  | Cluster.Input | Cluster.Stitch ->
+      let row =
+        match k.Kernel.reduce_ids with
+        | rid :: _ -> (
+            let i = Graph.inst g rid in
+            match i.op with
+            | Op.Reduce { dims; _ } ->
+                let input = Graph.inst g i.args.(0) in
+                shape_numel_expr tab dim_slot
+                  (Array.of_list (List.map (fun d -> input.shape.(d)) dims))
+            | _ -> "1")
+        | [] -> "1"
+      in
+      buf_add buf (Printf.sprintf "  int64_t row = %s;            // reduced extent\n" row);
+      buf_add buf (Printf.sprintf "  int64_t rows = (%s) / row;   // one block per row\n" domain);
+      buf_add buf "  extern __shared__ float relay[]; // kStitch shared-memory relay\n";
+      buf_add buf "  int64_t r = blockIdx.x;\n  if (r >= rows) return;\n";
+      buf_add buf "  // stage pipeline over the row, relayed through shared memory:\n";
+      List.iter
+        (fun m ->
+          let i = Graph.inst g m in
+          buf_add buf ("  " ^ member_stmt tab dim_slot ~is_input:true i ^ "\n"))
+        c.Cluster.members;
+      List.iter
+        (fun o ->
+          buf_add buf (Printf.sprintf "  store_row(out_%s, r, %s);\n" (vname o) (vname o)))
+        c.Cluster.outputs
+  | Cluster.Library -> buf_add buf "  // dispatched to cuBLAS/cuDNN, no emitted body\n");
+  buf_add buf "}\n";
+  Buffer.contents buf
+
+let emit_program (g : Graph.t) (plan : Cluster.plan) (config : Kernel.config) : string =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun c ->
+      match c.Cluster.kind with
+      | Cluster.Library ->
+          buf_add buf
+            (Printf.sprintf "// cluster %d: library call (%s)\n\n" c.Cluster.cid
+               (Op.to_string (Graph.inst g (List.hd c.Cluster.members)).op))
+      | _ ->
+          buf_add buf (emit g (Kernel.build g config c));
+          buf_add buf "\n")
+    plan.Cluster.clusters;
+  Buffer.contents buf

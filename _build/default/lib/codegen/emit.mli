@@ -1,0 +1,14 @@
+(** Pseudo-CUDA rendering of compiled kernels, for inspection and tests
+    ([discc compile --dump kernels]).
+
+    Shows the paper's codegen story concretely: kernel bodies
+    parameterized by runtime [dims] (never shape literals), index
+    remapping for broadcast/reshape/transpose, block-per-row reductions
+    with shared-memory relays for kStitch, and the guarded speculative
+    versions. *)
+
+val emit : Ir.Graph.t -> Kernel.t -> string
+(** Render one kernel (all versions' guards + the generic body). *)
+
+val emit_program : Ir.Graph.t -> Fusion.Cluster.plan -> Kernel.config -> string
+(** Render every non-library kernel of a plan. *)

@@ -1,0 +1,284 @@
+(* Compile-time + runtime combined code generation (paper §6).
+
+   At compile time each fusion cluster becomes one kernel, carrying a
+   small set of speculative versions (vectorized loads, power-of-two
+   tree reduction, persistent small-shape schedule). Shapes stay
+   symbolic. At runtime, concrete shapes select the best version whose
+   guard holds and determine the launch dimensions; the generic version
+   always applies, so a single compilation serves arbitrary shapes. *)
+
+module Sym = Symshape.Sym
+module Table = Symshape.Table
+module Graph = Ir.Graph
+module Op = Ir.Op
+module Cluster = Fusion.Cluster
+
+type config = { enable_speculation : bool }
+
+let default_config = { enable_speculation = true }
+let no_speculation_config = { enable_speculation = false }
+
+(* One speculative specialization of a kernel. *)
+type version = {
+  tag : string;
+  vectorized : bool; (* float4 loads/stores *)
+  tree_reduce : bool; (* power-of-two shuffle reduction *)
+  persistent : bool; (* single-wave schedule for small shapes *)
+}
+
+let generic_version = { tag = "generic"; vectorized = false; tree_reduce = false; persistent = false }
+
+type t = {
+  name : string;
+  cluster : Cluster.t;
+  versions : version list; (* most specialized first; generic last *)
+  has_reduce : bool;
+  has_transpose : bool; (* non-coalesced access pattern *)
+  reduce_ids : int list;
+}
+
+(* Concrete per-execution facts derived from the runtime shape binding. *)
+type launch = {
+  version : version;
+  domain_numel : int;
+  row : int; (* product of reduced dims (1 if no reduce) *)
+  blocks : int;
+  threads : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let version_guard (d : Gpusim.Device.t) v ~innermost ~row ~domain_numel =
+  (not v.vectorized || innermost mod 4 = 0)
+  && ((not v.tree_reduce) || is_pow2 row)
+  && ((not v.persistent) || domain_numel <= d.sm_count * 1024)
+
+(* --- compile time --------------------------------------------------------- *)
+
+let build (g : Graph.t) (config : config) (c : Cluster.t) : t =
+  let has_reduce = ref false and has_transpose = ref false in
+  let reduce_ids = ref [] in
+  List.iter
+    (fun m ->
+      match (Graph.inst g m).op with
+      | Op.Reduce _ ->
+          has_reduce := true;
+          reduce_ids := m :: !reduce_ids
+      | Op.Transpose _ -> has_transpose := true
+      | _ -> ())
+    c.Cluster.members;
+  let versions =
+    if not config.enable_speculation then [ generic_version ]
+    else begin
+      (* All combinations of the applicable speculation axes, most
+         specialized first. The reduce axis only exists for kernels that
+         actually reduce. *)
+      let bools = [ true; false ] in
+      let combos =
+        List.concat_map
+          (fun vec ->
+            List.concat_map
+              (fun tree ->
+                List.map
+                  (fun pers ->
+                    {
+                      tag =
+                        String.concat "+"
+                          (List.filter
+                             (fun s -> s <> "")
+                             [
+                               (if vec then "vec4" else "");
+                               (if tree then "tree" else "");
+                               (if pers then "persist" else "");
+                             ])
+                        |> (fun s -> if s = "" then "generic" else s);
+                      vectorized = vec;
+                      tree_reduce = tree;
+                      persistent = pers;
+                    })
+                  bools)
+              (if !has_reduce then bools else [ false ]))
+          bools
+      in
+      let specificity v =
+        (if v.vectorized then 4 else 0)
+        + (if v.tree_reduce then 2 else 0)
+        + if v.persistent then 1 else 0
+      in
+      List.sort (fun a b -> Stdlib.compare (specificity b) (specificity a)) combos
+    end
+  in
+  {
+    name = Printf.sprintf "kernel_%d_%s" c.Cluster.cid (Cluster.kind_to_string c.Cluster.kind);
+    cluster = c;
+    versions;
+    has_reduce = !has_reduce;
+    has_transpose = !has_transpose;
+    reduce_ids = List.rev !reduce_ids;
+  }
+
+(* --- runtime: launch-dimension + version selection ------------------------ *)
+
+let concrete_row (g : Graph.t) (bnd : Table.binding) (k : t) =
+  match k.reduce_ids with
+  | [] -> 1
+  | rid :: _ -> (
+      let i = Graph.inst g rid in
+      match i.op with
+      | Op.Reduce { dims; _ } ->
+          let input = Graph.inst g i.args.(0) in
+          let tab = Graph.symtab g in
+          List.fold_left (fun acc d -> acc * Table.eval_dim_exn tab bnd input.shape.(d)) 1 dims
+      | _ -> 1)
+
+let launch_for (g : Graph.t) (d : Gpusim.Device.t) (bnd : Table.binding) (k : t) : launch =
+  let tab = Graph.symtab g in
+  let domain = Table.eval_shape tab bnd k.cluster.Cluster.domain in
+  let domain_numel = Tensor.Shape.numel domain in
+  let row = concrete_row g bnd k in
+  let innermost =
+    if Array.length domain = 0 then 1 else domain.(Array.length domain - 1)
+  in
+  let version =
+    List.find
+      (fun v -> version_guard d v ~innermost ~row ~domain_numel)
+      k.versions
+    (* the generic version always guards true, so find cannot fail *)
+  in
+  let threads = 256 in
+  let blocks =
+    match k.cluster.Cluster.kind with
+    | Cluster.Input | Cluster.Stitch -> max 1 (domain_numel / max 1 row)
+    | _ -> max 1 ((domain_numel + (threads * 4) - 1) / (threads * 4))
+  in
+  { version; domain_numel; row; blocks; threads }
+
+(* --- runtime: cost ---------------------------------------------------------- *)
+
+let bytes_of_value (g : Graph.t) (bnd : Table.binding) id =
+  let i = Graph.inst g id in
+  let shape = Table.eval_shape (Graph.symtab g) bnd i.shape in
+  Tensor.Shape.numel shape * Tensor.Dtype.byte_size i.dtype
+
+(* Work descriptor of one fused-kernel execution: global traffic is only
+   the cluster's external inputs and outputs (that is the point of
+   fusion); arithmetic is summed over members. *)
+let work_of (g : Graph.t) (bnd : Table.binding) (k : t) (l : launch) : Gpusim.Cost.kernel_work
+    =
+  let tab = Graph.symtab g in
+  (* A gather kernel only touches the rows it looks up, not the whole
+     table; charge the table operand as the gathered output size. *)
+  let input_bytes id =
+    let uses =
+      List.filter
+        (fun m -> Array.exists (fun a -> a = id) (Graph.inst g m).args)
+        k.cluster.Cluster.members
+    in
+    let gather_table_use m =
+      let i = Graph.inst g m in
+      match i.op with Op.Gather -> i.args.(0) = id && i.args.(1) <> id | _ -> false
+    in
+    if uses <> [] && List.for_all gather_table_use uses then
+      min (bytes_of_value g bnd id)
+        (List.fold_left (fun acc m -> acc + bytes_of_value g bnd m) 0 uses)
+    else bytes_of_value g bnd id
+  in
+  let bytes_read =
+    List.fold_left (fun acc id -> acc + input_bytes id) 0 k.cluster.Cluster.inputs
+  in
+  let bytes_written =
+    List.fold_left (fun acc id -> acc + bytes_of_value g bnd id) 0 k.cluster.Cluster.outputs
+  in
+  let flops =
+    List.fold_left
+      (fun acc m ->
+        let i = Graph.inst g m in
+        let per_elem = Op.flops_per_element i.op in
+        if per_elem = 0.0 then acc
+        else
+          let numel =
+            match i.op with
+            | Op.Reduce _ ->
+                (* a reduce touches every input element once *)
+                let input = Graph.inst g i.args.(0) in
+                Tensor.Shape.numel (Table.eval_shape tab bnd input.shape)
+            | _ -> Tensor.Shape.numel (Table.eval_shape tab bnd i.shape)
+          in
+          let mult =
+            match i.op with
+            | Op.Reduce _ when not l.version.tree_reduce -> 1.35 *. per_elem
+            | _ -> per_elem
+          in
+          acc +. (mult *. float_of_int numel))
+      0.0 k.cluster.Cluster.members
+  in
+  let mem_efficiency =
+    let base = if l.version.vectorized then 0.92 else 0.68 in
+    let base = if k.has_transpose then base *. 0.8 else base in
+    (* stitch kernels re-read relayed rows from shared memory: slightly
+       better effective bandwidth on the global side *)
+    if k.cluster.Cluster.kind = Cluster.Stitch then Float.min 0.95 (base +. 0.02) else base
+  in
+  {
+    Gpusim.Cost.bytes_read;
+    bytes_written;
+    flops;
+    mem_efficiency;
+    compute_efficiency = 0.55;
+    blocks = l.blocks;
+    threads_per_block = l.threads;
+    fp16_math =
+      (match k.cluster.Cluster.members with
+      | m :: _ -> (Graph.inst g m).dtype = Tensor.Dtype.F16
+      | [] -> false);
+  }
+
+(* Library (dot / conv) kernels bypass fusion codegen. *)
+let library_work (g : Graph.t) (bnd : Table.binding) (c : Cluster.t) : Gpusim.Cost.kernel_work =
+  let tab = Graph.symtab g in
+  match c.Cluster.members with
+  | [ m ] -> (
+      let i = Graph.inst g m in
+      let eb = Tensor.Dtype.byte_size i.dtype in
+      match i.op with
+      | Op.Dot ->
+          let lhs = Graph.inst g i.args.(0) in
+          let out_shape = Table.eval_shape tab bnd i.shape in
+          let lhs_shape = Table.eval_shape tab bnd lhs.shape in
+          let r = Array.length out_shape in
+          let m_dim = out_shape.(r - 2) and n_dim = out_shape.(r - 1) in
+          let k_dim = lhs_shape.(Array.length lhs_shape - 1) in
+          let batch = Tensor.Shape.numel (Array.sub out_shape 0 (r - 2)) in
+          Gpusim.Cost.gemm_work ~batch ~m:m_dim ~n:n_dim ~k:k_dim ~elem_bytes:eb
+      | Op.Conv2d _ ->
+          let input = Graph.inst g i.args.(0) in
+          let filt = Graph.inst g i.args.(1) in
+          let out_shape = Table.eval_shape tab bnd i.shape in
+          let in_shape = Table.eval_shape tab bnd input.shape in
+          let f_shape = Sym.concrete_exn filt.shape in
+          Gpusim.Cost.conv2d_work
+            ~out_numel:(Tensor.Shape.numel out_shape)
+            ~kh:f_shape.(0) ~kw:f_shape.(1) ~cin:f_shape.(2)
+            ~in_bytes:((Tensor.Shape.numel in_shape + Tensor.Shape.numel f_shape) * eb)
+            ~out_bytes:(Tensor.Shape.numel out_shape * eb)
+      | _ -> invalid_arg "library_work: not a library op")
+  | _ -> invalid_arg "library_work: library clusters are singletons"
+
+(* --- runtime: data plane ---------------------------------------------------
+
+   The kernel's numeric effect is computed by evaluating its members in
+   topological order with the reference semantics; fusion and
+   speculation choices never change results, only cost. *)
+
+let eval (g : Graph.t) (bnd : Table.binding) (k : t) (value_of : int -> Tensor.Nd.t) :
+    (int * Tensor.Nd.t) list =
+  let local : (int, Tensor.Nd.t) Hashtbl.t = Hashtbl.create 16 in
+  let lookup id =
+    match Hashtbl.find_opt local id with Some v -> v | None -> value_of id
+  in
+  List.iter
+    (fun m ->
+      let i = Graph.inst g m in
+      Hashtbl.replace local m (Ir.Interp.eval_inst g bnd lookup i))
+    k.cluster.Cluster.members;
+  List.map (fun o -> (o, Hashtbl.find local o)) k.cluster.Cluster.outputs

@@ -1,0 +1,78 @@
+(** Compile-time + runtime combined code generation (paper §6).
+
+    Each fusion cluster compiles into one {!t} carrying a set of
+    speculative {!version}s ordered most-specialized-first, with the
+    always-valid generic version last. At runtime, concrete shapes
+    select the first version whose guard holds ({!launch_for}) and fix
+    the launch dimensions; a single compilation therefore serves
+    arbitrary shapes.
+
+    Two runtime facets per kernel: {!eval} computes the numeric result
+    (reference semantics — fusion never changes numerics), and
+    {!work_of} / {!library_work} produce the analytical cost descriptor
+    charged to the simulated device. *)
+
+module Cluster = Fusion.Cluster
+
+type config = { enable_speculation : bool }
+
+val default_config : config
+val no_speculation_config : config
+
+type version = {
+  tag : string;  (** e.g. ["vec4+tree"], ["generic"] *)
+  vectorized : bool;  (** float4 loads/stores; guard: innermost %% 4 = 0 *)
+  tree_reduce : bool;  (** shuffle tree reduction; guard: pow2 row *)
+  persistent : bool;  (** single-wave schedule; guard: small domain *)
+}
+
+val generic_version : version
+
+type t = {
+  name : string;
+  cluster : Cluster.t;
+  versions : version list;
+  has_reduce : bool;
+  has_transpose : bool;
+  reduce_ids : int list;
+}
+
+type launch = {
+  version : version;
+  domain_numel : int;
+  row : int;  (** product of the reduced dims; 1 without a reduce *)
+  blocks : int;
+  threads : int;
+}
+
+val is_pow2 : int -> bool
+
+val version_guard :
+  Gpusim.Device.t -> version -> innermost:int -> row:int -> domain_numel:int -> bool
+
+val build : Ir.Graph.t -> config -> Cluster.t -> t
+(** Compile-time half: derive the version set and kernel structure. *)
+
+val launch_for : Ir.Graph.t -> Gpusim.Device.t -> Symshape.Table.binding -> t -> launch
+(** Runtime half: evaluate shapes, pick the best guarded version and the
+    launch dimensions. *)
+
+val bytes_of_value : Ir.Graph.t -> Symshape.Table.binding -> int -> int
+
+val work_of :
+  Ir.Graph.t -> Symshape.Table.binding -> t -> launch -> Gpusim.Cost.kernel_work
+(** Cost descriptor of one fused-kernel execution. Global traffic counts
+    only the cluster's boundary (that is fusion's point); gather table
+    operands are charged by rows actually read. *)
+
+val library_work : Ir.Graph.t -> Symshape.Table.binding -> Cluster.t -> Gpusim.Cost.kernel_work
+(** Cost of a dot / conv2d library kernel. *)
+
+val eval :
+  Ir.Graph.t ->
+  Symshape.Table.binding ->
+  t ->
+  (int -> Tensor.Nd.t) ->
+  (int * Tensor.Nd.t) list
+(** Execute the kernel's data plane: evaluate members topologically and
+    return the cluster's output values. *)

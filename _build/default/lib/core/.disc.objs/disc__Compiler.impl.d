@@ -1,0 +1,1 @@
+lib/core/compiler.ml: Codegen Fusion Gpusim Ir List Runtime Symshape Tensor

@@ -1,0 +1,1 @@
+lib/core/compiler.mli: Codegen Fusion Gpusim Ir Runtime Symshape Tensor

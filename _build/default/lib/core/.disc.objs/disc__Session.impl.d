@@ -1,0 +1,1 @@
+lib/core/session.ml: Array Compiler Gpusim List Models Printf Runtime Tensor

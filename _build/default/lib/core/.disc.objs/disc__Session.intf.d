@@ -1,0 +1,1 @@
+lib/core/session.mli: Compiler Gpusim Models Runtime Tensor

@@ -1,0 +1,1 @@
+lib/core/specialize.ml: Compiler Gpusim Ir List Models Option Runtime Symshape

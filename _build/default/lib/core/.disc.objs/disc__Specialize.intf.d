@@ -1,0 +1,1 @@
+lib/core/specialize.mli: Compiler Gpusim Models Runtime

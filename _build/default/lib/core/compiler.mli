@@ -1,0 +1,57 @@
+(** The end-to-end BladeDISC pipeline:
+
+    import → shape propagation (at graph construction) → constraint-aware
+    cleanup passes → dynamic-shape fusion → compile-time/runtime combined
+    codegen → RAL executable.
+
+    Compile once with {!compile}; then {!run} on real tensors of any
+    shape, or {!simulate} the cost at arbitrary dynamic-dim values. *)
+
+module Graph = Ir.Graph
+module Planner = Fusion.Planner
+module Kernel = Codegen.Kernel
+module Executable = Runtime.Executable
+
+type options = {
+  planner : Planner.config;
+  codegen : Kernel.config;
+  host_overhead_us : float;
+  run_graph_passes : bool;
+}
+
+val default_options : options
+
+type compiled = {
+  exe : Executable.t;
+  plan : Fusion.Cluster.plan;
+  pass_stats : Ir.Passes.stats;
+  compile_time_ms : float;  (** simulated one-off compilation cost *)
+}
+
+val simulated_compile_time_ms : num_insts:int -> num_kernels:int -> float
+(** The compilation-latency model (per-kernel codegen + per-instruction
+    pass time); paid once per model, never per shape. *)
+
+val compile : ?options:options -> Graph.t -> compiled
+(** Runs cleanup passes (mutating the graph), verifies, plans fusion and
+    builds the executable. @raise Graph.Type_error on invalid graphs. *)
+
+val run :
+  ?device:Gpusim.Device.t ->
+  compiled ->
+  Tensor.Nd.t list ->
+  Tensor.Nd.t list * Runtime.Profile.t
+
+val latency_us : ?device:Gpusim.Device.t -> compiled -> Tensor.Nd.t list -> float
+
+val binding_of_dims : Graph.t -> (Symshape.Sym.dim * int) list -> Symshape.Table.binding
+
+val simulate :
+  ?device:Gpusim.Device.t ->
+  compiled ->
+  (Symshape.Sym.dim * int) list ->
+  Runtime.Profile.t
+(** Cost-only execution at given dynamic-dim values — no tensor data. *)
+
+val simulated_latency_us :
+  ?device:Gpusim.Device.t -> compiled -> (Symshape.Sym.dim * int) list -> float

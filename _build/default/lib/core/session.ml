@@ -1,0 +1,70 @@
+(* Serving-session API: compile a model once, answer requests at
+   arbitrary shapes, and keep latency statistics — the deployment
+   wrapper a BladeDISC user actually runs behind an endpoint. *)
+
+module Common = Models.Common
+module Profile = Runtime.Profile
+
+type t = {
+  built : Common.built;
+  compiled : Compiler.compiled;
+  device : Gpusim.Device.t;
+  mutable latencies_us : float list; (* reverse chronological *)
+  mutable requests : int;
+}
+
+type stats = {
+  requests : int;
+  compile_ms : float;
+  mean_us : float;
+  p50_us : float;
+  p95_us : float;
+  p99_us : float;
+  max_us : float;
+}
+
+let create ?(options = Compiler.default_options) ?(device = Gpusim.Device.a10)
+    (built : Common.built) : t =
+  let compiled = Compiler.compile ~options built.Common.graph in
+  { built; compiled; device; latencies_us = []; requests = 0 }
+
+let record t lat =
+  t.latencies_us <- lat :: t.latencies_us;
+  t.requests <- t.requests + 1
+
+(* Cost-only request at named dynamic-dim values. *)
+let serve (t : t) (env : (string * int) list) : Profile.t =
+  let dims = List.map (fun (n, v) -> (Common.dim_exn t.built n, v)) env in
+  let profile = Compiler.simulate ~device:t.device t.compiled dims in
+  record t (Profile.total_us profile);
+  profile
+
+(* Data-plane request on real tensors. *)
+let serve_data (t : t) (inputs : Tensor.Nd.t list) : Tensor.Nd.t list * Profile.t =
+  let outs, profile = Compiler.run ~device:t.device t.compiled inputs in
+  record t (Profile.total_us profile);
+  (outs, profile)
+
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> 0.0
+  | n -> sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+let stats (t : t) : stats =
+  let arr = Array.of_list t.latencies_us in
+  Array.sort compare arr;
+  let total = Array.fold_left ( +. ) 0.0 arr in
+  {
+    requests = t.requests;
+    compile_ms = t.compiled.Compiler.compile_time_ms;
+    mean_us = (if t.requests = 0 then 0.0 else total /. float_of_int t.requests);
+    p50_us = percentile arr 0.5;
+    p95_us = percentile arr 0.95;
+    p99_us = percentile arr 0.99;
+    max_us = (if Array.length arr = 0 then 0.0 else arr.(Array.length arr - 1));
+  }
+
+let stats_to_string (s : stats) =
+  Printf.sprintf
+    "requests=%d compile=%.1fs mean=%.0fus p50=%.0fus p95=%.0fus p99=%.0fus max=%.0fus"
+    s.requests (s.compile_ms /. 1000.0) s.mean_us s.p50_us s.p95_us s.p99_us s.max_us

@@ -1,0 +1,28 @@
+(** Serving sessions: compile a model once, answer requests at arbitrary
+    dynamic shapes, and track latency percentiles. *)
+
+type t
+
+type stats = {
+  requests : int;
+  compile_ms : float;  (** the single up-front compilation *)
+  mean_us : float;
+  p50_us : float;
+  p95_us : float;
+  p99_us : float;
+  max_us : float;
+}
+
+val create :
+  ?options:Compiler.options -> ?device:Gpusim.Device.t -> Models.Common.built -> t
+(** Compiles immediately; every later request reuses the artifact. *)
+
+val serve : t -> (string * int) list -> Runtime.Profile.t
+(** Cost-only request at named dynamic-dim values
+    (e.g. [\[("batch", 4); ("seq", 73)\]]). *)
+
+val serve_data : t -> Tensor.Nd.t list -> Tensor.Nd.t list * Runtime.Profile.t
+(** Data-plane request on real tensors. *)
+
+val stats : t -> stats
+val stats_to_string : stats -> string

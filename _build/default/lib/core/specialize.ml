@@ -1,0 +1,75 @@
+(* Hot-shape specialization: BladeDISC's hybrid static/dynamic mode.
+
+   Next to the shape-generic artifact, compile fully static variants
+   for a few hot shape signatures (by default, the cartesian product of
+   the dims' likely values). A request whose signature matches a hot
+   shape runs the static variant — on which every fusion decision and
+   speculation guard resolved at compile time — and anything else falls
+   back to the generic artifact. Unlike a bucketing compiler, a miss
+   never stalls: the generic artifact always works. *)
+
+module Common = Models.Common
+module Sym = Symshape.Sym
+module Table = Symshape.Table
+module Graph = Ir.Graph
+
+type t = {
+  built : Common.built;
+  generic : Compiler.compiled;
+  hot : ((string * int) list * Compiler.compiled) list; (* sorted envs *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let norm env = List.sort compare env
+
+(* Default hot set: cartesian product of each dim's likely values
+   (capped to avoid explosion). *)
+let default_hot_envs (built : Common.built) : (string * int) list list =
+  let tab = Graph.symtab built.Common.graph in
+  let axes =
+    List.map
+      (fun (name, d) ->
+        let vs = Table.likely_values tab d in
+        (name, if vs = [] then [ Table.lower_bound tab d ] else vs))
+      built.Common.dims
+  in
+  let product =
+    List.fold_left
+      (fun acc (name, vs) ->
+        List.concat_map (fun env -> List.map (fun v -> (name, v) :: env) vs) acc)
+      [ [] ] axes
+  in
+  List.filteri (fun i _ -> i < 16) (List.map List.rev product)
+
+let create ?(options = Compiler.default_options) ?hot_envs (built : Common.built) : t =
+  let envs = Option.value hot_envs ~default:(default_hot_envs built) in
+  let generic = Compiler.compile ~options built.Common.graph in
+  let hot =
+    List.map
+      (fun env ->
+        let bind =
+          List.map (fun (name, v) -> (Common.dim_exn built name, v)) env
+        in
+        let static_g = Ir.Clone.clone ~bind built.Common.graph in
+        (norm env, Compiler.compile ~options static_g))
+      envs
+  in
+  { built; generic; hot; hits = 0; misses = 0 }
+
+let total_compile_ms (t : t) =
+  t.generic.Compiler.compile_time_ms
+  +. List.fold_left (fun acc (_, c) -> acc +. c.Compiler.compile_time_ms) 0.0 t.hot
+
+(* Cost-only request: exact signature match uses the static variant. *)
+let serve ?(device = Gpusim.Device.a10) (t : t) (env : (string * int) list) :
+    Runtime.Profile.t * [ `Hot | `Generic ] =
+  match List.assoc_opt (norm env) t.hot with
+  | Some c ->
+      t.hits <- t.hits + 1;
+      (* the static variant has no dynamic dims left to bind *)
+      (Compiler.simulate ~device c [], `Hot)
+  | None ->
+      t.misses <- t.misses + 1;
+      let dims = List.map (fun (n, v) -> (Common.dim_exn t.built n, v)) env in
+      (Compiler.simulate ~device t.generic dims, `Generic)

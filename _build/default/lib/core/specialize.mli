@@ -1,0 +1,29 @@
+(** Hot-shape specialization (hybrid static/dynamic deployment): static
+    variants compiled for hot shape signatures next to the always-valid
+    shape-generic artifact. A signature miss falls back to the generic
+    artifact — never a recompile stall. *)
+
+type t = {
+  built : Models.Common.built;
+  generic : Compiler.compiled;
+  hot : ((string * int) list * Compiler.compiled) list;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+val default_hot_envs : Models.Common.built -> (string * int) list list
+(** Cartesian product of the dims' likely values (capped at 16). *)
+
+val create :
+  ?options:Compiler.options ->
+  ?hot_envs:(string * int) list list ->
+  Models.Common.built ->
+  t
+
+val total_compile_ms : t -> float
+
+val serve :
+  ?device:Gpusim.Device.t ->
+  t ->
+  (string * int) list ->
+  Runtime.Profile.t * [ `Hot | `Generic ]

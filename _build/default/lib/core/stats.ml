@@ -1,0 +1,63 @@
+(* Shape-constraint coverage statistics (experiment E8): how much does
+   the symbolic representation actually prove about a model's shapes? *)
+
+module Graph = Ir.Graph
+module Sym = Symshape.Sym
+module Table = Symshape.Table
+
+type t = {
+  num_insts : int;
+  num_symbols : int; (* symbols ever created *)
+  num_classes : int; (* distinct equality classes among dynamic dims *)
+  num_product_facts : int;
+  dynamic_dim_slots : int; (* symbolic dims appearing in inst shapes *)
+  proven_equal_pairs : int; (* pairs of distinct dim slots proven equal *)
+  total_pairs_sampled : int;
+}
+
+let coverage (g : Graph.t) : t =
+  let tab = Graph.symtab g in
+  (* collect the dynamic dims appearing in instruction shapes *)
+  let slots = ref [] in
+  Graph.iter g (fun i ->
+      Array.iter
+        (fun d -> match Table.resolve tab d with Sym.Sym _ -> slots := d :: !slots | _ -> ())
+        i.shape);
+  let slots = Array.of_list !slots in
+  let n = Array.length slots in
+  (* distinct classes among the slots *)
+  let class_reps = Hashtbl.create 16 in
+  Array.iter
+    (fun d ->
+      match Table.resolve tab d with
+      | Sym.Sym root -> Hashtbl.replace class_reps root ()
+      | Sym.Static _ -> ())
+    slots;
+  (* sample dim-slot pairs for equality coverage (cap the quadratic) *)
+  let sampled = ref 0 and equal = ref 0 in
+  let stride = max 1 (n / 128) in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref (!i + stride) in
+    while !j < n do
+      incr sampled;
+      if Table.equal_dims tab slots.(!i) slots.(!j) then incr equal;
+      j := !j + stride
+    done;
+    i := !i + stride
+  done;
+  {
+    num_insts = Graph.num_insts g;
+    num_symbols = Table.num_symbols tab;
+    num_classes = Hashtbl.length class_reps;
+    num_product_facts = Table.num_product_facts tab;
+    dynamic_dim_slots = n;
+    proven_equal_pairs = !equal;
+    total_pairs_sampled = !sampled;
+  }
+
+let to_string s =
+  Printf.sprintf
+    "insts=%d symbols=%d classes=%d product_facts=%d dyn_slots=%d equal_pairs=%d/%d"
+    s.num_insts s.num_symbols s.num_classes s.num_product_facts s.dynamic_dim_slots
+    s.proven_equal_pairs s.total_pairs_sampled

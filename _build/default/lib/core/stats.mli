@@ -1,0 +1,15 @@
+(** Shape-constraint coverage statistics (experiment E8): how much the
+    symbolic representation proves about a model's shapes. *)
+
+type t = {
+  num_insts : int;
+  num_symbols : int;
+  num_classes : int;  (** distinct equality classes among dynamic dims *)
+  num_product_facts : int;
+  dynamic_dim_slots : int;  (** symbolic dims appearing in inst shapes *)
+  proven_equal_pairs : int;  (** sampled dim-slot pairs proven equal *)
+  total_pairs_sampled : int;
+}
+
+val coverage : Ir.Graph.t -> t
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/fusion/cluster.ml: Buffer Hashtbl List Printf String Symshape

@@ -1,0 +1,1 @@
+lib/fusion/cluster.mli: Hashtbl Symshape

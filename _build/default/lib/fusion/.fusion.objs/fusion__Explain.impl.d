@@ -1,0 +1,1 @@
+lib/fusion/explain.ml: Array Cluster Hashtbl Ir List Planner Printf Symshape Tensor

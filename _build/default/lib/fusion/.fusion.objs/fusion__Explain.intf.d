@@ -1,0 +1,1 @@
+lib/fusion/explain.mli: Cluster Ir Planner

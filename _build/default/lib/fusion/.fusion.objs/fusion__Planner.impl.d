@@ -1,0 +1,1 @@
+lib/fusion/planner.ml: Array Cluster Hashtbl Ir List Option Stdlib Symshape Tensor

@@ -1,0 +1,1 @@
+lib/fusion/planner.mli: Cluster Ir Symshape

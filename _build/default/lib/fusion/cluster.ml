@@ -1,0 +1,51 @@
+(* Fusion clusters: the unit of kernel generation. *)
+
+type kind =
+  | Single (* one unfused op: its own kernel *)
+  | Library (* dot / conv2d: dispatched to a library kernel *)
+  | Loop (* kLoop: fused elementwise/shape ops over one loop domain *)
+  | Input (* kInput: elementwise producers fused into a rooted reduce *)
+  | Stitch (* kStitch: several loop/reduce stages relayed via shared memory *)
+  | Horizontal (* independent kLoop kernels packed into one launch *)
+
+let kind_to_string = function
+  | Single -> "single"
+  | Library -> "library"
+  | Loop -> "kLoop"
+  | Input -> "kInput"
+  | Stitch -> "kStitch"
+  | Horizontal -> "kHorizontal"
+
+type t = {
+  cid : int;
+  kind : kind;
+  members : int list; (* instruction ids, topological order *)
+  inputs : int list; (* external values read by the cluster *)
+  outputs : int list; (* member values visible outside the cluster *)
+  domain : Symshape.Sym.shape; (* the kernel's loop domain *)
+}
+
+type plan = {
+  clusters : t list; (* topological order of roots *)
+  cluster_of : (int, int) Hashtbl.t; (* inst id -> cid *)
+}
+
+let num_kernels plan =
+  (* constants and parameters do not launch kernels *)
+  List.length plan.clusters
+
+let count_kind plan k = List.length (List.filter (fun c -> c.kind = k) plan.clusters)
+
+let to_string plan =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun c ->
+      Buffer.add_string buf
+        (Printf.sprintf "cluster %d [%s] domain=%s members={%s} inputs={%s} outputs={%s}\n"
+           c.cid (kind_to_string c.kind)
+           (Symshape.Sym.to_string c.domain)
+           (String.concat "," (List.map string_of_int c.members))
+           (String.concat "," (List.map string_of_int c.inputs))
+           (String.concat "," (List.map string_of_int c.outputs))))
+    plan.clusters;
+  Buffer.contents buf

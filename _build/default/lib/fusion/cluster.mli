@@ -1,0 +1,29 @@
+(** Fusion clusters — each cluster becomes exactly one device kernel. *)
+
+type kind =
+  | Single  (** one unfused (but fusable-class) op *)
+  | Library  (** dot / conv2d, dispatched to a library kernel *)
+  | Loop  (** kLoop: fused elementwise/shape ops over one loop domain *)
+  | Input  (** kInput: elementwise producers fused into a rooted reduce *)
+  | Stitch  (** kStitch: loop/reduce stages relayed through shared memory *)
+  | Horizontal  (** independent kLoop kernels packed into one launch (extension) *)
+
+val kind_to_string : kind -> string
+
+type t = {
+  cid : int;
+  kind : kind;
+  members : int list;  (** instruction ids, topological order *)
+  inputs : int list;  (** external values the kernel reads *)
+  outputs : int list;  (** member values visible outside the kernel *)
+  domain : Symshape.Sym.shape;  (** the kernel's loop domain *)
+}
+
+type plan = {
+  clusters : t list;
+  cluster_of : (int, int) Hashtbl.t;
+}
+
+val num_kernels : plan -> int
+val count_kind : plan -> kind -> int
+val to_string : plan -> string

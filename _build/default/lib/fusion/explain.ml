@@ -1,0 +1,132 @@
+(* Fusion explainability: given a plan, answer "why are instructions a
+   and b in different kernels?" with the first planner rule that blocks
+   the merge. Surfaced through `discc explain` and used in tests to pin
+   down planner behaviour. *)
+
+module Sym = Symshape.Sym
+module Table = Symshape.Table
+module Graph = Ir.Graph
+module Op = Ir.Op
+
+type verdict =
+  | Fused (* already in the same cluster *)
+  | Producer_not_fusable of string (* library/opaque op *)
+  | Consumer_not_fusable of string
+  | Reduce_in_producer (* kLoop rule: producer cluster carries a reduce *)
+  | Domain_mismatch of string * string (* loop domains not provably numel-equal *)
+  | Stitch_row_unbounded (* no upper bound to prove shared-memory fit *)
+  | Stitch_row_too_large of int * int (* bytes needed vs budget *)
+  | Not_adjacent (* no producer/consumer edge between the clusters *)
+  | Would_create_cycle
+
+let verdict_to_string = function
+  | Fused -> "already fused into the same kernel"
+  | Producer_not_fusable op -> Printf.sprintf "producer is not fusable (%s)" op
+  | Consumer_not_fusable op -> Printf.sprintf "consumer is not fusable (%s)" op
+  | Reduce_in_producer ->
+      "producer cluster contains a reduce: only kStitch can merge across it"
+  | Domain_mismatch (a, b) ->
+      Printf.sprintf
+        "loop domains %s and %s are not provably numel-equal under the shape constraints" a b
+  | Stitch_row_unbounded ->
+      "the reduced row has no upper bound, so the shared-memory fit cannot be proven \
+       (add a range constraint to the dim)"
+  | Stitch_row_too_large (need, budget) ->
+      Printf.sprintf "the reduced row needs %d bytes of shared memory; budget is %d" need budget
+  | Not_adjacent -> "the clusters are not producer/consumer adjacent"
+  | Would_create_cycle -> "merging would create a cycle through a third kernel"
+
+(* Explain the separation of the clusters containing [a] and [b] in a
+   finished plan. This re-applies the planner's checks declaratively. *)
+let explain ?(config = Planner.default_config) (g : Graph.t) (plan : Cluster.plan) ~(a : int)
+    ~(b : int) : verdict =
+  let tab = Graph.symtab g in
+  let cluster_of id = Hashtbl.find_opt plan.Cluster.cluster_of id in
+  match (cluster_of a, cluster_of b) with
+  | Some ca, Some cb when ca = cb -> Fused
+  | _ -> (
+      let find_cluster cid =
+        List.find (fun c -> c.Cluster.cid = cid) plan.Cluster.clusters
+      in
+      let ia = Graph.inst g a and ib = Graph.inst g b in
+      let class_name i = Op.to_string i.Graph.op in
+      let fusable i =
+        match Op.fusion_class i.Graph.op with
+        | Op.Elementwise | Op.Shape_manipulating | Op.Reduction -> true
+        | Op.Library | Op.Opaque -> false
+      in
+      if not (fusable ia) then Producer_not_fusable (class_name ia)
+      else if not (fusable ib) then Consumer_not_fusable (class_name ib)
+      else
+        match (cluster_of a, cluster_of b) with
+        | Some ca_id, Some cb_id -> (
+            let ca = find_cluster ca_id and cb = find_cluster cb_id in
+            (* adjacency: some member of one reads some member of the other *)
+            let feeds x y =
+              List.exists
+                (fun m ->
+                  List.exists
+                    (fun u -> List.mem u y.Cluster.members)
+                    (Graph.users g m))
+                x.Cluster.members
+            in
+            let producer, consumer =
+              if feeds ca cb then (ca, cb) else if feeds cb ca then (cb, ca) else (ca, ca)
+            in
+            if producer == consumer then Not_adjacent
+            else
+              let has_reduce c =
+                List.exists
+                  (fun m ->
+                    match (Graph.inst g m).Graph.op with Op.Reduce _ -> true | _ -> false)
+                  c.Cluster.members
+              in
+              let domains_eq =
+                Planner.numel_eq config tab producer.Cluster.domain consumer.Cluster.domain
+              in
+              if has_reduce producer then
+                (* a stitch would be needed; find the blocking condition *)
+                let rows_bounded =
+                  List.for_all
+                    (fun m ->
+                      match (Graph.inst g m).Graph.op with
+                      | Op.Reduce { dims; _ } -> (
+                          let input = Graph.inst g (Graph.inst g m).Graph.args.(0) in
+                          let row =
+                            Array.of_list (List.map (fun d -> input.Graph.shape.(d)) dims)
+                          in
+                          match Table.shape_upper_bound_numel tab row with
+                          | Some n ->
+                              n * Tensor.Dtype.byte_size input.Graph.dtype
+                              <= config.Planner.shared_mem_bytes
+                          | None -> false)
+                      | _ -> true)
+                    producer.Cluster.members
+                in
+                if not config.Planner.enable_stitch then Reduce_in_producer
+                else if rows_bounded then Would_create_cycle
+                else
+                  let need =
+                    List.fold_left
+                      (fun acc m ->
+                        match (Graph.inst g m).Graph.op with
+                        | Op.Reduce { dims; _ } -> (
+                            let input = Graph.inst g (Graph.inst g m).Graph.args.(0) in
+                            let row =
+                              Array.of_list (List.map (fun d -> input.Graph.shape.(d)) dims)
+                            in
+                            match Table.shape_upper_bound_numel tab row with
+                            | Some n -> max acc (n * Tensor.Dtype.byte_size input.Graph.dtype)
+                            | None -> acc)
+                        | _ -> acc)
+                      0 producer.Cluster.members
+                  in
+                  if need = 0 then Stitch_row_unbounded
+                  else if need > config.Planner.shared_mem_bytes then
+                    Stitch_row_too_large (need, config.Planner.shared_mem_bytes)
+                  else Would_create_cycle
+              else if not domains_eq then
+                Domain_mismatch
+                  (Sym.to_string producer.Cluster.domain, Sym.to_string consumer.Cluster.domain)
+              else Would_create_cycle)
+        | _ -> Not_adjacent)

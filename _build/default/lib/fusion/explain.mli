@@ -1,0 +1,19 @@
+(** Fusion explainability: why two instructions ended up in different
+    kernels. Re-applies the planner's rules declaratively and names the
+    first one that blocks the merge (`discc explain`). *)
+
+type verdict =
+  | Fused
+  | Producer_not_fusable of string
+  | Consumer_not_fusable of string
+  | Reduce_in_producer
+  | Domain_mismatch of string * string
+  | Stitch_row_unbounded
+  | Stitch_row_too_large of int * int  (** bytes needed, budget *)
+  | Not_adjacent
+  | Would_create_cycle
+
+val verdict_to_string : verdict -> string
+
+val explain :
+  ?config:Planner.config -> Ir.Graph.t -> Cluster.plan -> a:int -> b:int -> verdict

@@ -1,0 +1,33 @@
+(** Analytical roofline kernel cost model for the simulated device. *)
+
+type kernel_work = {
+  bytes_read : int;
+  bytes_written : int;
+  flops : float;
+  mem_efficiency : float;  (** fraction of peak bandwidth achieved *)
+  compute_efficiency : float;  (** fraction of peak FLOPS achieved *)
+  blocks : int;  (** launch grid size (occupancy input) *)
+  threads_per_block : int;
+  fp16_math : bool;  (** arithmetic at the fp16/tensor-core rate *)
+}
+
+val default_work : kernel_work
+
+val occupancy : Device.t -> kernel_work -> float
+(** In (0, 1]; sub-1 when the grid cannot fill the device. *)
+
+val mem_time_us : Device.t -> kernel_work -> float
+val compute_time_us : Device.t -> kernel_work -> float
+
+val body_time_us : Device.t -> kernel_work -> float
+(** Kernel body time (roofline / occupancy + fixed tail), no dispatch. *)
+
+val kernel_time_us : Device.t -> kernel_work -> float
+(** [kernel_launch_us + body_time_us]. *)
+
+val gemm_work : batch:int -> m:int -> n:int -> k:int -> elem_bytes:int -> kernel_work
+(** Batched GEMM work descriptor with cuBLAS-style tile-utilization
+    efficiency (skinny/small problems run far below peak). *)
+
+val conv2d_work :
+  out_numel:int -> kh:int -> kw:int -> cin:int -> in_bytes:int -> out_bytes:int -> kernel_work

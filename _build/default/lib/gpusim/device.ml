@@ -1,0 +1,71 @@
+(* Analytical GPU device profiles. Numbers are public datasheet values
+   for the two boards the paper evaluates on; latencies are typical
+   figures for CUDA kernel dispatch. The evaluation only relies on
+   *relative* behaviour, so the profiles need to be plausible, not
+   cycle-exact. *)
+
+type t = {
+  name : string;
+  sm_count : int;
+  fp32_tflops : float; (* peak fp32 throughput *)
+  fp16_tflops : float;
+  mem_bandwidth_gbs : float; (* HBM/GDDR bandwidth, GB/s *)
+  kernel_launch_us : float; (* host->device kernel dispatch latency *)
+  kernel_tail_us : float; (* fixed per-kernel ramp/drain cost *)
+  shared_mem_per_block : int; (* bytes usable for kStitch relays *)
+  l2_bytes : int;
+  memory_bytes : int; (* device memory capacity *)
+}
+
+let a10 =
+  {
+    name = "A10";
+    sm_count = 72;
+    fp32_tflops = 31.2;
+    fp16_tflops = 125.0;
+    mem_bandwidth_gbs = 600.0;
+    kernel_launch_us = 3.5;
+    kernel_tail_us = 1.2;
+    shared_mem_per_block = 48 * 1024;
+    l2_bytes = 6 * 1024 * 1024;
+    memory_bytes = 24 * 1024 * 1024 * 1024;
+  }
+
+let t4 =
+  {
+    name = "T4";
+    sm_count = 40;
+    fp32_tflops = 8.1;
+    fp16_tflops = 65.0;
+    mem_bandwidth_gbs = 320.0;
+    kernel_launch_us = 3.5;
+    kernel_tail_us = 1.5;
+    shared_mem_per_block = 48 * 1024;
+    l2_bytes = 4 * 1024 * 1024;
+    memory_bytes = 16 * 1024 * 1024 * 1024;
+  }
+
+(* CPU deployment target (the paper also evaluates x86 inference).
+   "SMs" are cores; "blocks" are parallel loop chunks; kernel dispatch
+   is a function call, so launch latency is tiny but per-core throughput
+   is far below a GPU's. Shared memory maps to per-core L2 (stitch
+   fusion = cache-resident stage pipelining). *)
+let xeon =
+  {
+    name = "Xeon-8375C";
+    sm_count = 32;
+    fp32_tflops = 2.4;
+    fp16_tflops = 4.8;
+    mem_bandwidth_gbs = 140.0;
+    kernel_launch_us = 0.4;
+    kernel_tail_us = 0.3;
+    shared_mem_per_block = 1024 * 1024;
+    l2_bytes = 48 * 1024 * 1024;
+    memory_bytes = 256 * 1024 * 1024 * 1024;
+  }
+
+let by_name = function
+  | "A10" | "a10" -> Some a10
+  | "T4" | "t4" -> Some t4
+  | "CPU" | "cpu" | "xeon" -> Some xeon
+  | _ -> None

@@ -1,0 +1,24 @@
+(** Simulated GPU device profiles (the paper's A10 and T4 testbeds). *)
+
+type t = {
+  name : string;
+  sm_count : int;
+  fp32_tflops : float;
+  fp16_tflops : float;
+  mem_bandwidth_gbs : float;
+  kernel_launch_us : float;
+  kernel_tail_us : float;
+  shared_mem_per_block : int;
+  l2_bytes : int;
+  memory_bytes : int;
+}
+
+val a10 : t
+
+val t4 : t
+
+val xeon : t
+(** CPU deployment target: cores as "SMs", function-call dispatch,
+    L2-resident stitch stages. *)
+
+val by_name : string -> t option

@@ -1,0 +1,1 @@
+lib/ir/clone.ml: Array Graph Hashtbl List Op Printf Symshape

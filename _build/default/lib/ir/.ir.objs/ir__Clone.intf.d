@@ -1,0 +1,1 @@
+lib/ir/clone.mli: Graph Symshape

@@ -1,0 +1,1 @@
+lib/ir/graph.ml: Array Format List Op Option Symshape Tensor

@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Format Graph Hashtbl List Op Symshape Tensor

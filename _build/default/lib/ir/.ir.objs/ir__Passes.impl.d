@@ -1,0 +1,1 @@
+lib/ir/passes.ml: Array Graph Hashtbl Interp List Op Option Printf Symshape Tensor

@@ -1,0 +1,1 @@
+lib/ir/precision.ml: Graph Op Tensor

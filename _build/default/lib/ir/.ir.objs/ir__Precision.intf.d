@@ -1,0 +1,1 @@
+lib/ir/precision.mli: Graph

@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Array Buffer Format Graph Hashtbl List Op Printf String Symshape Tensor

@@ -1,0 +1,10 @@
+(** Graph cloning with optional dimension binding.
+
+    [clone ~bind g] rebuilds [g] into a fresh graph with a fresh symbol
+    table, substituting the listed symbolic dims with static values and
+    re-creating the remaining symbols (ranges and likely values copied).
+    Shapes and constraints are re-inferred during reconstruction. With
+    every dynamic dim bound, the clone is a fully static program — the
+    basis of hot-shape specialization. *)
+
+val clone : ?bind:(Symshape.Sym.dim * int) list -> Graph.t -> Graph.t

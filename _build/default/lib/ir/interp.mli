@@ -1,0 +1,22 @@
+(** Reference interpreter: op-by-op evaluation on {!Tensor.Nd.t} using
+    the {!Tensor.Ops_ref} semantics. This is the semantic ground truth
+    that compiled executables are tested against, and the data plane of
+    the op-by-op baseline executors. *)
+
+exception Eval_error of string
+
+val eval_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val bind_inputs : Graph.t -> Tensor.Nd.t list -> Symshape.Table.binding
+(** Bind all parameter shapes, giving concrete values to every input
+    symbol. @raise Eval_error on arity mismatch,
+    [Symshape.Table.Inconsistent] on contradictory shapes. *)
+
+val eval_inst :
+  Graph.t -> Symshape.Table.binding -> (int -> Tensor.Nd.t) -> Graph.inst -> Tensor.Nd.t
+(** Evaluate one (non-parameter) instruction given a lookup for its
+    argument values. *)
+
+val run : Graph.t -> Tensor.Nd.t list -> Tensor.Nd.t list
+(** Evaluate the whole graph on the given parameter values and return
+    the outputs. *)

@@ -1,0 +1,15 @@
+(** Parser for the textual graph dialect emitted by
+    [Printer.to_string ~with_symbols:true] — round-trips programs and
+    lets users hand-write graphs for [discc compile-file].
+
+    On reconstruction, shapes are re-inferred instruction by
+    instruction; textual shape annotations are merged with the inferred
+    shapes (attaching the text's symbol names to real symbols) and
+    conflicts are rejected. Constants truncated by the printer (more
+    than 16 elements) cannot round-trip and fail with a clear error. *)
+
+exception Parse_error of string
+
+val parse : string -> Graph.t
+(** @raise Parse_error on malformed input, [Graph.Type_error] if the
+    reconstructed program fails verification. *)

@@ -1,0 +1,38 @@
+(** Graph-level optimization passes. All rewrites preserve semantics and
+    the graph's topological id order (verified by tests).
+
+    The headline dynamic-shape rewrite lives in {!simplify}: a broadcast
+    or reshape whose operand {e provably} already has the target shape —
+    provable only through the symbolic constraint table — collapses to a
+    no-op. A value-based compiler cannot perform it. *)
+
+type stats = {
+  mutable simplified : int;
+  mutable cse_removed : int;
+  mutable dce_removed : int;
+}
+
+val empty_stats : unit -> stats
+val stats_to_string : stats -> string
+
+val dce : ?stats:stats -> Graph.t -> stats
+(** Remove instructions unreachable from the outputs (parameters are
+    always kept). *)
+
+val cse : ?stats:stats -> Graph.t -> stats
+(** Deduplicate structurally identical instructions (run {!dce} after to
+    delete the husks). *)
+
+val simplify : ?stats:stats -> Graph.t -> stats
+(** Algebraic identities (x+0, x·1, …), cast/transpose/slice/pad
+    identities, transpose and broadcast composition, reshape-chain
+    collapsing, and the shape-constraint-driven broadcast/reshape
+    elimination. Iterates to a bounded fixpoint. *)
+
+val fold_constants : ?stats:stats -> ?max_elements:int -> Graph.t -> stats
+(** Evaluate constant subgraphs with static shapes into literal
+    constants (bounded by [max_elements] per result). *)
+
+val run_all : Graph.t -> stats
+(** The canonical cleanup pipeline run before fusion:
+    fold_constants; simplify; cse; dce. *)

@@ -1,0 +1,9 @@
+(** Half-precision inference mode: convert a graph's f32 values to f16
+    in place (mixed-precision deployment, as BladeDISC supports).
+
+    Numerics on the simulated data plane are unchanged (fp16 tensor
+    cores accumulate in fp32); the cost model sees halved element bytes
+    and the device's fp16 throughput for library kernels. *)
+
+val to_f16 : Graph.t -> int
+(** Returns the number of converted instructions. *)

@@ -1,0 +1,73 @@
+(* Textual dump of graphs, one instruction per line:
+     %id : f32[s0x128] = op(args)  *)
+
+(* Constants are rendered in full (unlike the human-oriented Nd.pp,
+   which truncates) so that Parser.parse can round-trip them. *)
+let constant_to_string nd =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf
+    (Printf.sprintf "constant(%s%s{"
+       (Tensor.Dtype.to_string (Tensor.Nd.dtype nd))
+       (Tensor.Shape.to_string (Tensor.Nd.shape nd)));
+  for k = 0 to Tensor.Nd.numel nd - 1 do
+    if k > 0 then Buffer.add_string buf ", ";
+    Buffer.add_string buf (Printf.sprintf "%.17g" (Tensor.Nd.get_linear nd k))
+  done;
+  Buffer.add_string buf "})";
+  Buffer.contents buf
+
+let inst_to_string (i : Graph.inst) =
+  let args =
+    String.concat ", " (List.map (fun a -> "%" ^ string_of_int a) (Array.to_list i.args))
+  in
+  let op_str =
+    match i.op with Op.Constant nd -> constant_to_string nd | op -> Op.to_string op
+  in
+  Printf.sprintf "%%%d : %s%s = %s(%s)" i.id
+    (Tensor.Dtype.to_string i.dtype)
+    (Symshape.Sym.to_string i.shape)
+    op_str args
+
+(* "sym s0 lb=1 ub=512 likely=64,128" header lines describing the root
+   symbols that appear in instruction shapes (so parsed graphs recover
+   their distribution constraints). *)
+let symbol_headers (g : Graph.t) =
+  let tab = Graph.symtab g in
+  let seen = Hashtbl.create 8 in
+  let buf = Buffer.create 128 in
+  Graph.iter g (fun i ->
+      Array.iter
+        (fun d ->
+          match Symshape.Table.resolve tab d with
+          | Symshape.Sym.Sym root when not (Hashtbl.mem seen root) ->
+              Hashtbl.add seen root ();
+              let lb = Symshape.Table.lower_bound tab d in
+              let ub = Symshape.Table.upper_bound tab d in
+              let likely = Symshape.Table.likely_values tab d in
+              Buffer.add_string buf (Printf.sprintf "  sym s%d lb=%d" root lb);
+              (match ub with
+              | Some u -> Buffer.add_string buf (Printf.sprintf " ub=%d" u)
+              | None -> ());
+              if likely <> [] then
+                Buffer.add_string buf
+                  (" likely=" ^ String.concat "," (List.map string_of_int likely));
+              Buffer.add_char buf '\n'
+          | _ -> ())
+        i.shape);
+  Buffer.contents buf
+
+let to_string ?(with_symbols = false) (g : Graph.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "graph {\n";
+  if with_symbols then Buffer.add_string buf (symbol_headers g);
+  Graph.iter g (fun i ->
+      Buffer.add_string buf "  ";
+      Buffer.add_string buf (inst_to_string i);
+      Buffer.add_char buf '\n');
+  Buffer.add_string buf
+    ("  return "
+    ^ String.concat ", " (List.map (fun o -> "%" ^ string_of_int o) (Graph.outputs g))
+    ^ "\n}\n");
+  Buffer.contents buf
+
+let pp fmt g = Format.pp_print_string fmt (to_string ~with_symbols:false g)

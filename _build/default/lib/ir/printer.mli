@@ -1,0 +1,13 @@
+(** Textual form of graphs: one instruction per line,
+    [%id : dtype\[shape\] = op(attrs)(args)]. With [~with_symbols], the
+    header also lists the root symbols' distribution constraints
+    ([sym s0 lb=1 ub=512 likely=64,128]) so that {!Parser.parse} can
+    round-trip the full program. *)
+
+val inst_to_string : Graph.inst -> string
+
+val symbol_headers : Graph.t -> string
+
+val to_string : ?with_symbols:bool -> Graph.t -> string
+
+val pp : Format.formatter -> Graph.t -> unit

@@ -1,0 +1,1 @@
+lib/models/asr.ml: Array Common Ir Printf Symshape Tensor

@@ -1,0 +1,1 @@
+lib/models/asr.mli: Common

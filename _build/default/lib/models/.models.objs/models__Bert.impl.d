@@ -1,0 +1,1 @@
+lib/models/bert.ml: Common Ir Printf Symshape Tensor

@@ -1,0 +1,1 @@
+lib/models/bert.mli: Common

@@ -1,0 +1,1 @@
+lib/models/common.ml: Array Float Int64 Ir List Option Printf Symshape Tensor

@@ -1,0 +1,1 @@
+lib/models/common.mli: Ir Symshape Tensor

@@ -1,0 +1,1 @@
+lib/models/crnn.ml: Array Common Ir List Printf Symshape Tensor

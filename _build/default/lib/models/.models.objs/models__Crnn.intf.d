@@ -1,0 +1,1 @@
+lib/models/crnn.mli: Common

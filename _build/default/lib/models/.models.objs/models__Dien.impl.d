@@ -1,0 +1,1 @@
+lib/models/dien.ml: Common Ir List Printf Symshape Tensor

@@ -1,0 +1,1 @@
+lib/models/dien.mli: Common

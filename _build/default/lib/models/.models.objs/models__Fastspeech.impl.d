@@ -1,0 +1,1 @@
+lib/models/fastspeech.ml: Common Ir Printf Symshape Tensor

@@ -1,0 +1,1 @@
+lib/models/fastspeech.mli: Common

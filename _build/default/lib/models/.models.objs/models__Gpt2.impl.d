@@ -1,0 +1,1 @@
+lib/models/gpt2.ml: Common Ir Printf Symshape Tensor

@@ -1,0 +1,1 @@
+lib/models/gpt2.mli: Common

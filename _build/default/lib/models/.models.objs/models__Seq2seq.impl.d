@@ -1,0 +1,1 @@
+lib/models/seq2seq.ml: Common Ir Printf Symshape Tensor

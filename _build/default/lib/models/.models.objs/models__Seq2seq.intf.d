@@ -1,0 +1,1 @@
+lib/models/seq2seq.mli: Common

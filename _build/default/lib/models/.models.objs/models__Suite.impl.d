@@ -1,0 +1,1 @@
+lib/models/suite.ml: Asr Bert Common Crnn Dien Fastspeech Gpt2 List Printf Seq2seq T5 Vit

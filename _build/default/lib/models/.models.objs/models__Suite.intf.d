@@ -1,0 +1,1 @@
+lib/models/suite.mli: Common

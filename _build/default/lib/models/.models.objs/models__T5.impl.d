@@ -1,0 +1,1 @@
+lib/models/t5.ml: Common Ir Printf Symshape Tensor

@@ -1,0 +1,1 @@
+lib/models/vit.ml: Array Common Ir Printf Symshape Tensor

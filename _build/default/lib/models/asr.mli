@@ -1,0 +1,13 @@
+(** Conformer-lite ASR encoder: stride-2 convolutional subsampling over
+    a dynamic frame count, transformer stack on the (derived) subsampled
+    time axis, CTC-style per-frame softmax + greedy argmax decode. *)
+
+type config = { layers : int; hidden : int; heads : int; ffn : int; mel : int; vocab : int }
+
+val default : config
+(** paper scale *)
+
+val tiny : config
+(** structurally identical test scale *)
+
+val build : ?config:config -> unit -> Common.built

@@ -1,0 +1,12 @@
+(** BERT-base encoder (12 layers, hidden 768): dynamic batch and
+    sequence length. The flagship dynamic-shape workload. *)
+
+type config = { layers : int; hidden : int; heads : int; ffn : int; vocab : int; max_pos : int }
+
+val base : config
+(** paper scale *)
+
+val tiny : config
+(** structurally identical test scale *)
+
+val build : ?config:config -> unit -> Common.built

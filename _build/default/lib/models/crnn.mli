@@ -1,0 +1,13 @@
+(** CRNN-style OCR head: stride-2 conv stack over dynamic-width
+    images, then a per-timestep classifier. Output widths are derived
+    (affine) symbolic dims. *)
+
+type config = { channels : int list; charset : int; height : int }
+
+val default : config
+(** paper scale *)
+
+val tiny : config
+(** structurally identical test scale *)
+
+val build : ?config:config -> unit -> Common.built

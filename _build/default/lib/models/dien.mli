@@ -1,0 +1,13 @@
+(** DIEN-style CTR model: embeddings for a dynamic-length behaviour
+    history, target attention, sigmoid-gated MLP. Large batches, tiny
+    tensors: the overhead-dominated regime. *)
+
+type config = { items : int; cats : int; emb : int; mlp : int list }
+
+val default : config
+(** paper scale *)
+
+val tiny : config
+(** structurally identical test scale *)
+
+val build : ?config:config -> unit -> Common.built

@@ -1,0 +1,13 @@
+(** FastSpeech2-style TTS: encoder, length regulation (frame
+    count as an independent dynamic dim + gather map; see DESIGN.md
+    substitutions), decoder, mel head. *)
+
+type config = { layers : int; hidden : int; heads : int; ffn : int; phones : int; mel : int }
+
+val default : config
+(** paper scale *)
+
+val tiny : config
+(** structurally identical test scale *)
+
+val build : ?config:config -> unit -> Common.built

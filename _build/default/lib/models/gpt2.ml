@@ -1,0 +1,47 @@
+(* GPT-2-small-style causal decoder (prefill step): 12 layers, hidden
+   768. Dynamic batch and prompt length; the causal mask is computed
+   in-graph from iota, so it adapts to any sequence length. *)
+
+module Sym = Symshape.Sym
+module B = Ir.Builder
+module C = Common
+module Dtype = Tensor.Dtype
+
+type config = { layers : int; hidden : int; heads : int; ffn : int; vocab : int; max_pos : int }
+
+let small = { layers = 12; hidden = 768; heads = 12; ffn = 3072; vocab = 50257; max_pos = 1024 }
+let tiny = { layers = 2; hidden = 32; heads = 4; ffn = 64; vocab = 100; max_pos = 64 }
+
+let build ?(config = small) () : C.built =
+  let ctx = C.new_ctx () in
+  let g = ctx.C.g in
+  let batch = C.fresh_dim ~name:"batch" ~lb:1 ~ub:32 ~likely:[ 1; 4 ] ctx in
+  let seq = C.fresh_dim ~name:"seq" ~lb:1 ~ub:config.max_pos ~likely:[ 64; 256 ] ctx in
+  let ids = C.param ctx ~name:"input_ids" [| batch; seq |] Dtype.I32 (C.Ids config.vocab) in
+  let x =
+    C.embed ctx ~name:"emb" ids ~batch_dim:batch ~seq_dim:seq ~vocab:config.vocab
+      ~max_pos:config.max_pos ~hidden:config.hidden
+  in
+  (* causal additive bias: rows >= cols allowed, else -1e9 *)
+  let rows = B.iota g ~out:[| seq; seq |] ~dim:0 in
+  let cols = B.iota g ~out:[| seq; seq |] ~dim:1 in
+  let allowed = B.cmp g Ir.Op.Ge rows cols in
+  let bias2d = B.select g allowed (B.constf g 0.0) (B.constf g (-1e9)) in
+  let re = B.reshape g bias2d [| Sym.Static 1; Sym.Static 1; seq; seq |] in
+  let bias =
+    B.broadcast g re ~dims:[| 0; 1; 2; 3 |]
+      ~out:[| batch; Sym.Static config.heads; seq; seq |]
+  in
+  let rec stack x l =
+    if l >= config.layers then x
+    else
+      stack
+        (C.encoder_layer ctx
+           ~name:(Printf.sprintf "block%d" l)
+           x ~heads:config.heads ~hidden:config.hidden ~inner:config.ffn
+           ~mask_bias:(Some bias))
+        (l + 1)
+  in
+  let x = stack x 0 in
+  let x = C.layernorm ctx ~name:"ln_f" x ~hidden:config.hidden in
+  C.finish ctx ~name:"gpt2" ~dims:[ ("batch", batch); ("seq", seq) ] ~outputs:[ x ]

@@ -1,0 +1,12 @@
+(** Transformer-base encoder-decoder: dynamic batch plus two
+    independent dynamic lengths (source, target). *)
+
+type config = { layers : int; hidden : int; heads : int; ffn : int; vocab : int; max_pos : int }
+
+val base : config
+(** paper scale *)
+
+val tiny : config
+(** structurally identical test scale *)
+
+val build : ?config:config -> unit -> Common.built

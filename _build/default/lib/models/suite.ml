@@ -1,0 +1,151 @@
+(* The evaluation model suite: builders at paper scale (for the
+   cost-plane benchmarks) and structurally-identical tiny scale (for
+   data-plane correctness tests), plus the shape environments used by
+   the experiments. *)
+
+type entry = {
+  name : string;
+  description : string;
+  dynamism : string; (* what varies at runtime *)
+  build : unit -> Common.built; (* paper-scale *)
+  build_tiny : unit -> Common.built; (* test-scale, same structure *)
+  bench_dims : (string * int) list list; (* shape mix for end-to-end runs *)
+  tiny_dims : (string * int) list; (* a valid test-scale environment *)
+  sweep : string * int list; (* the dim swept in E3 and its values *)
+}
+
+let all : entry list =
+  [
+    {
+      name = "bert";
+      description = "BERT-base encoder, 12 layers, hidden 768";
+      dynamism = "batch, sequence length";
+      build = (fun () -> Bert.build ());
+      build_tiny = (fun () -> Bert.build ~config:Bert.tiny ());
+      bench_dims =
+        [
+          [ ("batch", 1); ("seq", 37) ];
+          [ ("batch", 4); ("seq", 73) ];
+          [ ("batch", 8); ("seq", 120) ];
+        ];
+      tiny_dims = [ ("batch", 2); ("seq", 5) ];
+      sweep = ("seq", [ 8; 16; 32; 64; 128; 256; 512 ]);
+    };
+    {
+      name = "gpt2";
+      description = "GPT-2-small causal decoder prefill, 12 layers";
+      dynamism = "batch, prompt length";
+      build = (fun () -> Gpt2.build ());
+      build_tiny = (fun () -> Gpt2.build ~config:Gpt2.tiny ());
+      bench_dims =
+        [
+          [ ("batch", 1); ("seq", 57) ];
+          [ ("batch", 4); ("seq", 199) ];
+        ];
+      tiny_dims = [ ("batch", 2); ("seq", 4) ];
+      sweep = ("seq", [ 16; 32; 64; 128; 256; 512; 1024 ]);
+    };
+    {
+      name = "seq2seq";
+      description = "Transformer-base encoder-decoder, 6+6 layers";
+      dynamism = "batch, source length, target length";
+      build = (fun () -> Seq2seq.build ());
+      build_tiny = (fun () -> Seq2seq.build ~config:Seq2seq.tiny ());
+      bench_dims =
+        [
+          [ ("batch", 1); ("src", 23); ("tgt", 19) ];
+          [ ("batch", 8); ("src", 45); ("tgt", 38) ];
+        ];
+      tiny_dims = [ ("batch", 2); ("src", 5); ("tgt", 4) ];
+      sweep = ("src", [ 8; 16; 32; 64; 128; 256 ]);
+    };
+    {
+      name = "t5";
+      description = "T5-small encoder with in-graph relative position bias";
+      dynamism = "batch, sequence length";
+      build = (fun () -> T5.build ());
+      build_tiny = (fun () -> T5.build ~config:T5.tiny ());
+      bench_dims =
+        [
+          [ ("batch", 1); ("seq", 29) ];
+          [ ("batch", 8); ("seq", 115) ];
+        ];
+      tiny_dims = [ ("batch", 2); ("seq", 5) ];
+      sweep = ("seq", [ 8; 16; 32; 64; 128; 256; 512 ]);
+    };
+    {
+      name = "crnn";
+      description = "CRNN OCR head: stride-2 conv stack + per-timestep classifier";
+      dynamism = "batch, image width";
+      build = (fun () -> Crnn.build ());
+      build_tiny = (fun () -> Crnn.build ~config:Crnn.tiny ());
+      bench_dims =
+        [
+          [ ("batch", 8); ("width", 100) ];
+          [ ("batch", 16); ("width", 160) ];
+        ];
+      tiny_dims = [ ("batch", 1); ("width", 32) ];
+      sweep = ("width", [ 32; 64; 100; 160; 256; 512 ]);
+    };
+    {
+      name = "fastspeech";
+      description = "FastSpeech2-style TTS with length regulation";
+      dynamism = "batch, phoneme count, frame count";
+      build = (fun () -> Fastspeech.build ());
+      build_tiny = (fun () -> Fastspeech.build ~config:Fastspeech.tiny ());
+      bench_dims =
+        [
+          [ ("batch", 1); ("phon", 47); ("frames", 393) ];
+          [ ("batch", 4); ("phon", 89); ("frames", 777) ];
+        ];
+      tiny_dims = [ ("batch", 1); ("phon", 4); ("frames", 6) ];
+      sweep = ("frames", [ 100; 200; 400; 800; 1600 ]);
+    };
+    {
+      name = "asr";
+      description = "Conformer-lite ASR encoder: conv subsampling + transformer + CTC";
+      dynamism = "batch, audio frame count";
+      build = (fun () -> Asr.build ());
+      build_tiny = (fun () -> Asr.build ~config:Asr.tiny ());
+      bench_dims =
+        [
+          [ ("batch", 1); ("frames", 487) ];
+          [ ("batch", 8); ("frames", 1213) ];
+        ];
+      tiny_dims = [ ("batch", 1); ("frames", 16) ];
+      sweep = ("frames", [ 100; 250; 500; 1000; 2000; 4000 ]);
+    };
+    {
+      name = "vit";
+      description = "ViT-S/16 vision transformer, dynamic image resolution";
+      dynamism = "batch, image height, image width";
+      build = (fun () -> Vit.build ());
+      build_tiny = (fun () -> Vit.build ~config:Vit.tiny ());
+      bench_dims =
+        [
+          [ ("batch", 1); ("h", 224); ("w", 224) ];
+          [ ("batch", 8); ("h", 176); ("w", 240) ];
+        ];
+      tiny_dims = [ ("batch", 1); ("h", 8); ("w", 12) ];
+      sweep = ("h", [ 32; 64; 128; 224; 320; 384 ]);
+    };
+    {
+      name = "dien";
+      description = "DIEN-style CTR model: embeddings + history attention + MLP";
+      dynamism = "batch, behaviour-history length";
+      build = (fun () -> Dien.build ());
+      build_tiny = (fun () -> Dien.build ~config:Dien.tiny ());
+      bench_dims =
+        [
+          [ ("batch", 128); ("hist", 17) ];
+          [ ("batch", 250); ("hist", 43) ];
+        ];
+      tiny_dims = [ ("batch", 3); ("hist", 4) ];
+      sweep = ("hist", [ 5; 10; 20; 50; 100 ]);
+    };
+  ]
+
+let find name =
+  match List.find_opt (fun e -> e.name = name) all with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "unknown model %s" name)

@@ -1,0 +1,18 @@
+(** The evaluation model suite: paper-scale and test-scale builders plus
+    the shape environments each experiment uses. *)
+
+type entry = {
+  name : string;
+  description : string;
+  dynamism : string;
+  build : unit -> Common.built;  (** paper scale *)
+  build_tiny : unit -> Common.built;  (** test scale, same structure *)
+  bench_dims : (string * int) list list;  (** E1 shape grid *)
+  tiny_dims : (string * int) list;
+  sweep : string * int list;  (** E3: swept dim and its values *)
+}
+
+val all : entry list
+
+val find : string -> entry
+(** @raise Invalid_argument on unknown model names. *)

@@ -1,0 +1,12 @@
+(** T5-small encoder with in-graph relative position bias
+    (iota distances, clipped bucketing, gather from a learned table). *)
+
+type config = { layers : int; hidden : int; heads : int; ffn : int; vocab : int; buckets : int }
+
+val small : config
+(** paper scale *)
+
+val tiny : config
+(** structurally identical test scale *)
+
+val build : ?config:config -> unit -> Common.built

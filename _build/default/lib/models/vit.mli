@@ -1,0 +1,14 @@
+(** ViT-S/16-style vision transformer with dynamic image resolution:
+    stride-16 patch conv (derived output extents), flatten-to-tokens
+    through a product fact (np = h'·w'), transformer stack, mean-pooled
+    classification head. *)
+
+type config = { layers : int; hidden : int; heads : int; ffn : int; patch : int; classes : int }
+
+val small : config
+(** paper scale *)
+
+val tiny : config
+(** structurally identical test scale *)
+
+val build : ?config:config -> unit -> Common.built

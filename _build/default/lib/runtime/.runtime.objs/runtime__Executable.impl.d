@@ -1,0 +1,1 @@
+lib/runtime/executable.ml: Codegen Fusion Gpusim Hashtbl Ir List Option Printf Profile Symshape Tensor

@@ -1,0 +1,1 @@
+lib/runtime/executable.mli: Codegen Fusion Gpusim Ir Profile Symshape Tensor

@@ -1,0 +1,1 @@
+lib/runtime/memplan.ml: Codegen Executable Fusion Hashtbl Ir List Option Printf Symshape Tensor

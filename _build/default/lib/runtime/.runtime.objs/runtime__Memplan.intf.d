@@ -1,0 +1,1 @@
+lib/runtime/memplan.mli: Executable Symshape

@@ -1,0 +1,183 @@
+(* The compiled artifact and its host-side execution loop (the paper's
+   runtime-abstraction-layer, RAL).
+
+   One compilation serves every runtime shape: executing binds the input
+   shapes to the symbol table, selects a speculative version and launch
+   dims per kernel, runs the data plane, and charges the analytical
+   device cost. Timing and numerics are independent: an optional
+   [cost_binding] lets baseline executors charge for padded shapes while
+   computing on the true ones. *)
+
+module Graph = Ir.Graph
+module Op = Ir.Op
+module Table = Symshape.Table
+module Cluster = Fusion.Cluster
+module Kernel = Codegen.Kernel
+module Nd = Tensor.Nd
+
+type item =
+  | Fused of Kernel.t
+  | Lib of Cluster.t
+
+type t = {
+  g : Graph.t;
+  plan : Cluster.plan;
+  items : item list; (* in cluster topological order *)
+  host_overhead_us : float; (* host cost per kernel dispatch *)
+}
+
+let compile ?(codegen = Kernel.default_config) ?(host_overhead_us = 0.3) (g : Graph.t)
+    (plan : Cluster.plan) : t =
+  let items =
+    List.map
+      (fun c ->
+        match c.Cluster.kind with
+        | Cluster.Library -> Lib c
+        | _ -> Fused (Kernel.build g codegen c))
+      plan.Cluster.clusters
+  in
+  { g; plan; items; host_overhead_us }
+
+let num_kernels e = List.length e.items
+
+(* Last cluster (by position) that reads each value; used to free
+   intermediate buffers and track peak memory. *)
+let last_use_positions (e : t) =
+  let last : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iteri
+    (fun pos item ->
+      let c = match item with Fused k -> k.Kernel.cluster | Lib c -> c in
+      List.iter (fun input -> Hashtbl.replace last input pos) c.Cluster.inputs)
+    e.items;
+  (* graph outputs live to the end *)
+  List.iter (fun o -> Hashtbl.replace last o max_int) (Graph.outputs e.g);
+  last
+
+(* Cost-only execution: walks the kernel schedule under a shape binding
+   without touching tensor data. This is what the benchmarks use, so
+   they can run at the paper's real model sizes; the data plane (below)
+   validates correctness at test-sized shapes. *)
+let simulate ?(device = Gpusim.Device.a10) ?(profile = Profile.create ())
+    ?(tune = fun (w : Gpusim.Cost.kernel_work) -> w) (e : t) (bnd : Table.binding) :
+    Profile.t =
+  let g = e.g in
+  let tab = Graph.symtab g in
+  let bytes_of id =
+    let i = Graph.inst g id in
+    Tensor.Shape.numel (Table.eval_shape tab bnd i.shape) * Tensor.Dtype.byte_size i.dtype
+  in
+  (* parameters and constants are resident *)
+  let resident = ref 0 in
+  List.iter (fun (pid, _) -> resident := !resident + bytes_of pid) (Graph.parameters g);
+  Graph.iter g (fun i ->
+      match i.op with Op.Constant _ -> resident := !resident + bytes_of i.id | _ -> ());
+  let last = last_use_positions e in
+  let live = ref !resident in
+  Profile.note_live_bytes profile !live;
+  List.iteri
+    (fun pos item ->
+      let c = match item with Fused k -> k.Kernel.cluster | Lib c -> c in
+      List.iter (fun o -> live := !live + bytes_of o) c.Cluster.outputs;
+      Profile.note_live_bytes profile !live;
+      let work, version_tag =
+        match item with
+        | Fused k ->
+            let launch = Kernel.launch_for g device bnd k in
+            (Kernel.work_of g bnd k launch, launch.Kernel.version.Kernel.tag)
+        | Lib c -> (Kernel.library_work g bnd c, "library")
+      in
+      let work = tune work in
+      let time_us = Gpusim.Cost.kernel_time_us device work in
+      Profile.add profile
+        ~kname:(Printf.sprintf "c%d" c.Cluster.cid)
+        ~kind:(Cluster.kind_to_string c.Cluster.kind)
+        ~version_tag ~time_us ~host_us:e.host_overhead_us
+        ~bytes:(work.Gpusim.Cost.bytes_read + work.Gpusim.Cost.bytes_written)
+        ~flops:work.Gpusim.Cost.flops;
+      List.iter
+        (fun input ->
+          match Hashtbl.find_opt last input with
+          | Some p when p <= pos -> (
+              match (Graph.inst g input).op with
+              | Op.Parameter _ | Op.Constant _ -> ()
+              | _ -> live := !live - bytes_of input)
+          | _ -> ())
+        c.Cluster.inputs)
+    e.items;
+  profile
+
+let run ?(device = Gpusim.Device.a10) ?cost_binding ?(profile = Profile.create ()) (e : t)
+    (inputs : Nd.t list) : Nd.t list * Profile.t =
+  let g = e.g in
+  let bnd = Ir.Interp.bind_inputs g inputs in
+  let cost_bnd = Option.value cost_binding ~default:bnd in
+  let values : (int, Nd.t) Hashtbl.t = Hashtbl.create 64 in
+  (* parameters and constants are resident before execution starts *)
+  let resident = ref 0 in
+  List.iter2
+    (fun (pid, _) nd ->
+      Hashtbl.replace values pid nd;
+      resident := !resident + Nd.byte_size nd)
+    (Graph.parameters g) inputs;
+  Graph.iter g (fun i ->
+      match i.op with
+      | Op.Constant nd ->
+          Hashtbl.replace values i.id nd;
+          resident := !resident + Nd.byte_size nd
+      | _ -> ());
+  let value_of id =
+    match Hashtbl.find_opt values id with
+    | Some v -> v
+    | None -> Ir.Interp.eval_error "value %%%d not materialized" id
+  in
+  let last = last_use_positions e in
+  let live = ref !resident in
+  Profile.note_live_bytes profile !live;
+  List.iteri
+    (fun pos item ->
+      let c = match item with Fused k -> k.Kernel.cluster | Lib c -> c in
+      (* run the kernel's data plane *)
+      let outs =
+        match item with
+        | Fused k -> Kernel.eval g bnd k value_of
+        | Lib c ->
+            List.map
+              (fun m -> (m, Ir.Interp.eval_inst g bnd value_of (Graph.inst g m)))
+              c.Cluster.members
+      in
+      List.iter
+        (fun (id, nd) ->
+          Hashtbl.replace values id nd;
+          live := !live + Nd.byte_size nd)
+        outs;
+      Profile.note_live_bytes profile !live;
+      (* charge simulated cost, possibly under a padded cost binding *)
+      let work, version_tag =
+        match item with
+        | Fused k ->
+            let launch = Kernel.launch_for g device cost_bnd k in
+            (Kernel.work_of g cost_bnd k launch, launch.Kernel.version.Kernel.tag)
+        | Lib c -> (Kernel.library_work g cost_bnd c, "library")
+      in
+      let time_us = Gpusim.Cost.kernel_time_us device work in
+      Profile.add profile
+        ~kname:(Printf.sprintf "c%d" c.Cluster.cid)
+        ~kind:(Cluster.kind_to_string c.Cluster.kind)
+        ~version_tag ~time_us ~host_us:e.host_overhead_us
+        ~bytes:(work.Gpusim.Cost.bytes_read + work.Gpusim.Cost.bytes_written)
+        ~flops:work.Gpusim.Cost.flops;
+      (* free intermediates whose last use has passed *)
+      List.iter
+        (fun input ->
+          match Hashtbl.find_opt last input with
+          | Some p when p <= pos -> (
+              match (Graph.inst g input).op with
+              | Op.Parameter _ | Op.Constant _ -> () (* resident *)
+              | _ -> (
+                  match Hashtbl.find_opt values input with
+                  | Some nd -> live := !live - Nd.byte_size nd
+                  | None -> ()))
+          | _ -> ())
+        c.Cluster.inputs)
+    e.items;
+  (List.map value_of (Graph.outputs g), profile)

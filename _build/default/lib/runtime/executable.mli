@@ -1,0 +1,50 @@
+(** The compiled artifact and its host-side execution loop — the paper's
+    runtime abstraction layer (RAL).
+
+    One compilation serves every runtime shape. Two execution paths over
+    the same kernel schedule:
+    - {!run}: the data plane — binds input shapes, evaluates kernels on
+      real tensors, and charges analytical device cost (optionally under
+      a different, e.g. padded, [cost_binding]);
+    - {!simulate}: cost only, from a shape binding, never touching data —
+      how the benchmarks run at paper scale. *)
+
+module Cluster = Fusion.Cluster
+module Kernel = Codegen.Kernel
+
+type item =
+  | Fused of Kernel.t
+  | Lib of Cluster.t
+
+type t = {
+  g : Ir.Graph.t;
+  plan : Cluster.plan;
+  items : item list;  (** cluster topological order *)
+  host_overhead_us : float;
+}
+
+val compile :
+  ?codegen:Kernel.config -> ?host_overhead_us:float -> Ir.Graph.t -> Cluster.plan -> t
+
+val num_kernels : t -> int
+
+val simulate :
+  ?device:Gpusim.Device.t ->
+  ?profile:Profile.t ->
+  ?tune:(Gpusim.Cost.kernel_work -> Gpusim.Cost.kernel_work) ->
+  t ->
+  Symshape.Table.binding ->
+  Profile.t
+(** Cost-only execution under a shape binding. [tune] lets baseline
+    strategies adjust per-kernel efficiencies. Tracks peak memory from
+    shapes and buffer liveness. *)
+
+val run :
+  ?device:Gpusim.Device.t ->
+  ?cost_binding:Symshape.Table.binding ->
+  ?profile:Profile.t ->
+  t ->
+  Tensor.Nd.t list ->
+  Tensor.Nd.t list * Profile.t
+(** Data-plane execution; numerics always use the true input shapes,
+    cost is charged under [cost_binding] when given (padding baselines). *)

@@ -1,0 +1,148 @@
+(* Static buffer planning with reuse — the RAL's memory planner.
+
+   Given a compiled executable and a shape binding, assign every
+   intermediate value an offset in one device arena such that buffers
+   with overlapping lifetimes never overlap in memory, while freed
+   buffers are reused (greedy best-fit over a free list). The paper's
+   runtime does exactly this once shapes are known; because planning is
+   per-binding, a dynamic-shape compiler re-plans cheaply at dispatch
+   time instead of baking offsets into the executable. *)
+
+module Graph = Ir.Graph
+module Op = Ir.Op
+module Table = Symshape.Table
+module Cluster = Fusion.Cluster
+
+type assignment = {
+  value : int; (* instruction id *)
+  offset : int;
+  size : int;
+  first_pos : int; (* producing kernel position *)
+  last_pos : int; (* last consuming kernel position *)
+}
+
+type t = {
+  assignments : assignment list;
+  arena_bytes : int; (* high-water mark with reuse *)
+  naive_bytes : int; (* sum of all buffer sizes (no reuse) *)
+  resident_bytes : int; (* parameters + constants, outside the arena *)
+}
+
+let align up n = (n + up - 1) / up * up
+
+(* Free-list allocator: offset-sorted free blocks; best-fit. *)
+type block = { b_off : int; b_size : int }
+
+let rec insert_free (blk : block) = function
+  | [] -> [ blk ]
+  | b :: rest as all ->
+      if blk.b_off + blk.b_size = b.b_off then { b_off = blk.b_off; b_size = blk.b_size + b.b_size } :: rest
+      else if b.b_off + b.b_size = blk.b_off then insert_free { b_off = b.b_off; b_size = b.b_size + blk.b_size } rest
+      else if blk.b_off < b.b_off then blk :: all
+      else b :: insert_free blk rest
+
+let plan ?(alignment = 256) (e : Executable.t) (bnd : Table.binding) : t =
+  let g = e.Executable.g in
+  let tab = Graph.symtab g in
+  let size_of id =
+    let i = Graph.inst g id in
+    align alignment
+      (Tensor.Shape.numel (Table.eval_shape tab bnd i.Graph.shape)
+      * Tensor.Dtype.byte_size i.Graph.dtype)
+  in
+  (* resident values: parameters and constants *)
+  let resident_bytes =
+    Graph.fold g
+      (fun acc i ->
+        match i.Graph.op with
+        | Op.Parameter _ | Op.Constant _ -> acc + size_of i.Graph.id
+        | _ -> acc)
+      0
+  in
+  (* lifetime of each cluster-produced value *)
+  let items = e.Executable.items in
+  let produced_at = Hashtbl.create 64 in
+  List.iteri
+    (fun pos item ->
+      let c = match item with Executable.Fused k -> k.Codegen.Kernel.cluster | Executable.Lib c -> c in
+      List.iter (fun o -> Hashtbl.replace produced_at o pos) c.Cluster.outputs)
+    items;
+  let last_use = Hashtbl.create 64 in
+  List.iteri
+    (fun pos item ->
+      let c = match item with Executable.Fused k -> k.Codegen.Kernel.cluster | Executable.Lib c -> c in
+      List.iter
+        (fun input -> if Hashtbl.mem produced_at input then Hashtbl.replace last_use input pos)
+        c.Cluster.inputs)
+    items;
+  List.iter (fun o -> if Hashtbl.mem produced_at o then Hashtbl.replace last_use o max_int) (Graph.outputs g);
+  (* walk the schedule: allocate at production, free after last use *)
+  let free : block list ref = ref [] in
+  let top = ref 0 in
+  let assignments = ref [] in
+  let allocate size =
+    (* best-fit over the free list *)
+    let best =
+      List.fold_left
+        (fun acc b ->
+          if b.b_size >= size then
+            match acc with
+            | Some best when best.b_size <= b.b_size -> acc
+            | _ -> Some b
+          else acc)
+        None !free
+    in
+    match best with
+    | Some b ->
+        free := List.filter (fun x -> x <> b) !free;
+        if b.b_size > size then
+          free := insert_free { b_off = b.b_off + size; b_size = b.b_size - size } !free;
+        b.b_off
+    | None ->
+        let off = !top in
+        top := !top + size;
+        off
+  in
+  List.iteri
+    (fun pos item ->
+      let c = match item with Executable.Fused k -> k.Codegen.Kernel.cluster | Executable.Lib c -> c in
+      List.iter
+        (fun o ->
+          let size = size_of o in
+          let offset = allocate size in
+          let last_pos = Option.value (Hashtbl.find_opt last_use o) ~default:pos in
+          assignments := { value = o; offset; size; first_pos = pos; last_pos } :: !assignments)
+        c.Cluster.outputs;
+      (* free buffers whose last use is this position *)
+      List.iter
+        (fun a ->
+          if a.last_pos = pos then free := insert_free { b_off = a.offset; b_size = a.size } !free)
+        !assignments)
+    items;
+  let naive_bytes = List.fold_left (fun acc a -> acc + a.size) 0 !assignments in
+  { assignments = List.rev !assignments; arena_bytes = !top; naive_bytes; resident_bytes }
+
+(* Validity: two assignments alive at the same time never overlap. *)
+let validate (p : t) : bool =
+  let overlaps a b =
+    a.offset < b.offset + b.size && b.offset < a.offset + a.size
+  in
+  let alive_together a b =
+    (* a is alive in (first_pos, last_pos]; conservative closed ranges *)
+    a.first_pos <= b.last_pos && b.first_pos <= a.last_pos
+  in
+  let rec check = function
+    | [] -> true
+    | a :: rest ->
+        List.for_all (fun b -> (not (alive_together a b)) || not (overlaps a b)) rest
+        && check rest
+  in
+  check p.assignments
+
+let to_string (p : t) =
+  Printf.sprintf "arena=%.2fMB naive=%.2fMB (%.1fx reuse) resident=%.2fMB buffers=%d"
+    (float_of_int p.arena_bytes /. 1e6)
+    (float_of_int p.naive_bytes /. 1e6)
+    (float_of_int p.naive_bytes /. float_of_int (max 1 p.arena_bytes))
+    (float_of_int p.resident_bytes /. 1e6)
+    (List.length p.assignments)

@@ -1,0 +1,29 @@
+(** Static buffer planning with reuse — the RAL memory planner.
+
+    For one executable and one shape binding, assigns every intermediate
+    buffer an offset in a single device arena: disjoint lifetimes share
+    memory (greedy best-fit free list); overlapping lifetimes never
+    overlap in space ({!validate}). Re-planned per shape binding, which
+    is exactly what a dynamic-shape runtime must do. *)
+
+type assignment = {
+  value : int;
+  offset : int;
+  size : int;
+  first_pos : int;
+  last_pos : int;
+}
+
+type t = {
+  assignments : assignment list;
+  arena_bytes : int;  (** high-water mark with reuse *)
+  naive_bytes : int;  (** sum of all buffer sizes (no reuse) *)
+  resident_bytes : int;  (** parameters + constants, outside the arena *)
+}
+
+val plan : ?alignment:int -> Executable.t -> Symshape.Table.binding -> t
+
+val validate : t -> bool
+(** No two simultaneously-live buffers overlap. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/symshape/sym.ml: Array Format List Printf String Tensor

@@ -1,0 +1,1 @@
+lib/symshape/sym.mli: Format Tensor

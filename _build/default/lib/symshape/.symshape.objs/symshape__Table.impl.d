@@ -1,0 +1,1 @@
+lib/symshape/table.ml: Array Format Hashtbl List Obj Option Printf Queue Stdlib String Sym Tensor

@@ -1,0 +1,1 @@
+lib/symshape/table.mli: Format Sym Tensor

@@ -1,0 +1,1 @@
+lib/tensor/ops_ref.ml: Array Dtype Float List Nd Shape Stdlib

@@ -1,0 +1,1 @@
+lib/tensor/ops_ref.mli: Dtype Nd Shape

@@ -1,0 +1,42 @@
+type t =
+  | F32
+  | F16
+  | I64
+  | I32
+  | I8
+  | Bool
+
+let byte_size = function
+  | F32 -> 4
+  | F16 -> 2
+  | I64 -> 8
+  | I32 -> 4
+  | I8 -> 1
+  | Bool -> 1
+
+let to_string = function
+  | F32 -> "f32"
+  | F16 -> "f16"
+  | I64 -> "i64"
+  | I32 -> "i32"
+  | I8 -> "i8"
+  | Bool -> "bool"
+
+let of_string = function
+  | "f32" -> Some F32
+  | "f16" -> Some F16
+  | "i64" -> Some I64
+  | "i32" -> Some I32
+  | "i8" -> Some I8
+  | "bool" -> Some Bool
+  | _ -> None
+
+let is_floating = function
+  | F32 | F16 -> true
+  | I64 | I32 | I8 | Bool -> false
+
+let is_integer = function
+  | I64 | I32 | I8 -> true
+  | F32 | F16 | Bool -> false
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,28 @@
+(** Element data types carried by tensors.
+
+    Numerics in this reproduction are always computed in OCaml [float];
+    the dtype is nevertheless tracked faithfully because it determines
+    element byte-width (memory-traffic costs on the simulated device)
+    and type-checking rules in the IR verifier. *)
+
+type t =
+  | F32
+  | F16
+  | I64
+  | I32
+  | I8
+  | Bool
+
+val byte_size : t -> int
+(** Width of one element in bytes (f16 = 2, bool/i8 = 1, ...). *)
+
+val to_string : t -> string
+
+val of_string : string -> t option
+
+val is_floating : t -> bool
+
+val is_integer : t -> bool
+(** True for the signed integer types; [false] for [Bool]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,303 @@
+(* Reference (slow, obviously-correct) semantics for the tensor op set.
+   Generated kernels are tested against these implementations. *)
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+let bool_of x = if x then 1.0 else 0.0
+
+(* Abramowitz & Stegun 7.1.26, max abs error 1.5e-7. *)
+let erf x =
+  let sign = if x < 0.0 then -1.0 else 1.0 in
+  let x = Float.abs x in
+  let t = 1.0 /. (1.0 +. (0.3275911 *. x)) in
+  let poly =
+    ((((((((1.061405429 *. t) -. 1.453152027) *. t) +. 1.421413741) *. t)
+      -. 0.284496736)
+      *. t)
+    +. 0.254829592)
+    *. t
+  in
+  sign *. (1.0 -. (poly *. Float.exp (-.x *. x)))
+
+let neg = Nd.map (fun x -> -.x)
+let abs = Nd.map Float.abs
+let exp = Nd.map Float.exp
+let log = Nd.map Float.log
+let tanh = Nd.map Float.tanh
+let sqrt = Nd.map Float.sqrt
+let rsqrt = Nd.map (fun x -> 1.0 /. Float.sqrt x)
+let erf_t = Nd.map erf
+let sign = Nd.map (fun x -> if x > 0.0 then 1.0 else if x < 0.0 then -1.0 else 0.0)
+let ceil = Nd.map Stdlib.ceil
+let floor = Nd.map Stdlib.floor
+let logistic = Nd.map (fun x -> 1.0 /. (1.0 +. Float.exp (-.x)))
+let not_t = Nd.map_dtype Dtype.Bool (fun x -> bool_of (x = 0.0))
+
+let cast dtype t =
+  let f =
+    if Dtype.is_integer dtype then Float.trunc
+    else if dtype = Dtype.Bool then fun x -> bool_of (x <> 0.0)
+    else fun x -> x
+  in
+  Nd.map_dtype dtype f t
+
+let add = Nd.map2 ( +. )
+let sub = Nd.map2 ( -. )
+let mul = Nd.map2 ( *. )
+let div = Nd.map2 ( /. )
+let pow = Nd.map2 Float.pow
+let max_t = Nd.map2 Float.max
+let min_t = Nd.map2 Float.min
+let rem = Nd.map2 Float.rem
+let and_t = Nd.map2 ~dtype:Dtype.Bool (fun a b -> bool_of (a <> 0.0 && b <> 0.0))
+let or_t = Nd.map2 ~dtype:Dtype.Bool (fun a b -> bool_of (a <> 0.0 || b <> 0.0))
+
+let compare cmp a b =
+  let f =
+    match cmp with
+    | Eq -> fun x y -> bool_of (x = y)
+    | Ne -> fun x y -> bool_of (x <> y)
+    | Lt -> fun x y -> bool_of (x < y)
+    | Le -> fun x y -> bool_of (x <= y)
+    | Gt -> fun x y -> bool_of (x > y)
+    | Ge -> fun x y -> bool_of (x >= y)
+  in
+  Nd.map2 ~dtype:Dtype.Bool f a b
+
+let select ~pred ~on_true ~on_false =
+  let s = Shape.broadcast (Nd.shape pred) (Nd.shape on_true) in
+  let s = Shape.broadcast s (Nd.shape on_false) in
+  Nd.init ~dtype:(Nd.dtype on_true) s (fun idx ->
+      let p = Nd.get_linear pred (Nd.broadcast_source_linear (Nd.shape pred) s idx) in
+      if p <> 0.0 then
+        Nd.get_linear on_true (Nd.broadcast_source_linear (Nd.shape on_true) s idx)
+      else Nd.get_linear on_false (Nd.broadcast_source_linear (Nd.shape on_false) s idx))
+
+let iota ?(dtype = Dtype.F32) shape ~dim =
+  Nd.init ~dtype shape (fun idx -> float_of_int idx.(dim))
+
+(* HLO-style broadcast_in_dim: [dims.(i)] is the output dimension that
+   input dimension [i] maps to; all other output dims are broadcast. *)
+let broadcast_in_dim t ~out ~dims =
+  let in_shape = Nd.shape t in
+  if Array.length dims <> Shape.rank in_shape then
+    Shape.error "broadcast_in_dim: dims rank mismatch";
+  Array.iteri
+    (fun i d ->
+      if in_shape.(i) <> out.(d) && in_shape.(i) <> 1 then
+        Shape.error "broadcast_in_dim: input dim %d (=%d) incompatible with out %s" i
+          in_shape.(i) (Shape.to_string out))
+    dims;
+  Nd.init ~dtype:(Nd.dtype t) out (fun idx ->
+      let src = Array.mapi (fun i d -> if in_shape.(i) = 1 then 0 else idx.(d)) dims in
+      Nd.get t src)
+
+let reshape t shape = Nd.reshape (Nd.copy t) shape
+
+let transpose t perm =
+  let in_shape = Nd.shape t in
+  let out = Shape.transpose in_shape perm in
+  Nd.init ~dtype:(Nd.dtype t) out (fun idx ->
+      let src = Array.make (Shape.rank in_shape) 0 in
+      Array.iteri (fun i p -> src.(p) <- idx.(i)) perm;
+      Nd.get t src)
+
+let concat ts ~axis =
+  match ts with
+  | [] -> invalid_arg "concat: empty list"
+  | first :: rest ->
+      let out =
+        List.fold_left (fun acc t -> Shape.concat_dim acc (Nd.shape t) ~axis) (Nd.shape first) rest
+      in
+      let result = Nd.create ~dtype:(Nd.dtype first) out 0.0 in
+      let offset = ref 0 in
+      List.iter
+        (fun t ->
+          let s = Nd.shape t in
+          let n = Nd.numel t in
+          for lin = 0 to n - 1 do
+            let idx = Shape.index_of_linear s lin in
+            idx.(axis) <- idx.(axis) + !offset;
+            Nd.set result idx (Nd.get_linear t lin)
+          done;
+          offset := !offset + s.(axis))
+        ts;
+      result
+
+let slice t ~starts ~limits ~strides =
+  let s = Nd.shape t in
+  let r = Shape.rank s in
+  if Array.length starts <> r || Array.length limits <> r || Array.length strides <> r
+  then Shape.error "slice: rank mismatch";
+  let out =
+    Array.init r (fun i ->
+        let extent = limits.(i) - starts.(i) in
+        if extent < 0 || limits.(i) > s.(i) || starts.(i) < 0 then
+          Shape.error "slice: bad bounds on dim %d" i;
+        (extent + strides.(i) - 1) / strides.(i))
+  in
+  Nd.init ~dtype:(Nd.dtype t) out (fun idx ->
+      let src = Array.mapi (fun i x -> starts.(i) + (x * strides.(i))) idx in
+      Nd.get t src)
+
+let pad t ~low ~high ~value =
+  let s = Nd.shape t in
+  let out = Array.mapi (fun i d -> low.(i) + d + high.(i)) s in
+  Nd.init ~dtype:(Nd.dtype t) out (fun idx ->
+      let src = Array.mapi (fun i x -> x - low.(i)) idx in
+      let inside = ref true in
+      Array.iteri (fun i x -> if x < 0 || x >= s.(i) then inside := false) src;
+      if !inside then Nd.get t src else value)
+
+type reduce_kind = R_sum | R_prod | R_max | R_min | R_any
+
+let reduce_init = function
+  | R_sum -> 0.0
+  | R_prod -> 1.0
+  | R_max -> Float.neg_infinity
+  | R_min -> Float.infinity
+  | R_any -> 0.0
+
+let reduce_combine kind a b =
+  match kind with
+  | R_sum -> a +. b
+  | R_prod -> a *. b
+  | R_max -> Float.max a b
+  | R_min -> Float.min a b
+  | R_any -> bool_of (a <> 0.0 || b <> 0.0)
+
+let reduce kind t ~dims =
+  let s = Nd.shape t in
+  let out = Shape.drop_dims s dims in
+  let dtype = if kind = R_any then Dtype.Bool else Nd.dtype t in
+  let result = Nd.create ~dtype out (reduce_init kind) in
+  let n = Nd.numel t in
+  for lin = 0 to n - 1 do
+    let idx = Shape.index_of_linear s lin in
+    let out_idx =
+      Array.of_list
+        (List.filteri (fun i _ -> not (List.mem i dims)) (Array.to_list idx))
+    in
+    let cur = Nd.get result out_idx in
+    Nd.set result out_idx (reduce_combine kind cur (Nd.get_linear t lin))
+  done;
+  result
+
+(* Batched matmul: [.., m, k] x [.., k, n] -> [.., m, n] with
+   numpy-broadcast batch dims. *)
+let matmul a b =
+  let sa = Nd.shape a and sb = Nd.shape b in
+  let ra = Shape.rank sa and rb = Shape.rank sb in
+  if ra < 2 || rb < 2 then Shape.error "matmul: operands must have rank >= 2";
+  let m = sa.(ra - 2) and k = sa.(ra - 1) in
+  let k' = sb.(rb - 2) and n = sb.(rb - 1) in
+  if k <> k' then
+    Shape.error "matmul: contracting dims %d vs %d (%s x %s)" k k' (Shape.to_string sa)
+      (Shape.to_string sb);
+  let batch_a = Array.sub sa 0 (ra - 2) and batch_b = Array.sub sb 0 (rb - 2) in
+  let batch = Shape.broadcast batch_a batch_b in
+  let out = Array.append batch [| m; n |] in
+  Nd.init ~dtype:(Nd.dtype a) out (fun idx ->
+      let rb_out = Array.length batch in
+      let bidx = Array.sub idx 0 rb_out in
+      let i = idx.(rb_out) and j = idx.(rb_out + 1) in
+      let lin_a kk =
+        let full = Array.append bidx [| i; kk |] in
+        Nd.broadcast_source_linear sa (Array.append batch [| m; k |]) full
+      in
+      let lin_b kk =
+        let full = Array.append bidx [| kk; j |] in
+        Nd.broadcast_source_linear sb (Array.append batch [| k; n |]) full
+      in
+      let acc = ref 0.0 in
+      for kk = 0 to k - 1 do
+        acc := !acc +. (Nd.get_linear a (lin_a kk) *. Nd.get_linear b (lin_b kk))
+      done;
+      !acc)
+
+(* 2D convolution, NHWC x [kh, kw, c, f] -> NHWC, stride + symmetric
+   zero padding. *)
+let conv2d input filter ~strides:(sh, sw) ~padding:(ph, pw) =
+  let si = Nd.shape input and sf = Nd.shape filter in
+  if Shape.rank si <> 4 || Shape.rank sf <> 4 then Shape.error "conv2d: rank must be 4";
+  let n = si.(0) and h = si.(1) and w = si.(2) and c = si.(3) in
+  let kh = sf.(0) and kw = sf.(1) and fc = sf.(2) and f = sf.(3) in
+  if c <> fc then Shape.error "conv2d: channel mismatch %d vs %d" c fc;
+  let oh = ((h + (2 * ph) - kh) / sh) + 1 in
+  let ow = ((w + (2 * pw) - kw) / sw) + 1 in
+  Nd.init ~dtype:(Nd.dtype input) [| n; oh; ow; f |] (fun idx ->
+      let b = idx.(0) and oy = idx.(1) and ox = idx.(2) and oc = idx.(3) in
+      let acc = ref 0.0 in
+      for ky = 0 to kh - 1 do
+        for kx = 0 to kw - 1 do
+          let iy = (oy * sh) + ky - ph and ix = (ox * sw) + kx - pw in
+          if iy >= 0 && iy < h && ix >= 0 && ix < w then
+            for ic = 0 to c - 1 do
+              acc :=
+                !acc
+                +. (Nd.get input [| b; iy; ix; ic |] *. Nd.get filter [| ky; kx; ic; oc |])
+            done
+        done
+      done;
+      !acc)
+
+(* Gather rows along axis 0: out[i.., j..] = operand[indices[i..], j..]. *)
+let gather operand indices =
+  let so = Nd.shape operand and si = Nd.shape indices in
+  let tail = Array.sub so 1 (Shape.rank so - 1) in
+  let out = Array.append si tail in
+  Nd.init ~dtype:(Nd.dtype operand) out (fun idx ->
+      let ri = Shape.rank si in
+      let iidx = Array.sub idx 0 ri in
+      let row = int_of_float (Nd.get indices iidx) in
+      if row < 0 || row >= so.(0) then Shape.error "gather: index %d out of range" row;
+      let src = Array.append [| row |] (Array.sub idx ri (Array.length idx - ri)) in
+      Nd.get operand src)
+
+(* Spatial window reduction (pooling), NHWC, symmetric zero/neutral
+   padding. For max-pooling the padding contributes the identity
+   (-inf); for sum it contributes 0. *)
+let reduce_window kind t ~window:(wh, ww) ~strides:(sh, sw) ~padding:(ph, pw) =
+  let s = Nd.shape t in
+  if Shape.rank s <> 4 then Shape.error "reduce_window: rank 4 required";
+  let n = s.(0) and h = s.(1) and w = s.(2) and c = s.(3) in
+  let oh = ((h + (2 * ph) - wh) / sh) + 1 in
+  let ow = ((w + (2 * pw) - ww) / sw) + 1 in
+  Nd.init ~dtype:(Nd.dtype t) [| n; oh; ow; c |] (fun idx ->
+      let b = idx.(0) and oy = idx.(1) and ox = idx.(2) and ch = idx.(3) in
+      let acc = ref (reduce_init kind) in
+      for ky = 0 to wh - 1 do
+        for kx = 0 to ww - 1 do
+          let iy = (oy * sh) + ky - ph and ix = (ox * sw) + kx - pw in
+          if iy >= 0 && iy < h && ix >= 0 && ix < w then
+            acc := reduce_combine kind !acc (Nd.get t [| b; iy; ix; ch |])
+        done
+      done;
+      !acc)
+
+(* Index of the maximum along [dim] (first occurrence wins); i32. *)
+let argmax t ~dim =
+  let s = Nd.shape t in
+  let out = Shape.drop_dims s [ dim ] in
+  Nd.init ~dtype:Dtype.I32 out (fun out_idx ->
+      let extent = s.(dim) in
+      let best = ref Float.neg_infinity and best_i = ref 0 in
+      for k = 0 to extent - 1 do
+        (* rebuild the full index with k inserted at [dim] *)
+        let full = Array.make (Shape.rank s) 0 in
+        let oi = ref 0 in
+        Array.iteri
+          (fun i _ ->
+            if i = dim then full.(i) <- k
+            else begin
+              full.(i) <- out_idx.(!oi);
+              incr oi
+            end)
+          full;
+        let v = Nd.get t full in
+        if v > !best then begin
+          best := v;
+          best_i := k
+        end
+      done;
+      float_of_int !best_i)

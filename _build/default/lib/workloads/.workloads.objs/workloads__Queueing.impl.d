@@ -1,0 +1,1 @@
+lib/workloads/queueing.ml: Array Float List Trace

@@ -1,0 +1,1 @@
+lib/workloads/queueing.mli: Trace

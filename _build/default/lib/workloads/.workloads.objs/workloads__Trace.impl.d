@@ -1,0 +1,1 @@
+lib/workloads/trace.ml: Int64 List Models

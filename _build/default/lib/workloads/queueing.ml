@@ -1,0 +1,106 @@
+(* Discrete-event simulation of a single-GPU inference server with
+   dynamic batching — the serving pattern that *creates* the dynamic
+   shapes this whole system exists for: the batch dimension is however
+   many requests were queued, and each other dimension is the max over
+   the batched requests (intra-batch padding).
+
+   The server processes one batch at a time: when it becomes free it
+   takes up to [max_batch] queued requests, but never waits more than
+   [max_wait_us] past the first queued request. Per-request latency =
+   queue wait + batch service time (from the provided executor). *)
+
+type policy = {
+  max_batch : int;
+  max_wait_us : float;
+}
+
+type request = {
+  arrival_us : float;
+  dims : (string * int) list; (* per-request dims, excluding the batch dim *)
+}
+
+type outcome = {
+  latencies_us : float array; (* per served request, arrival order *)
+  makespan_us : float;
+  batches : int;
+  mean_batch : float;
+}
+
+(* Shape environment of one batch: batch dim = size; others = max. *)
+let batch_env ~batch_dim (reqs : request list) : (string * int) list =
+  let n = List.length reqs in
+  match reqs with
+  | [] -> invalid_arg "batch_env: empty batch"
+  | first :: _ ->
+      (batch_dim, n)
+      :: List.map
+           (fun (name, _) ->
+             (name, List.fold_left (fun acc r -> max acc (List.assoc name r.dims)) 1 reqs))
+           first.dims
+
+let simulate ~(arrivals : request list) ~(policy : policy) ~(batch_dim : string)
+    ~(service : (string * int) list -> float) : outcome =
+  let arrivals =
+    List.sort (fun a b -> compare a.arrival_us b.arrival_us) arrivals
+  in
+  let latencies = Array.make (List.length arrivals) 0.0 in
+  let rec loop pending idx t_free batches batched_total =
+    match pending with
+    | [] ->
+        { latencies_us = latencies; makespan_us = t_free; batches;
+          mean_batch =
+            (if batches = 0 then 0.0 else float_of_int batched_total /. float_of_int batches) }
+    | first :: _ ->
+        (* the server starts forming a batch when it is free and at
+           least one request is queued *)
+        let form_start = Float.max t_free first.arrival_us in
+        let deadline = form_start +. policy.max_wait_us in
+        (* requests that arrive by the deadline may join, up to max_batch *)
+        let rec take taken rest n =
+          match rest with
+          | r :: tl when n < policy.max_batch && r.arrival_us <= deadline ->
+              take (r :: taken) tl (n + 1)
+          | _ -> (List.rev taken, rest)
+        in
+        let batch, rest = take [] pending 0 in
+        let last_arrival =
+          List.fold_left (fun acc r -> Float.max acc r.arrival_us) 0.0 batch
+        in
+        (* the batch launches when full, or at the deadline, or as soon
+           as its members have all arrived — whichever is earliest valid *)
+        let launch =
+          if List.length batch = policy.max_batch then Float.max form_start last_arrival
+          else Float.max form_start (Float.min deadline (Float.max last_arrival form_start))
+        in
+        let env = batch_env ~batch_dim batch in
+        let service_us = service env in
+        let done_at = launch +. service_us in
+        List.iteri
+          (fun k r -> latencies.(idx + k) <- done_at -. r.arrival_us)
+          batch;
+        loop rest (idx + List.length batch) done_at (batches + 1)
+          (batched_total + List.length batch)
+  in
+  loop arrivals 0 0.0 0 0
+
+(* Poisson-ish arrival generation with per-request dims drawn from a
+   distribution spec. *)
+let generate_arrivals ~seed ~qps ~n ~(dims : (string * Trace.distribution) list) :
+    request list =
+  let rng = Trace.create_rng seed in
+  let mean_gap_us = 1e6 /. qps in
+  let rec go t acc k =
+    if k = 0 then List.rev acc
+    else
+      let gap = -.mean_gap_us *. Float.log (Float.max 1e-9 (Trace.float01 rng)) in
+      let t = t +. gap in
+      let dims = List.map (fun (name, dist) -> (name, Trace.sample rng dist)) dims in
+      go t ({ arrival_us = t; dims } :: acc) (k - 1)
+  in
+  go 0.0 [] n
+
+let percentile (xs : float array) p =
+  let arr = Array.copy xs in
+  Array.sort compare arr;
+  if Array.length arr = 0 then 0.0
+  else arr.(min (Array.length arr - 1) (int_of_float (p *. float_of_int (Array.length arr))))

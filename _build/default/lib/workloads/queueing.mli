@@ -1,0 +1,39 @@
+(** Discrete-event simulation of an inference server with dynamic
+    batching — the serving pattern that creates dynamic shapes (batch =
+    queue depth, other dims = intra-batch max). *)
+
+type policy = {
+  max_batch : int;
+  max_wait_us : float;  (** max delay past the first queued request *)
+}
+
+type request = {
+  arrival_us : float;
+  dims : (string * int) list;  (** per-request dims, excluding batch *)
+}
+
+type outcome = {
+  latencies_us : float array;  (** per served request, arrival order *)
+  makespan_us : float;
+  batches : int;
+  mean_batch : float;
+}
+
+val batch_env : batch_dim:string -> request list -> (string * int) list
+(** Shape of one formed batch: batch dim = size, others = max over
+    members. @raise Invalid_argument on an empty batch. *)
+
+val simulate :
+  arrivals:request list ->
+  policy:policy ->
+  batch_dim:string ->
+  service:((string * int) list -> float) ->
+  outcome
+(** Single server, one batch at a time; [service] returns the batch
+    execution latency in µs (e.g. from {!Disc.Session.serve}). *)
+
+val generate_arrivals :
+  seed:int -> qps:float -> n:int -> dims:(string * Trace.distribution) list -> request list
+(** Poisson arrivals with per-request dims drawn from [dims]. *)
+
+val percentile : float array -> float -> float

@@ -1,0 +1,28 @@
+(** Deterministic shape-trace generators — the synthetic stand-in for
+    the production request traces the paper measures on. *)
+
+type rng
+
+val create_rng : int -> rng
+val next : rng -> int64
+val uniform : rng -> int -> int -> int
+(** Inclusive range. *)
+
+val float01 : rng -> float
+val skewed : rng -> int -> int -> int
+(** Short-biased sample (serving traces skew short). *)
+
+type distribution =
+  | Uniform of int * int
+  | Skewed of int * int
+  | Bimodal of int * int  (** short queries + long documents *)
+  | Fixed of int
+
+val sample : rng -> distribution -> int
+
+val environments :
+  seed:int -> (string * distribution) list -> n:int -> (string * int) list list
+(** A deterministic stream of dynamic-dim environments. *)
+
+val serving_mix : Models.Suite.entry -> (string * distribution) list
+(** The realistic per-model shape mix used by E3/E6. *)

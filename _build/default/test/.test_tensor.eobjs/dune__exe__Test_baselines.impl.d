@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Float Gpusim Hashtbl List Models Printf Runtime

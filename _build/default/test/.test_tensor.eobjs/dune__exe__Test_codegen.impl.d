@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Array Codegen Fusion Gpusim Hashtbl Ir List QCheck QCheck_alcotest Symshape Tensor

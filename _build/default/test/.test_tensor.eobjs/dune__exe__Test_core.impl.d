@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Codegen Disc Float Fusion Ir List Models QCheck QCheck_alcotest Symshape Tensor

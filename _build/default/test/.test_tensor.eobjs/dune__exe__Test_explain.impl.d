@@ -1,0 +1,1 @@
+test/test_explain.ml: Alcotest Fusion Ir Symshape Tensor

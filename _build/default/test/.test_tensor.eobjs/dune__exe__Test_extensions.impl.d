@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Codegen Disc Float Fusion Ir List Models Printf QCheck QCheck_alcotest Runtime String Symshape Tensor

@@ -1,0 +1,1 @@
+test/test_fusion.ml: Alcotest Fusion Hashtbl Ir List Option QCheck QCheck_alcotest Random Symshape Tensor

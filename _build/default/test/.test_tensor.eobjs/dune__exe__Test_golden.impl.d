@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Codegen Disc Fusion Gpusim Ir List Runtime Symshape Tensor

@@ -1,0 +1,1 @@
+test/test_horizontal.ml: Alcotest Array Disc Fusion Ir List QCheck QCheck_alcotest Random Runtime Symshape Tensor

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Float Ir List QCheck QCheck_alcotest Random String Symshape Tensor

@@ -1,0 +1,1 @@
+test/test_memplan.ml: Alcotest Fusion Ir List Models QCheck QCheck_alcotest Runtime Symshape Tensor

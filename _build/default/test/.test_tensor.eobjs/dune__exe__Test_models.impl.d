@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Array Disc Float Ir List Models Printf Tensor

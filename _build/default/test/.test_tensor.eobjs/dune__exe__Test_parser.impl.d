@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Array Ir List QCheck QCheck_alcotest Random Symshape Tensor

@@ -1,0 +1,1 @@
+test/test_pipeline_random.ml: Alcotest Array Disc Float Fusion Hashtbl Ir List Option QCheck QCheck_alcotest Random Runtime Symshape Tensor

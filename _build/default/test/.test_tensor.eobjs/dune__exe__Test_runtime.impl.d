@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Fusion Ir List QCheck QCheck_alcotest Runtime Symshape Tensor

@@ -1,0 +1,1 @@
+test/test_session.ml: Alcotest Disc Float Gpusim Ir List Models QCheck QCheck_alcotest Runtime Tensor

@@ -1,0 +1,1 @@
+test/test_specialize.ml: Alcotest Array Disc Ir List Models Runtime Symshape Tensor

@@ -1,0 +1,1 @@
+test/test_symshape.ml: Alcotest Array List QCheck QCheck_alcotest Symshape

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Float List Models QCheck QCheck_alcotest Workloads

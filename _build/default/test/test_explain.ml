@@ -1,0 +1,116 @@
+(* Tests for the fusion explainer: each verdict is reachable and names
+   the actual blocking rule. *)
+
+module Sym = Symshape.Sym
+module Table = Symshape.Table
+module Graph = Ir.Graph
+module B = Ir.Builder
+module Dtype = Tensor.Dtype
+module Planner = Fusion.Planner
+module Explain = Fusion.Explain
+
+let check_verdict msg expected g plan ~a ~b =
+  let v = Explain.explain g plan ~a ~b in
+  Alcotest.(check string) msg expected (Explain.verdict_to_string v)
+
+let test_fused () =
+  let g = Graph.create () in
+  let tab = Graph.symtab g in
+  let s = Table.fresh tab in
+  let x = B.param g ~name:"x" [| s |] Dtype.F32 in
+  let a = B.exp g x in
+  let b = B.tanh g a in
+  Graph.set_outputs g [ b ];
+  let plan = Planner.plan g in
+  check_verdict "fused" "already fused into the same kernel" g plan ~a ~b
+
+let test_library_blocks () =
+  let g = Graph.create () in
+  let tab = Graph.symtab g in
+  let s = Table.fresh tab in
+  let x = B.param g ~name:"x" [| s; Sym.Static 4 |] Dtype.F32 in
+  let w = B.param g ~name:"w" [| Sym.Static 4; Sym.Static 4 |] Dtype.F32 in
+  let d = B.dot g x w in
+  let t = B.tanh g d in
+  Graph.set_outputs g [ t ];
+  let plan = Planner.plan g in
+  check_verdict "library" "producer is not fusable (dot)" g plan ~a:d ~b:t
+
+let test_domain_mismatch () =
+  let g = Graph.create () in
+  let tab = Graph.symtab g in
+  let s = Table.fresh tab and t = Table.fresh tab in
+  let x = B.param g ~name:"x" [| s |] Dtype.F32 in
+  let y = B.param g ~name:"y" [| t |] Dtype.F32 in
+  let a = B.exp g x and b = B.exp g y in
+  Graph.set_outputs g [ a; b ];
+  let plan = Planner.plan g in
+  match Explain.explain g plan ~a ~b with
+  | Explain.Not_adjacent -> () (* unrelated chains: correct verdict *)
+  | v -> Alcotest.failf "expected Not_adjacent, got %s" (Explain.verdict_to_string v)
+
+let test_reduce_blocks_without_stitch () =
+  let g = Graph.create () in
+  let tab = Graph.symtab g in
+  let bdim = Table.fresh tab and s = Table.fresh ~ub:128 tab in
+  let x = B.param g ~name:"x" [| bdim; s |] Dtype.F32 in
+  let red = B.reduce_sum g x ~dims:[ 1 ] in
+  let post = B.exp g red in
+  Graph.set_outputs g [ post ];
+  let config = Planner.no_stitch_config in
+  let plan = Planner.plan ~config g in
+  match Explain.explain ~config g plan ~a:red ~b:post with
+  | Explain.Reduce_in_producer -> ()
+  | v -> Alcotest.failf "expected Reduce_in_producer, got %s" (Explain.verdict_to_string v)
+
+let test_unbounded_row_blocks_stitch () =
+  let g = Graph.create () in
+  let tab = Graph.symtab g in
+  let bdim = Table.fresh tab and s = Table.fresh tab (* no ub *) in
+  let x = B.param g ~name:"x" [| bdim; s |] Dtype.F32 in
+  let y = B.softmax g x in
+  Graph.set_outputs g [ y ];
+  let plan = Planner.plan g in
+  (* the max-reduce and the final div stay in separate kernels *)
+  let red =
+    Graph.fold g
+      (fun acc i -> match i.Graph.op with Ir.Op.Reduce _ -> i.Graph.id | _ -> acc)
+      (-1)
+  in
+  match Explain.explain g plan ~a:red ~b:y with
+  | Explain.Stitch_row_unbounded -> ()
+  | v -> Alcotest.failf "expected Stitch_row_unbounded, got %s" (Explain.verdict_to_string v)
+
+let test_row_too_large () =
+  let g = Graph.create () in
+  let tab = Graph.symtab g in
+  let bdim = Table.fresh tab in
+  (* row ub = 100k floats = 400 kB >> 48 kB shared memory *)
+  let s = Table.fresh ~ub:100_000 tab in
+  let x = B.param g ~name:"x" [| bdim; s |] Dtype.F32 in
+  let y = B.softmax g x in
+  Graph.set_outputs g [ y ];
+  let plan = Planner.plan g in
+  let red =
+    Graph.fold g
+      (fun acc i -> match i.Graph.op with Ir.Op.Reduce _ -> i.Graph.id | _ -> acc)
+      (-1)
+  in
+  match Explain.explain g plan ~a:red ~b:y with
+  | Explain.Stitch_row_too_large (need, budget) ->
+      Alcotest.(check bool) "reports need > budget" true (need > budget)
+  | v -> Alcotest.failf "expected Stitch_row_too_large, got %s" (Explain.verdict_to_string v)
+
+let () =
+  Alcotest.run "explain"
+    [
+      ( "verdicts",
+        [
+          Alcotest.test_case "fused" `Quick test_fused;
+          Alcotest.test_case "library blocks" `Quick test_library_blocks;
+          Alcotest.test_case "not adjacent" `Quick test_domain_mismatch;
+          Alcotest.test_case "reduce w/o stitch" `Quick test_reduce_blocks_without_stitch;
+          Alcotest.test_case "unbounded row" `Quick test_unbounded_row_blocks_stitch;
+          Alcotest.test_case "row too large" `Quick test_row_too_large;
+        ] );
+    ]

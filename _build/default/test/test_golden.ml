@@ -1,0 +1,105 @@
+(* Golden-output tests: exact expected text for the printer, the kernel
+   emitter, the fusion plan and cost figures on small fixed programs.
+   These pin the user-visible surfaces against accidental drift. *)
+
+module Sym = Symshape.Sym
+module Table = Symshape.Table
+module Graph = Ir.Graph
+module B = Ir.Builder
+module Dtype = Tensor.Dtype
+module Planner = Fusion.Planner
+
+let check_string = Alcotest.(check string)
+
+let scaled_exp_graph () =
+  let g = Graph.create () in
+  let tab = Graph.symtab g in
+  let s = Table.fresh ~lb:1 ~ub:128 ~likely:[ 16 ] tab in
+  let x = B.param g ~name:"x" [| s; Sym.Static 4 |] Dtype.F32 in
+  let y = B.exp g (B.mulf g x 2.0) in
+  Graph.set_outputs g [ y ];
+  (g, s)
+
+let test_printer_golden () =
+  let g, _ = scaled_exp_graph () in
+  check_string "printed program"
+    "graph {\n\
+    \  sym s0 lb=1 ub=128 likely=16\n\
+    \  %0 : f32[s0x4] = parameter(0, \"x\")()\n\
+    \  %1 : f32[] = constant(f32[]{2})()\n\
+    \  %2 : f32[s0x4] = mul(%0, %1)\n\
+    \  %3 : f32[s0x4] = exp(%2)\n\
+    \  return %3\n\
+     }\n"
+    (Ir.Printer.to_string ~with_symbols:true g)
+
+let test_plan_golden () =
+  let g, _ = scaled_exp_graph () in
+  let plan = Planner.plan g in
+  check_string "plan dump"
+    "cluster 3 [kLoop] domain=[s0x4] members={2,3} inputs={0,1} outputs={3}\n"
+    (Fusion.Cluster.to_string plan)
+
+let test_emit_golden () =
+  let g, _ = scaled_exp_graph () in
+  let plan = Planner.plan g in
+  let c = List.hd plan.Fusion.Cluster.clusters in
+  let k = Codegen.Kernel.build g Codegen.Kernel.no_speculation_config c in
+  check_string "emitted kernel"
+    "// kernel_3_kLoop (kLoop)\n\
+     // version generic            guards: always\n\
+     __global__ void kernel_3_kLoop(const float* v0, const float* v1, float* out_v3, \
+     const int64_t* dims) {\n\
+    \  int64_t numel = dims[0] * 4;\n\
+    \  for (int64_t idx = blockIdx.x * blockDim.x + threadIdx.x;\n\
+    \       idx < numel; idx += gridDim.x * blockDim.x) {\n\
+    \    float v2 = v0 * v1;\n\
+    \    float v3 = __expf(v2);\n\
+    \    out_v3[idx] = v3;\n\
+    \  }\n\
+     }\n"
+    (Codegen.Emit.emit g k)
+
+let test_cost_golden () =
+  (* exact cost arithmetic for a fixed kernel on the A10 profile *)
+  let w =
+    {
+      Gpusim.Cost.default_work with
+      Gpusim.Cost.bytes_read = 510_000; (* 1 us at 600 GB/s x 0.85 *)
+      bytes_written = 0;
+      blocks = 100_000;
+    }
+  in
+  Alcotest.(check (float 1e-9)) "mem time" 1.0 (Gpusim.Cost.mem_time_us Gpusim.Device.a10 w);
+  Alcotest.(check (float 1e-6)) "kernel time = launch + tail + body"
+    (3.5 +. 1.2 +. 1.0)
+    (Gpusim.Cost.kernel_time_us Gpusim.Device.a10 w)
+
+let test_profile_string_golden () =
+  let p = Runtime.Profile.create () in
+  Runtime.Profile.add p ~kname:"k" ~kind:"kLoop" ~version_tag:"generic" ~time_us:10.0
+    ~host_us:0.5 ~bytes:2_000_000 ~flops:1.0;
+  Runtime.Profile.note_live_bytes p 3_000_000;
+  check_string "profile summary"
+    "total=10.5us (device=10.0 host=0.5) launches=1 bytes=2.00MB peak=3.00MB"
+    (Runtime.Profile.to_string p)
+
+let test_stats_string_golden () =
+  let g, _ = scaled_exp_graph () in
+  check_string "coverage summary"
+    "insts=4 symbols=1 classes=1 product_facts=0 dyn_slots=3 equal_pairs=3/3"
+    (Disc.Stats.to_string (Disc.Stats.coverage g))
+
+let () =
+  Alcotest.run "golden"
+    [
+      ( "text surfaces",
+        [
+          Alcotest.test_case "printer" `Quick test_printer_golden;
+          Alcotest.test_case "plan" `Quick test_plan_golden;
+          Alcotest.test_case "emit" `Quick test_emit_golden;
+          Alcotest.test_case "cost" `Quick test_cost_golden;
+          Alcotest.test_case "profile" `Quick test_profile_string_golden;
+          Alcotest.test_case "stats" `Quick test_stats_string_golden;
+        ] );
+    ]

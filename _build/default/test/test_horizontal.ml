@@ -1,0 +1,156 @@
+(* Tests for the horizontal-fusion extension: independent same-domain
+   kLoop clusters packed into a single launch. *)
+
+module Sym = Symshape.Sym
+module Table = Symshape.Table
+module Graph = Ir.Graph
+module B = Ir.Builder
+module Dtype = Tensor.Dtype
+module Nd = Tensor.Nd
+module Planner = Fusion.Planner
+module Cluster = Fusion.Cluster
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* three independent pointwise chains over the same [s] domain, plus an
+   unrelated chain over a different domain *)
+let siblings_graph () =
+  let g = Graph.create () in
+  let tab = Graph.symtab g in
+  let s = Table.fresh tab in
+  let t = Table.fresh tab in
+  let x = B.param g ~name:"x" [| s |] Dtype.F32 in
+  let y = B.param g ~name:"y" [| t |] Dtype.F32 in
+  let a = B.exp g (B.addf g x 1.0) in
+  let b = B.tanh g (B.mulf g x 2.0) in
+  let c = B.abs g (B.subf g x 3.0) in
+  let d = B.neg g (B.mulf g y 4.0) in
+  Graph.set_outputs g [ a; b; c; d ];
+  (g, s, t)
+
+let test_siblings_packed () =
+  let g, _, _ = siblings_graph () in
+  let base = Planner.plan g in
+  check_int "four kLoop kernels without packing" 4 (Cluster.num_kernels base);
+  let g, _, _ = siblings_graph () in
+  let packed = Planner.plan ~config:Planner.horizontal_config g in
+  (* the three same-domain chains pack; the different-domain chain stays *)
+  check_int "two kernels with packing" 2 (Cluster.num_kernels packed);
+  check_int "one horizontal cluster" 1 (Cluster.count_kind packed Cluster.Horizontal)
+
+let test_different_domains_not_packed () =
+  let g = Graph.create () in
+  let tab = Graph.symtab g in
+  let s = Table.fresh tab and t = Table.fresh tab in
+  let x = B.param g ~name:"x" [| s |] Dtype.F32 in
+  let y = B.param g ~name:"y" [| t |] Dtype.F32 in
+  Graph.set_outputs g [ B.exp g x; B.exp g y ];
+  let plan = Planner.plan ~config:Planner.horizontal_config g in
+  check_int "unrelated domains stay apart" 2 (Cluster.num_kernels plan);
+  check_int "no horizontal cluster" 0 (Cluster.count_kind plan Cluster.Horizontal)
+
+let test_dependent_chains_not_packed () =
+  (* b depends on a through a library op: packing a with b would break
+     the schedule (cycle through the dot) *)
+  let g = Graph.create () in
+  let tab = Graph.symtab g in
+  let s = Table.fresh tab in
+  let x = B.param g ~name:"x" [| s; Sym.Static 8 |] Dtype.F32 in
+  let w = B.param g ~name:"w" [| Sym.Static 8; Sym.Static 8 |] Dtype.F32 in
+  let a = B.exp g x in
+  let d = B.dot g a w in
+  let b = B.tanh g d in
+  Graph.set_outputs g [ b ];
+  let plan = Planner.plan ~config:Planner.horizontal_config g in
+  check_int "no horizontal packing across dependency" 0
+    (Cluster.count_kind plan Cluster.Horizontal);
+  check_int "three kernels (exp, dot, tanh)" 3 (Cluster.num_kernels plan)
+
+let test_packed_execution_correct () =
+  let g, _, _ = siblings_graph () in
+  let expected =
+    Ir.Interp.run g
+      [ Nd.init [| 5 |] (fun i -> float_of_int i.(0)); Nd.init [| 3 |] (fun i -> float_of_int i.(0)) ]
+  in
+  let g2, _, _ = siblings_graph () in
+  let c =
+    Disc.Compiler.compile
+      ~options:{ Disc.Compiler.default_options with planner = Planner.horizontal_config }
+      g2
+  in
+  let got, profile =
+    Disc.Compiler.run c
+      [ Nd.init [| 5 |] (fun i -> float_of_int i.(0)); Nd.init [| 3 |] (fun i -> float_of_int i.(0)) ]
+  in
+  List.iter2
+    (fun e o -> check_bool "packed result correct" true (Nd.equal_approx ~eps:1e-6 e o))
+    expected got;
+  check_int "two launches" 2 profile.Runtime.Profile.launches
+
+let test_packing_reduces_launch_cost () =
+  let mk config =
+    let g, s, t = siblings_graph () in
+    let plan = Planner.plan ~config g in
+    let exe = Runtime.Executable.compile g plan in
+    let bnd = Table.empty_binding () in
+    Table.bind_dim (Graph.symtab g) bnd s 1000;
+    Table.bind_dim (Graph.symtab g) bnd t 1000;
+    Runtime.Executable.simulate exe bnd
+  in
+  let p_base = mk Planner.default_config in
+  let p_pack = mk Planner.horizontal_config in
+  check_bool "fewer launches" true
+    (p_pack.Runtime.Profile.launches < p_base.Runtime.Profile.launches);
+  check_bool "lower latency" true
+    (Runtime.Profile.total_us p_pack < Runtime.Profile.total_us p_base)
+
+let test_default_off () =
+  check_bool "extension off by default" false Planner.default_config.Planner.enable_horizontal
+
+let prop_horizontal_preserves_semantics =
+  QCheck.Test.make ~name:"horizontal packing preserves semantics" ~count:30
+    QCheck.(int_bound 10000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let build () =
+        let g = Graph.create () in
+        let tab = Graph.symtab g in
+        let s = Table.fresh tab in
+        let x = B.param g ~name:"x" [| s |] Dtype.F32 in
+        let st = Random.State.copy st in
+        (* several independent chains of random length *)
+        let chains =
+          List.init 4 (fun _ ->
+              let rec go v n = if n = 0 then v else go (B.tanh g (B.addf g v 0.5)) (n - 1) in
+              go x (1 + Random.State.int st 3))
+        in
+        Graph.set_outputs g chains;
+        g
+      in
+      let g1 = build () in
+      let input = Nd.init [| 7 |] (fun i -> float_of_int i.(0) /. 3.0) in
+      let expected = Ir.Interp.run g1 [ input ] in
+      let g2 = build () in
+      let c =
+        Disc.Compiler.compile
+          ~options:{ Disc.Compiler.default_options with planner = Planner.horizontal_config }
+          g2
+      in
+      let got, _ = Disc.Compiler.run c [ input ] in
+      List.for_all2 (Nd.equal_approx ~eps:1e-6) expected got)
+
+let () =
+  Alcotest.run "horizontal"
+    [
+      ( "packing",
+        [
+          Alcotest.test_case "siblings packed" `Quick test_siblings_packed;
+          Alcotest.test_case "different domains" `Quick test_different_domains_not_packed;
+          Alcotest.test_case "dependencies respected" `Quick test_dependent_chains_not_packed;
+          Alcotest.test_case "execution correct" `Quick test_packed_execution_correct;
+          Alcotest.test_case "launch cost drops" `Quick test_packing_reduces_launch_cost;
+          Alcotest.test_case "off by default" `Quick test_default_off;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_horizontal_preserves_semantics ]);
+    ]

@@ -1,0 +1,223 @@
+(* Randomized whole-pipeline hardening: generate structured graphs that
+   exercise broadcast, reshape-through-products, reductions (stitch
+   patterns), transposes and library ops; then check that every pipeline
+   configuration produces exactly the interpreter's results at several
+   random shapes, and that plan/schedule invariants hold. *)
+
+module Sym = Symshape.Sym
+module Table = Symshape.Table
+module Graph = Ir.Graph
+module Op = Ir.Op
+module B = Ir.Builder
+module Dtype = Tensor.Dtype
+module Nd = Tensor.Nd
+module Planner = Fusion.Planner
+module Cluster = Fusion.Cluster
+
+(* A generated model: builder (fresh graph each call) + dim names. *)
+type gen_model = { build : unit -> Graph.t * (string * Sym.dim) list }
+
+(* Random structured graph over [b, s, h] with h static. Operations are
+   chosen to exercise every fusion-relevant op class while keeping
+   shapes trackable: values live on F=[b,s,h], O=[b,s] or M=[m,h]
+   (m = b*s via reshape). *)
+let random_model (st : Random.State.t) : gen_model =
+  let h = 4 * (1 + Random.State.int st 3) in
+  let steps =
+    List.init (4 + Random.State.int st 8) (fun _ -> Random.State.int st 100)
+  in
+  let build () =
+    let g = Graph.create () in
+    let tab = Graph.symtab g in
+    let b = Table.fresh ~name:"b" ~lb:1 ~ub:64 tab in
+    let s = Table.fresh ~name:"s" ~lb:1 ~ub:64 tab in
+    let x = B.param g ~name:"x" [| b; s; Sym.Static h |] Dtype.F32 in
+    let f_shape = [| b; s; Sym.Static h |] in
+    (* pools of values per domain *)
+    let fs = ref [ x ] in
+    let pick st pool = List.nth !pool (Random.State.int st (List.length !pool)) in
+    let st = Random.State.copy st in
+    List.iter
+      (fun choice ->
+        let v =
+          match choice mod 10 with
+          | 0 -> B.add g (pick st fs) (pick st fs)
+          | 1 -> B.mul g (pick st fs) (pick st fs)
+          | 2 -> B.tanh g (pick st fs)
+          | 3 -> B.gelu g (pick st fs)
+          | 4 ->
+              (* reduce last axis, broadcast back: a stitch pattern *)
+              B.reduce_lastdim_keep g
+                (if choice mod 3 = 0 then Op.R_max else Op.R_sum)
+                (pick st fs)
+          | 5 -> B.softmax g (pick st fs)
+          | 6 ->
+              (* round-trip through the merged [m, h] view *)
+              let m = Table.fresh tab in
+              let flat = B.reshape g (pick st fs) [| m; Sym.Static h |] in
+              let act = B.logistic g flat in
+              B.reshape g act f_shape
+          | 7 ->
+              (* transpose sandwich *)
+              let t = B.transpose g (pick st fs) [| 1; 0; 2 |] in
+              B.transpose g (B.abs g t) [| 1; 0; 2 |]
+          | 8 ->
+              (* a library op: project through a static dense layer *)
+              let w =
+                B.const g
+                  (Nd.init [| h; h |] (fun i ->
+                       Float.sin (float_of_int ((i.(0) * h) + i.(1)))))
+              in
+              B.dot g (pick st fs) w
+          | _ ->
+              (* broadcast a row constant and combine *)
+              let c = B.const g (Nd.init [| h |] (fun i -> 0.1 *. float_of_int i.(0))) in
+              B.add g (pick st fs) (B.broadcast_trailing g c ~out:f_shape)
+        in
+        fs := v :: !fs)
+      steps;
+    Graph.set_outputs g [ List.hd !fs ];
+    (g, [ ("b", b); ("s", s) ])
+  in
+  { build }
+
+let input_for (g : Graph.t) (bv, sv) seed =
+  match Graph.parameters g with
+  | [ (pid, _) ] ->
+      let hdim =
+        match (Graph.inst g pid).Graph.shape.(2) with
+        | Sym.Static v -> v
+        | _ -> assert false
+      in
+      Nd.init [| bv; sv; hdim |] (fun i ->
+          Float.sin (float_of_int ((i.(0) * 131) + (i.(1) * 17) + i.(2) + seed)))
+  | _ -> assert false
+
+let pipeline_variants =
+  [
+    ("default", Planner.default_config);
+    ("no-fusion", Planner.no_fusion_config);
+    ("no-stitch", Planner.no_stitch_config);
+    ("no-products", Planner.no_product_config);
+    ("horizontal", Planner.horizontal_config);
+  ]
+
+let prop_all_pipelines_match_interp =
+  QCheck.Test.make ~name:"structured graphs: all pipelines = interp at random shapes"
+    ~count:60
+    QCheck.(pair (int_bound 1_000_000) (pair (int_range 1 5) (int_range 1 9)))
+    (fun (seed, (bv, sv)) ->
+      let st = Random.State.make [| seed |] in
+      let model = random_model st in
+      let g_ref, _ = model.build () in
+      let input = input_for g_ref (bv, sv) seed in
+      let expected = Ir.Interp.run g_ref [ input ] in
+      List.for_all
+        (fun (_, planner) ->
+          let g, _ = model.build () in
+          let c =
+            Disc.Compiler.compile
+              ~options:{ Disc.Compiler.default_options with planner }
+              g
+          in
+          let got, _ = Disc.Compiler.run c [ input ] in
+          List.for_all2 (Nd.equal_approx ~eps:1e-5) expected got)
+        pipeline_variants)
+
+let prop_plan_invariants =
+  QCheck.Test.make ~name:"structured graphs: plan invariants" ~count:60
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let model = random_model st in
+      let g, _ = model.build () in
+      ignore (Ir.Passes.run_all g);
+      let plan = Planner.plan g in
+      (* 1. partition: every live non-param/const inst in exactly one cluster *)
+      let counts = Hashtbl.create 64 in
+      List.iter
+        (fun c ->
+          List.iter
+            (fun m ->
+              Hashtbl.replace counts m (1 + Option.value (Hashtbl.find_opt counts m) ~default:0))
+            c.Cluster.members)
+        plan.Cluster.clusters;
+      let partition_ok =
+        Graph.fold g
+          (fun ok i ->
+            ok
+            &&
+            match i.Graph.op with
+            | Op.Parameter _ | Op.Constant _ -> true
+            | _ -> Option.value (Hashtbl.find_opt counts i.Graph.id) ~default:0 = 1)
+          true
+      in
+      (* 2. schedule: producer clusters precede consumers *)
+      let order = Hashtbl.create 16 in
+      List.iteri (fun k c -> Hashtbl.replace order c.Cluster.cid k) plan.Cluster.clusters;
+      let schedule_ok =
+        List.for_all
+          (fun c ->
+            List.for_all
+              (fun input ->
+                match Hashtbl.find_opt plan.Cluster.cluster_of input with
+                | None -> true
+                | Some pc -> Hashtbl.find order pc < Hashtbl.find order c.Cluster.cid)
+              c.Cluster.inputs)
+          plan.Cluster.clusters
+      in
+      (* 3. library ops are always singletons *)
+      let library_ok =
+        List.for_all
+          (fun c ->
+            c.Cluster.kind <> Cluster.Library || List.length c.Cluster.members = 1)
+          plan.Cluster.clusters
+      in
+      partition_ok && schedule_ok && library_ok)
+
+let prop_fusion_never_increases_traffic =
+  QCheck.Test.make ~name:"structured graphs: fusion never increases traffic or launches"
+    ~count:40
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let model = random_model st in
+      let measure planner =
+        let g, dims = model.build () in
+        ignore (Ir.Passes.run_all g);
+        let plan = Planner.plan ~config:planner g in
+        let exe = Runtime.Executable.compile g plan in
+        let tab = Graph.symtab g in
+        let bnd = Table.empty_binding () in
+        List.iter (fun (_, d) -> Table.bind_dim tab bnd d 16) dims;
+        Runtime.Executable.simulate exe bnd
+      in
+      let fused = measure Planner.default_config in
+      let unfused = measure Planner.no_fusion_config in
+      fused.Runtime.Profile.launches <= unfused.Runtime.Profile.launches
+      && fused.Runtime.Profile.bytes_moved <= unfused.Runtime.Profile.bytes_moved)
+
+let prop_roundtrip_structured =
+  QCheck.Test.make ~name:"structured graphs: print/parse round trip" ~count:30
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let model = random_model st in
+      let g1, _ = model.build () in
+      let g2 = Ir.Parser.parse (Ir.Printer.to_string ~with_symbols:true g1) in
+      let input = input_for g1 (2, 3) seed in
+      let a = Ir.Interp.run g1 [ input ] and b = Ir.Interp.run g2 [ input ] in
+      List.for_all2 (Nd.equal_approx ~eps:1e-6) a b)
+
+let () =
+  Alcotest.run "pipeline-random"
+    [
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_all_pipelines_match_interp;
+            prop_plan_invariants;
+            prop_fusion_never_increases_traffic;
+            prop_roundtrip_structured;
+          ] );
+    ]

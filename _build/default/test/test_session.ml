@@ -1,0 +1,96 @@
+(* Tests for the serving-session API. *)
+
+module Session = Disc.Session
+module Suite = Models.Suite
+module Common = Models.Common
+module Nd = Tensor.Nd
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_serve_and_stats () =
+  let entry = Suite.find "dien" in
+  let session = Session.create (entry.Suite.build ()) in
+  List.iter
+    (fun (b, h) -> ignore (Session.serve session [ ("batch", b); ("hist", h) ]))
+    [ (16, 5); (64, 20); (256, 50); (16, 5); (128, 30) ];
+  let s = Session.stats session in
+  check_int "five requests" 5 s.Session.requests;
+  check_bool "compile once, recorded" true (s.Session.compile_ms > 0.0);
+  check_bool "mean positive" true (s.Session.mean_us > 0.0);
+  check_bool "p50 <= p95 <= p99 <= max" true
+    (s.Session.p50_us <= s.Session.p95_us
+    && s.Session.p95_us <= s.Session.p99_us
+    && s.Session.p99_us <= s.Session.max_us);
+  check_bool "mean between min-ish and max" true (s.Session.mean_us <= s.Session.max_us)
+
+let test_serve_data_correct () =
+  let entry = Suite.find "crnn" in
+  let built = entry.Suite.build_tiny () in
+  let inputs = Common.test_inputs built entry.Suite.tiny_dims in
+  let expected = Ir.Interp.run built.Common.graph inputs in
+  (* session compiles (and mutates) the same graph; build fresh for it *)
+  let built2 = entry.Suite.build_tiny () in
+  let session = Session.create built2 in
+  let inputs2 = Common.test_inputs built2 entry.Suite.tiny_dims in
+  let outs, profile = Session.serve_data session inputs2 in
+  List.iter2
+    (fun e o -> check_bool "served result correct" true (Nd.equal_approx ~eps:1e-5 e o))
+    expected outs;
+  check_bool "profile recorded" true (profile.Runtime.Profile.launches > 0);
+  check_int "one request" 1 (Session.stats session).Session.requests
+
+let test_device_selection () =
+  let entry = Suite.find "dien" in
+  let fast = Session.create ~device:Gpusim.Device.a10 (entry.Suite.build ()) in
+  let slow = Session.create ~device:Gpusim.Device.t4 (entry.Suite.build ()) in
+  let env = [ ("batch", 256); ("hist", 50) ] in
+  let f = Runtime.Profile.total_us (Session.serve fast env) in
+  let s = Runtime.Profile.total_us (Session.serve slow env) in
+  check_bool "T4 session slower" true (s > f)
+
+let test_unknown_dim_rejected () =
+  let entry = Suite.find "dien" in
+  let session = Session.create (entry.Suite.build ()) in
+  check_bool "unknown dim" true
+    (try
+       ignore (Session.serve session [ ("bogus", 1) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_empty_stats () =
+  let entry = Suite.find "dien" in
+  let session = Session.create (entry.Suite.build ()) in
+  let s = Session.stats session in
+  check_int "no requests" 0 s.Session.requests;
+  check_bool "zeroed" true (s.Session.mean_us = 0.0 && s.Session.max_us = 0.0)
+
+let prop_stats_match_recorded_latencies =
+  QCheck.Test.make ~name:"session max equals slowest request" ~count:20
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 10) (pair (int_range 1 64) (int_range 1 100)))
+    (fun reqs ->
+      let entry = Suite.find "dien" in
+      let session = Session.create (entry.Suite.build ()) in
+      let lats =
+        List.map
+          (fun (b, h) ->
+            Runtime.Profile.total_us (Session.serve session [ ("batch", b); ("hist", h) ]))
+          reqs
+      in
+      let s = Session.stats session in
+      s.Session.requests = List.length reqs
+      && Float.abs (s.Session.max_us -. List.fold_left Float.max 0.0 lats) < 1e-6)
+
+let () =
+  Alcotest.run "session"
+    [
+      ( "serving",
+        [
+          Alcotest.test_case "serve + stats" `Quick test_serve_and_stats;
+          Alcotest.test_case "serve data" `Quick test_serve_data_correct;
+          Alcotest.test_case "device selection" `Quick test_device_selection;
+          Alcotest.test_case "unknown dim" `Quick test_unknown_dim_rejected;
+          Alcotest.test_case "empty stats" `Quick test_empty_stats;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_stats_match_recorded_latencies ]);
+    ]
