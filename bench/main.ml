@@ -459,6 +459,60 @@ let specialization () =
     Suite.all
 
 (* ----------------------------------------------------------------------
+   E14 (extension): fault-tolerant serving — deterministic fault
+   injection against the session's retry / interpreter-fallback /
+   circuit-breaker ladder, behind an overload-aware bounded queue.
+   Every request ends in exactly one disposition. *)
+
+let resilience () =
+  header "E14 (extension): fault injection vs graceful degradation (dien, A10)";
+  let module Q = Workloads.Queueing in
+  let entry = Suite.find "dien" in
+  let arrivals =
+    Q.generate_arrivals ~seed:11 ~qps:2000.0 ~n:500
+      ~dims:[ ("hist", Workloads.Trace.Skewed (5, 100)) ]
+  in
+  let policy =
+    {
+      Q.batching = { Q.max_batch = 8; max_wait_us = 2000.0 };
+      queue_bound = 64;
+      deadline_us = 200_000.0;
+    }
+  in
+  Printf.printf "%-10s %8s %9s %5s %7s %8s %8s %7s %8s %9s\n" "fault-rate" "served"
+    "fell-back" "shed" "expired" "retries" "faults" "despec" "p50(ms)" "p99(ms)";
+  List.iter
+    (fun rate ->
+      let built = entry.Suite.build () in
+      let sess =
+        Disc.Session.create
+          ~fault_config:(Gpusim.Fault.create ~seed:7 ~kernel_fault_rate:rate ())
+          built
+      in
+      let service env =
+        match Disc.Session.serve_result sess env with
+        | Ok (p, path) -> (Profile.total_us p, path)
+        | Error _ -> (1e6, `Fallback)
+      in
+      let a = Q.simulate_server ~arrivals ~policy ~batch_dim:"batch" ~service () in
+      let s = Disc.Session.stats sess in
+      let completed =
+        Array.of_list
+          (List.filter (fun l -> not (Float.is_nan l))
+             (Array.to_list a.Q.request_latencies_us))
+      in
+      Printf.printf "%-10.2f %8d %9d %5d %7d %8d %8d %7d %8.1f %9.1f\n" rate a.Q.served
+        a.Q.fell_back a.Q.shed a.Q.expired s.Disc.Session.retries s.Disc.Session.faults
+        s.Disc.Session.despeculated
+        (Q.percentile completed 0.5 /. 1000.0)
+        (Q.percentile completed 0.99 /. 1000.0))
+    [ 0.0; 0.05; 0.10 ];
+  Printf.printf
+    "(every request accounted: served + fell-back + shed + expired = %d arrivals;\n\
+    \ fell-back requests are re-served on the op-by-op reference interpreter)\n"
+    (List.length arrivals)
+
+(* ----------------------------------------------------------------------
    Bechamel microbenchmarks of the compiler itself. *)
 
 let micro () =
@@ -567,7 +621,8 @@ let all () =
   horizontal_ablation ();
   cpu ();
   serving ();
-  specialization ()
+  specialization ();
+  resilience ()
 
 let () =
   let cmd = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -585,6 +640,7 @@ let () =
   | "cpu" -> cpu ()
   | "serving" -> serving ()
   | "specialization" -> specialization ()
+  | "resilience" -> resilience ()
   | "micro" -> micro ()
   | "all" -> all ()
   | other ->

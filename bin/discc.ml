@@ -13,6 +13,10 @@ module Common = Models.Common
 module Planner = Fusion.Planner
 module Compiler = Disc.Compiler
 
+(* Usage errors (bad flags/arguments) exit 1; compile/runtime errors
+   exit 2. Both print one line to stderr — no backtraces at users. *)
+exception Usage of string
+
 let planner_of_string = function
   | "default" -> Ok Planner.default_config
   | "no-fusion" -> Ok Planner.no_fusion_config
@@ -25,13 +29,18 @@ let parse_dims s =
   String.split_on_char ',' s
   |> List.map (fun kv ->
          match String.split_on_char '=' kv with
-         | [ k; v ] -> (String.trim k, int_of_string (String.trim v))
-         | _ -> failwith (Printf.sprintf "bad --dims entry %S (want name=value)" kv))
+         | [ k; v ] -> (
+             let k = String.trim k in
+             match int_of_string_opt (String.trim v) with
+             | Some n -> (k, n)
+             | None ->
+                 raise (Usage (Printf.sprintf "bad --dims value %S (want an integer)" v)))
+         | _ -> raise (Usage (Printf.sprintf "bad --dims entry %S (want name=value)" kv)))
 
 let device_of_string s =
   match Gpusim.Device.by_name s with
   | Some d -> d
-  | None -> failwith (Printf.sprintf "unknown device %S (A10 or T4)" s)
+  | None -> raise (Usage (Printf.sprintf "unknown device %S (A10 or T4)" s))
 
 (* common options *)
 let model_arg =
@@ -61,7 +70,7 @@ let build_model name tiny =
 let options_of planner_name =
   match planner_of_string planner_name with
   | Ok p -> { Compiler.default_options with planner = p }
-  | Error e -> failwith e
+  | Error e -> raise (Usage e)
 
 (* --- list ---------------------------------------------------------------- *)
 
@@ -252,5 +261,19 @@ let () =
     Cmd.info "discc" ~version:"1.0"
       ~doc:"BladeDISC dynamic-shape ML compiler reproduction driver"
   in
-  exit (Cmd.eval (Cmd.group info
-       [ list_cmd; compile_cmd; compile_file_cmd; run_cmd; exec_cmd; explain_cmd; compare_cmd ]))
+  let die code msg =
+    Printf.eprintf "discc: %s\n" msg;
+    exit code
+  in
+  match
+    Cmd.eval ~catch:false (Cmd.group info
+      [ list_cmd; compile_cmd; compile_file_cmd; run_cmd; exec_cmd; explain_cmd; compare_cmd ])
+  with
+  | code -> exit code
+  | exception Usage msg -> die 1 msg
+  | exception Invalid_argument msg -> die 1 msg
+  | exception Runtime.Error.Error e -> die 2 (Runtime.Error.to_string e)
+  | exception Symshape.Table.Inconsistent msg -> die 2 ("shape error: " ^ msg)
+  | exception Ir.Interp.Eval_error msg -> die 2 ("eval error: " ^ msg)
+  | exception Failure msg -> die 2 msg
+  | exception Sys_error msg -> die 2 msg

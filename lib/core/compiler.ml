@@ -61,6 +61,10 @@ let run ?(device = Gpusim.Device.a10) (c : compiled) (inputs : Nd.t list) :
     Nd.t list * Runtime.Profile.t =
   Executable.run ~device c.exe inputs
 
+let run_result ?(device = Gpusim.Device.a10) ?faults ?despeculate (c : compiled)
+    (inputs : Nd.t list) : (Nd.t list * Runtime.Profile.t, Runtime.Error.t) result =
+  Executable.run_result ~device ?faults ?despeculate c.exe inputs
+
 let latency_us ?device (c : compiled) (inputs : Nd.t list) : float =
   let _, profile = run ?device c inputs in
   Runtime.Profile.total_us profile
@@ -76,6 +80,12 @@ let binding_of_dims (g : Graph.t) (dims : (Symshape.Sym.dim * int) list) =
 let simulate ?(device = Gpusim.Device.a10) (c : compiled) (dims : (Symshape.Sym.dim * int) list)
     : Runtime.Profile.t =
   Executable.simulate ~device c.exe (binding_of_dims c.exe.Executable.g dims)
+
+let simulate_result ?(device = Gpusim.Device.a10) ?faults ?despeculate (c : compiled)
+    (dims : (Symshape.Sym.dim * int) list) : (Runtime.Profile.t, Runtime.Error.t) result =
+  match binding_of_dims c.exe.Executable.g dims with
+  | bnd -> Executable.simulate_result ~device ?faults ?despeculate c.exe bnd
+  | exception Symshape.Table.Inconsistent m -> Error (Runtime.Error.Invalid_request m)
 
 let simulated_latency_us ?device (c : compiled) dims =
   Runtime.Profile.total_us (simulate ?device c dims)

@@ -42,6 +42,16 @@ val run :
   Tensor.Nd.t list ->
   Tensor.Nd.t list * Runtime.Profile.t
 
+val run_result :
+  ?device:Gpusim.Device.t ->
+  ?faults:Gpusim.Fault.t ->
+  ?despeculate:(string -> bool) ->
+  compiled ->
+  Tensor.Nd.t list ->
+  (Tensor.Nd.t list * Runtime.Profile.t, Runtime.Error.t) result
+(** {!run} with structured errors; [faults] injects seeded failures,
+    [despeculate] pins named kernels to their generic version. *)
+
 val latency_us : ?device:Gpusim.Device.t -> compiled -> Tensor.Nd.t list -> float
 
 val binding_of_dims : Graph.t -> (Symshape.Sym.dim * int) list -> Symshape.Table.binding
@@ -52,6 +62,15 @@ val simulate :
   (Symshape.Sym.dim * int) list ->
   Runtime.Profile.t
 (** Cost-only execution at given dynamic-dim values — no tensor data. *)
+
+val simulate_result :
+  ?device:Gpusim.Device.t ->
+  ?faults:Gpusim.Fault.t ->
+  ?despeculate:(string -> bool) ->
+  compiled ->
+  (Symshape.Sym.dim * int) list ->
+  (Runtime.Profile.t, Runtime.Error.t) result
+(** {!simulate} with structured errors instead of exceptions. *)
 
 val simulated_latency_us :
   ?device:Gpusim.Device.t -> compiled -> (Symshape.Sym.dim * int) list -> float

@@ -1,16 +1,65 @@
 (* Serving-session API: compile a model once, answer requests at
    arbitrary shapes, and keep latency statistics — the deployment
-   wrapper a BladeDISC user actually runs behind an endpoint. *)
+   wrapper a BladeDISC user actually runs behind an endpoint.
+
+   The session is the resilience boundary of the stack: a request may
+   fail on the compiled path (injected kernel fault, OOM, bad binding)
+   but never crashes the host. The graceful-degradation ladder is
+
+     compiled path -> retry (transient faults) -> reference fallback
+
+   where the reference fallback is the framework op-by-op path: exact
+   numerics from [Ir.Interp], cost charged per instruction (no fusion,
+   eager dispatch overhead). A per-kernel circuit breaker additionally
+   de-speculates a kernel — pins it to its generic version — after K
+   consecutive faults, mirroring how BladeDISC retreats from a bad
+   speculative specialization without giving up the compiled path. *)
 
 module Common = Models.Common
 module Profile = Runtime.Profile
+module Error = Runtime.Error
+module Table = Symshape.Table
+module Graph = Ir.Graph
+module Op = Ir.Op
+
+type policy = {
+  max_retries : int; (* compiled-path re-runs after a transient fault *)
+  breaker_threshold : int; (* consecutive faults that de-speculate a kernel *)
+  fallback_to_interp : bool; (* serve via the reference path after retries *)
+}
+
+let default_policy = { max_retries = 1; breaker_threshold = 3; fallback_to_interp = true }
+
+type path = [ `Compiled | `Fallback ]
+
+(* Fixed-capacity ring of recent latencies: percentile math over a
+   sliding window instead of unbounded per-request memory growth. *)
+type ring = { buf : float array; mutable len : int; mutable next : int }
+
+let ring_create cap = { buf = Array.make (max 1 cap) 0.0; len = 0; next = 0 }
+
+let ring_push r v =
+  r.buf.(r.next) <- v;
+  r.next <- (r.next + 1) mod Array.length r.buf;
+  r.len <- min (Array.length r.buf) (r.len + 1)
+
+let ring_contents r = Array.sub r.buf 0 r.len (* order irrelevant for percentiles *)
 
 type t = {
   built : Common.built;
   compiled : Compiler.compiled;
   device : Gpusim.Device.t;
-  mutable latencies_us : float list; (* reverse chronological *)
+  policy : policy;
+  faults : Gpusim.Fault.t option;
+  latencies : ring;
+  breakers : (string, int) Hashtbl.t; (* kernel -> consecutive faults *)
+  tripped : (string, unit) Hashtbl.t; (* de-speculated kernels *)
   mutable requests : int;
+  mutable served : int; (* compiled path succeeded *)
+  mutable fell_back : int; (* reference path served *)
+  mutable failed : int; (* structured error returned to caller *)
+  mutable retries : int;
+  mutable faults_seen : int; (* kernel faults + OOMs observed *)
 }
 
 type stats = {
@@ -21,29 +70,243 @@ type stats = {
   p95_us : float;
   p99_us : float;
   max_us : float;
+  served : int;
+  fell_back : int;
+  failed : int;
+  retries : int;
+  faults : int;
+  despeculated : int;
+  window : int; (* latencies retained for the percentile window *)
 }
 
+let default_window = 1024
+
 let create ?(options = Compiler.default_options) ?(device = Gpusim.Device.a10)
+    ?(policy = default_policy) ?fault_config ?(window = default_window)
     (built : Common.built) : t =
   let compiled = Compiler.compile ~options built.Common.graph in
-  { built; compiled; device; latencies_us = []; requests = 0 }
+  {
+    built;
+    compiled;
+    device;
+    policy;
+    faults = Option.map Gpusim.Fault.make fault_config;
+    latencies = ring_create window;
+    breakers = Hashtbl.create 16;
+    tripped = Hashtbl.create 16;
+    requests = 0;
+    served = 0;
+    fell_back = 0;
+    failed = 0;
+    retries = 0;
+    faults_seen = 0;
+  }
 
 let record t lat =
-  t.latencies_us <- lat :: t.latencies_us;
+  ring_push t.latencies lat;
   t.requests <- t.requests + 1
 
-(* Cost-only request at named dynamic-dim values. *)
-let serve (t : t) (env : (string * int) list) : Profile.t =
-  let dims = List.map (fun (n, v) -> (Common.dim_exn t.built n, v)) env in
-  let profile = Compiler.simulate ~device:t.device t.compiled dims in
-  record t (Profile.total_us profile);
+let despeculated_kernels t = List.of_seq (Seq.map fst (Hashtbl.to_seq t.tripped))
+
+(* --- circuit breaker ------------------------------------------------------ *)
+
+let is_tripped t kname = Hashtbl.mem t.tripped kname
+
+let note_fault t (e : Error.t) =
+  t.faults_seen <- t.faults_seen + 1;
+  match e with
+  | Error.Kernel_fault { kernel; _ } ->
+      let n = 1 + Option.value (Hashtbl.find_opt t.breakers kernel) ~default:0 in
+      Hashtbl.replace t.breakers kernel n;
+      if n >= t.policy.breaker_threshold then Hashtbl.replace t.tripped kernel ()
+  | _ -> ()
+
+(* A clean compiled-path pass means every kernel ran: reset the
+   consecutive-fault counters (tripped kernels stay de-speculated). *)
+let note_clean_pass t = Hashtbl.reset t.breakers
+
+(* --- request validation --------------------------------------------------- *)
+
+let validate_env (t : t) (env : (string * int) list) :
+    ((Symshape.Sym.dim * int) list, Error.t) result =
+  let rec check_known = function
+    | [] -> Ok ()
+    | (name, v) :: rest -> (
+        if v < 1 then
+          Error (Error.Invalid_request (Printf.sprintf "dim %s = %d (must be >= 1)" name v))
+        else if List.exists (fun (n, _) -> n = name) rest then
+          Error (Error.Invalid_request (Printf.sprintf "dim %s bound twice" name))
+        else
+          match Common.dim_opt t.built name with
+          | Some _ -> check_known rest
+          | None ->
+              Error
+                (Error.Invalid_request
+                   (Printf.sprintf "model %s has no dynamic dim %s" t.built.Common.name name)))
+  in
+  match check_known env with
+  | Error _ as e -> e
+  | Ok () -> (
+      let missing =
+        List.filter (fun (n, _) -> not (List.mem_assoc n env)) t.built.Common.dims
+      in
+      match missing with
+      | (name, _) :: _ -> Error (Error.Unbound_dim name)
+      | [] -> Ok (List.map (fun (n, v) -> (Common.dim_exn t.built n, v)) env))
+
+(* --- reference (fallback) cost model --------------------------------------
+
+   The framework path executes the graph op by op: one dispatch per
+   instruction, every intermediate read and written through global
+   memory, no fusion, no speculation. Charging it per instruction keeps
+   the fallback's latency honestly worse than the compiled path. *)
+
+let interp_dispatch_us = 4.0 (* framework per-op host overhead *)
+
+let reference_profile (t : t) (bnd : Table.binding) : Profile.t =
+  let g = t.built.Common.graph in
+  let tab = Graph.symtab g in
+  let profile = Profile.create () in
+  let bytes_of (i : Graph.inst) =
+    Tensor.Shape.numel (Table.eval_shape tab bnd i.Graph.shape)
+    * Tensor.Dtype.byte_size i.Graph.dtype
+  in
+  Graph.iter g (fun i ->
+      match i.Graph.op with
+      | Op.Parameter _ | Op.Constant _ -> ()
+      | op ->
+          let out_bytes = bytes_of i in
+          let in_bytes =
+            Array.fold_left (fun acc a -> acc + bytes_of (Graph.inst g a)) 0 i.Graph.args
+          in
+          let numel = Tensor.Shape.numel (Table.eval_shape tab bnd i.Graph.shape) in
+          let work =
+            {
+              Gpusim.Cost.default_work with
+              Gpusim.Cost.bytes_read = in_bytes;
+              bytes_written = out_bytes;
+              flops = Op.flops_per_element op *. float_of_int numel;
+              mem_efficiency = 0.6;
+              compute_efficiency = 0.4;
+              blocks = max 1 (numel / 1024);
+            }
+          in
+          Profile.add profile
+            ~kname:(Printf.sprintf "ref%%%d" i.Graph.id)
+            ~kind:"interp" ~version_tag:"reference"
+            ~time_us:(Gpusim.Cost.kernel_time_us t.device work)
+            ~host_us:interp_dispatch_us ~bytes:(in_bytes + out_bytes) ~flops:work.Gpusim.Cost.flops);
   profile
 
-(* Data-plane request on real tensors. *)
+(* --- the retry / fallback ladder ------------------------------------------ *)
+
+let rec attempt t ~tries_left ~(compiled : unit -> ('a, Error.t) result)
+    ~(fallback : Error.t -> ('a * path, Error.t) result) : ('a * path, Error.t) result =
+  match compiled () with
+  | Ok v ->
+      note_clean_pass t;
+      Ok (v, `Compiled)
+  | Error e when Error.is_transient e ->
+      note_fault t e;
+      if tries_left > 0 then begin
+        t.retries <- t.retries + 1;
+        attempt t ~tries_left:(tries_left - 1) ~compiled ~fallback
+      end
+      else fallback e
+  | Error e -> Error e (* permanent: retrying or falling back cannot help *)
+
+let fallback_or_fail t e ~(reference : unit -> ('a, Error.t) result) =
+  if not t.policy.fallback_to_interp then Error e
+  else
+    match reference () with
+    | Ok v -> Ok (v, `Fallback)
+    | Error e' -> Error e'
+
+(* Cost-only request at named dynamic-dim values. *)
+let serve_result ?deadline_us (t : t) (env : (string * int) list) :
+    (Profile.t * path, Error.t) result =
+  let fail e =
+    t.failed <- t.failed + 1;
+    Error e
+  in
+  match validate_env t env with
+  | Error e -> fail e
+  | Ok dims -> (
+      let compiled () =
+        Compiler.simulate_result ~device:t.device ?faults:t.faults
+          ~despeculate:(is_tripped t) t.compiled dims
+      in
+      let reference () =
+        match Compiler.binding_of_dims t.compiled.Compiler.exe.Runtime.Executable.g dims with
+        | bnd -> Ok (reference_profile t bnd)
+        | exception Table.Inconsistent m -> Error (Error.Fallback_failed m)
+      in
+      let outcome =
+        attempt t ~tries_left:t.policy.max_retries ~compiled
+          ~fallback:(fun e -> fallback_or_fail t e ~reference)
+      in
+      match outcome with
+      | Error e -> fail e
+      | Ok (profile, path) -> (
+          let lat = Profile.total_us profile in
+          match deadline_us with
+          | Some budget when lat > budget ->
+              fail (Error.Deadline_exceeded { deadline_us = budget; elapsed_us = lat })
+          | _ ->
+              record t lat;
+              (match path with
+              | `Compiled -> t.served <- t.served + 1
+              | `Fallback -> t.fell_back <- t.fell_back + 1);
+              Ok (profile, path)))
+
+(* Data-plane request on real tensors; the fallback path computes the
+   outputs with the reference interpreter (bit-identical to [Ir.Interp])
+   and charges the op-by-op reference cost. *)
+let serve_data_result (t : t) (inputs : Tensor.Nd.t list) :
+    (Tensor.Nd.t list * Profile.t * path, Error.t) result =
+  let g = t.built.Common.graph in
+  let compiled () = Compiler.run_result ~device:t.device ?faults:t.faults t.compiled inputs in
+  let reference () =
+    match Ir.Interp.run g inputs with
+    | outs ->
+        let bnd = Ir.Interp.bind_inputs g inputs in
+        Ok (outs, reference_profile t bnd)
+    | exception Ir.Interp.Eval_error m -> Error (Error.Fallback_failed m)
+    | exception Table.Inconsistent m -> Error (Error.Fallback_failed m)
+  in
+  let outcome =
+    attempt t ~tries_left:t.policy.max_retries ~compiled
+      ~fallback:(fun e -> fallback_or_fail t e ~reference)
+  in
+  match outcome with
+  | Error e ->
+      t.failed <- t.failed + 1;
+      Error e
+  | Ok ((outs, profile), path) ->
+      record t (Profile.total_us profile);
+      (match path with
+      | `Compiled -> t.served <- t.served + 1
+      | `Fallback -> t.fell_back <- t.fell_back + 1);
+      Ok (outs, profile, path)
+
+(* --- legacy exception wrappers -------------------------------------------- *)
+
+let raise_of_error (e : Error.t) =
+  match e with
+  | Error.Invalid_request m | Error.Unbound_dim m -> invalid_arg m
+  | e -> Error.fail e
+
+let serve (t : t) (env : (string * int) list) : Profile.t =
+  match serve_result t env with
+  | Ok (profile, _) -> profile
+  | Error e -> raise_of_error e
+
 let serve_data (t : t) (inputs : Tensor.Nd.t list) : Tensor.Nd.t list * Profile.t =
-  let outs, profile = Compiler.run ~device:t.device t.compiled inputs in
-  record t (Profile.total_us profile);
-  (outs, profile)
+  match serve_data_result t inputs with
+  | Ok (outs, profile, _) -> (outs, profile)
+  | Error e -> raise_of_error e
+
+(* --- statistics ----------------------------------------------------------- *)
 
 let percentile sorted p =
   match Array.length sorted with
@@ -51,20 +314,30 @@ let percentile sorted p =
   | n -> sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
 
 let stats (t : t) : stats =
-  let arr = Array.of_list t.latencies_us in
+  let arr = ring_contents t.latencies in
   Array.sort compare arr;
+  let n = Array.length arr in
   let total = Array.fold_left ( +. ) 0.0 arr in
   {
     requests = t.requests;
     compile_ms = t.compiled.Compiler.compile_time_ms;
-    mean_us = (if t.requests = 0 then 0.0 else total /. float_of_int t.requests);
+    mean_us = (if n = 0 then 0.0 else total /. float_of_int n);
     p50_us = percentile arr 0.5;
     p95_us = percentile arr 0.95;
     p99_us = percentile arr 0.99;
-    max_us = (if Array.length arr = 0 then 0.0 else arr.(Array.length arr - 1));
+    max_us = (if n = 0 then 0.0 else arr.(n - 1));
+    served = t.served;
+    fell_back = t.fell_back;
+    failed = t.failed;
+    retries = t.retries;
+    faults = t.faults_seen;
+    despeculated = Hashtbl.length t.tripped;
+    window = n;
   }
 
 let stats_to_string (s : stats) =
   Printf.sprintf
-    "requests=%d compile=%.1fs mean=%.0fus p50=%.0fus p95=%.0fus p99=%.0fus max=%.0fus"
+    "requests=%d compile=%.1fs mean=%.0fus p50=%.0fus p95=%.0fus p99=%.0fus max=%.0fus \
+     served=%d fell_back=%d failed=%d retries=%d faults=%d despeculated=%d"
     s.requests (s.compile_ms /. 1000.0) s.mean_us s.p50_us s.p95_us s.p99_us s.max_us
+    s.served s.fell_back s.failed s.retries s.faults s.despeculated

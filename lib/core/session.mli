@@ -1,7 +1,30 @@
 (** Serving sessions: compile a model once, answer requests at arbitrary
-    dynamic shapes, and track latency percentiles. *)
+    dynamic shapes, and track latency percentiles over a bounded window.
+
+    The session is the resilience boundary of the stack. A request that
+    fails on the compiled path (kernel fault, OOM, bad binding) never
+    crashes the host; the graceful-degradation ladder is
+
+    {v compiled path -> retry (transient faults) -> reference fallback v}
+
+    where the reference fallback serves exact [Ir.Interp] numerics at
+    op-by-op (unfused, eager-dispatch) cost. A per-kernel circuit
+    breaker de-speculates a kernel — pins it to its generic codegen
+    version — after [breaker_threshold] consecutive faults. *)
 
 type t
+
+type policy = {
+  max_retries : int;  (** compiled-path re-runs after a transient fault *)
+  breaker_threshold : int;  (** consecutive faults that de-speculate a kernel *)
+  fallback_to_interp : bool;  (** serve via the reference path after retries *)
+}
+
+val default_policy : policy
+(** [{ max_retries = 1; breaker_threshold = 3; fallback_to_interp = true }] *)
+
+type path = [ `Compiled | `Fallback ]
+(** Which path ultimately served the request. *)
 
 type stats = {
   requests : int;
@@ -11,18 +34,58 @@ type stats = {
   p95_us : float;
   p99_us : float;
   max_us : float;
+  served : int;  (** compiled-path successes *)
+  fell_back : int;  (** served by the reference path *)
+  failed : int;  (** structured errors returned to callers *)
+  retries : int;
+  faults : int;  (** kernel faults / OOMs observed *)
+  despeculated : int;  (** kernels pinned to their generic version *)
+  window : int;  (** latencies retained for the percentile window *)
 }
 
+val default_window : int
+(** Capacity of the latency ring buffer (1024). *)
+
 val create :
-  ?options:Compiler.options -> ?device:Gpusim.Device.t -> Models.Common.built -> t
-(** Compiles immediately; every later request reuses the artifact. *)
+  ?options:Compiler.options ->
+  ?device:Gpusim.Device.t ->
+  ?policy:policy ->
+  ?fault_config:Gpusim.Fault.config ->
+  ?window:int ->
+  Models.Common.built ->
+  t
+(** Compiles immediately; every later request reuses the artifact.
+    [fault_config] arms deterministic fault injection for this session. *)
+
+val serve_result :
+  ?deadline_us:float ->
+  t ->
+  (string * int) list ->
+  (Runtime.Profile.t * path, Runtime.Error.t) result
+(** Cost-only request at named dynamic-dim values
+    (e.g. [[("batch", 4); ("seq", 73)]]). Validates the binding, runs
+    the retry/fallback ladder, and records latency + outcome counters.
+    With [deadline_us], a request whose simulated latency exceeds the
+    budget returns [Deadline_exceeded] and counts as failed. *)
+
+val serve_data_result :
+  t ->
+  Tensor.Nd.t list ->
+  (Tensor.Nd.t list * Runtime.Profile.t * path, Runtime.Error.t) result
+(** Data-plane request on real tensors. On fallback the outputs are
+    computed by the reference interpreter — bit-identical to
+    [Ir.Interp.run] — and cost is charged at the op-by-op rate. *)
 
 val serve : t -> (string * int) list -> Runtime.Profile.t
-(** Cost-only request at named dynamic-dim values
-    (e.g. [\[("batch", 4); ("seq", 73)\]]). *)
+(** Legacy wrapper over {!serve_result}.
+    @raise Invalid_argument on malformed requests (unknown or missing dim)
+    @raise Runtime.Error.Error on execution failures *)
 
 val serve_data : t -> Tensor.Nd.t list -> Tensor.Nd.t list * Runtime.Profile.t
-(** Data-plane request on real tensors. *)
+(** Legacy wrapper over {!serve_data_result}; same raising behaviour. *)
+
+val despeculated_kernels : t -> string list
+(** Kernels the circuit breaker has pinned to their generic version. *)
 
 val stats : t -> stats
 val stats_to_string : stats -> string

@@ -6,19 +6,30 @@
    shape runs the static variant — on which every fusion decision and
    speculation guard resolved at compile time — and anything else falls
    back to the generic artifact. Unlike a bucketing compiler, a miss
-   never stalls: the generic artifact always works. *)
+   never stalls: the generic artifact always works.
+
+   The generic artifact is also the *resilience* fallback: if a hot
+   variant faults (injected kernel fault, OOM) the request is re-served
+   on the generic artifact, and a per-specialization circuit breaker
+   de-specializes a hot variant after K consecutive faults — the
+   paper's speculative-specialization design degrading gracefully. *)
 
 module Common = Models.Common
 module Sym = Symshape.Sym
 module Table = Symshape.Table
 module Graph = Ir.Graph
+module Error = Runtime.Error
 
 type t = {
   built : Common.built;
   generic : Compiler.compiled;
-  hot : ((string * int) list * Compiler.compiled) list; (* sorted envs *)
+  mutable hot : ((string * int) list * Compiler.compiled) list; (* sorted envs *)
   mutable hits : int;
   mutable misses : int;
+  faults : Gpusim.Fault.t option;
+  breaker_threshold : int;
+  breakers : ((string * int) list, int) Hashtbl.t; (* consecutive faults per hot env *)
+  mutable despecialized : (string * int) list list; (* evicted hot envs *)
 }
 
 let norm env = List.sort compare env
@@ -42,7 +53,8 @@ let default_hot_envs (built : Common.built) : (string * int) list list =
   in
   List.filteri (fun i _ -> i < 16) (List.map List.rev product)
 
-let create ?(options = Compiler.default_options) ?hot_envs (built : Common.built) : t =
+let create ?(options = Compiler.default_options) ?hot_envs ?fault_config
+    ?(breaker_threshold = 3) (built : Common.built) : t =
   let envs = Option.value hot_envs ~default:(default_hot_envs built) in
   let generic = Compiler.compile ~options built.Common.graph in
   let hot =
@@ -55,21 +67,83 @@ let create ?(options = Compiler.default_options) ?hot_envs (built : Common.built
         (norm env, Compiler.compile ~options static_g))
       envs
   in
-  { built; generic; hot; hits = 0; misses = 0 }
+  {
+    built;
+    generic;
+    hot;
+    hits = 0;
+    misses = 0;
+    faults = Option.map Gpusim.Fault.make fault_config;
+    breaker_threshold;
+    breakers = Hashtbl.create 8;
+    despecialized = [];
+  }
 
 let total_compile_ms (t : t) =
   t.generic.Compiler.compile_time_ms
   +. List.fold_left (fun acc (_, c) -> acc +. c.Compiler.compile_time_ms) 0.0 t.hot
 
-(* Cost-only request: exact signature match uses the static variant. *)
-let serve ?(device = Gpusim.Device.a10) (t : t) (env : (string * int) list) :
-    Runtime.Profile.t * [ `Hot | `Generic ] =
-  match List.assoc_opt (norm env) t.hot with
-  | Some c ->
+let despecialized_envs (t : t) = t.despecialized
+
+(* De-specialize a hot variant: evict it so every future request at that
+   signature runs the always-valid generic dynamic-shape artifact. *)
+let trip (t : t) key =
+  t.hot <- List.remove_assoc key t.hot;
+  t.despecialized <- key :: t.despecialized;
+  Hashtbl.remove t.breakers key
+
+let note_hot_fault (t : t) key =
+  let n = 1 + Option.value (Hashtbl.find_opt t.breakers key) ~default:0 in
+  Hashtbl.replace t.breakers key n;
+  if n >= t.breaker_threshold then trip t key
+
+(* Cost-only request: exact signature match uses the static variant;
+   a hot-variant fault falls back to the generic artifact in-request. *)
+let serve_result ?(device = Gpusim.Device.a10) (t : t) (env : (string * int) list) :
+    (Runtime.Profile.t * [ `Hot | `Generic ], Error.t) result =
+  let generic_dims () =
+    match
+      List.map
+        (fun (n, v) ->
+          match Common.dim_opt t.built n with
+          | Some d -> (d, v)
+          | None ->
+              Error.fail
+                (Error.Invalid_request
+                   (Printf.sprintf "model %s has no dynamic dim %s" t.built.Common.name n)))
+        env
+    with
+    | dims -> Ok dims
+    | exception Error.Error e -> Error e
+  in
+  let serve_generic () =
+    match generic_dims () with
+    | Error e -> Error e
+    | Ok dims -> (
+        match Compiler.simulate_result ~device ?faults:t.faults t.generic dims with
+        | Ok p -> Ok (p, `Generic)
+        | Error e -> Error e)
+  in
+  let key = norm env in
+  match List.assoc_opt key t.hot with
+  | Some c -> (
       t.hits <- t.hits + 1;
       (* the static variant has no dynamic dims left to bind *)
-      (Compiler.simulate ~device c [], `Hot)
+      match Compiler.simulate_result ~device ?faults:t.faults c [] with
+      | Ok p ->
+          Hashtbl.remove t.breakers key;
+          Ok (p, `Hot)
+      | Error e when Error.is_transient e ->
+          note_hot_fault t key;
+          serve_generic ()
+      | Error e -> Error e)
   | None ->
       t.misses <- t.misses + 1;
-      let dims = List.map (fun (n, v) -> (Common.dim_exn t.built n, v)) env in
-      (Compiler.simulate ~device t.generic dims, `Generic)
+      serve_generic ()
+
+let serve ?(device = Gpusim.Device.a10) (t : t) (env : (string * int) list) :
+    Runtime.Profile.t * [ `Hot | `Generic ] =
+  match serve_result ~device t env with
+  | Ok v -> v
+  | Error (Error.Invalid_request m) -> invalid_arg m
+  | Error e -> Error.fail e

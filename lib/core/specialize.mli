@@ -1,14 +1,23 @@
 (** Hot-shape specialization (hybrid static/dynamic deployment): static
     variants compiled for hot shape signatures next to the always-valid
     shape-generic artifact. A signature miss falls back to the generic
-    artifact — never a recompile stall. *)
+    artifact — never a recompile stall.
+
+    The generic artifact doubles as the resilience fallback: a hot
+    variant that faults is retried on the generic artifact in-request,
+    and a per-specialization circuit breaker {e de-specializes} (evicts)
+    a hot variant after [breaker_threshold] consecutive faults. *)
 
 type t = {
   built : Models.Common.built;
   generic : Compiler.compiled;
-  hot : ((string * int) list * Compiler.compiled) list;
+  mutable hot : ((string * int) list * Compiler.compiled) list;
   mutable hits : int;
   mutable misses : int;
+  faults : Gpusim.Fault.t option;
+  breaker_threshold : int;
+  breakers : ((string * int) list, int) Hashtbl.t;
+  mutable despecialized : (string * int) list list;
 }
 
 val default_hot_envs : Models.Common.built -> (string * int) list list
@@ -17,13 +26,29 @@ val default_hot_envs : Models.Common.built -> (string * int) list list
 val create :
   ?options:Compiler.options ->
   ?hot_envs:(string * int) list list ->
+  ?fault_config:Gpusim.Fault.config ->
+  ?breaker_threshold:int ->
   Models.Common.built ->
   t
 
 val total_compile_ms : t -> float
+
+val despecialized_envs : t -> (string * int) list list
+(** Hot signatures evicted by the circuit breaker (normalized order). *)
+
+val serve_result :
+  ?device:Gpusim.Device.t ->
+  t ->
+  (string * int) list ->
+  (Runtime.Profile.t * [ `Hot | `Generic ], Runtime.Error.t) result
+(** Structured-error serve: a faulting hot variant falls back to the
+    generic artifact within the request. *)
 
 val serve :
   ?device:Gpusim.Device.t ->
   t ->
   (string * int) list ->
   Runtime.Profile.t * [ `Hot | `Generic ]
+(** Legacy wrapper over {!serve_result}.
+    @raise Invalid_argument on unknown dims
+    @raise Runtime.Error.Error on execution failures *)

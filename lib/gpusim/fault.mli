@@ -1,0 +1,34 @@
+(** Deterministic, seeded fault injection for the simulated device.
+
+    Faults are drawn from a counter-based hash stream: the schedule is a
+    pure function of the {!config} and the sequence of draws, so failure
+    paths are exactly reproducible in tests. An injector is mutable
+    (it advances its counter per draw) — share one per session/run. *)
+
+type config = {
+  seed : int;
+  kernel_fault_rate : float;  (** P(launch failure) per kernel launch, in [0,1] *)
+  oom_rate : float;  (** P(allocation failure) per request, in [0,1] *)
+}
+
+val none : config
+(** All rates zero: never injects. *)
+
+val create : ?seed:int -> ?kernel_fault_rate:float -> ?oom_rate:float -> unit -> config
+(** @raise Invalid_argument if a rate is outside [0,1]. *)
+
+type t
+(** A fault injector: the config plus the stream position. *)
+
+val make : config -> t
+
+val kernel_fault : t -> kernel:string -> bool
+(** Advance the stream one draw; [true] means this kernel launch fails. *)
+
+val request_oom : t -> bool
+(** Advance the stream one draw; [true] means this request's allocation
+    fails (memplan / arena OOM). *)
+
+val kernel_faults_injected : t -> int
+val ooms_injected : t -> int
+val draws : t -> int

@@ -43,6 +43,8 @@ let finish ctx ~name ~dims ~outputs =
   Graph.set_outputs ctx.g outputs;
   { name; graph = ctx.g; dims; gens = List.rev ctx.gens }
 
+let dim_opt built dname = List.assoc_opt dname built.dims
+
 let dim_exn built dname =
   match List.assoc_opt dname built.dims with
   | Some d -> d

@@ -33,6 +33,7 @@ type built = {
 
 val finish : ctx -> name:string -> dims:(string * Sym.dim) list -> outputs:int list -> built
 
+val dim_opt : built -> string -> Sym.dim option
 val dim_exn : built -> string -> Sym.dim
 (** @raise Invalid_argument for unknown dim names. *)
 

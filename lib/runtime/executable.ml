@@ -40,6 +40,45 @@ let compile ?(codegen = Kernel.default_config) ?(host_overhead_us = 0.3) (g : Gr
 
 let num_kernels e = List.length e.items
 
+(* Kernel identity used by profiles, fault injection and the serving
+   layer's circuit breakers: the cluster name "c<id>". *)
+let item_kname item =
+  let c = match item with Fused k -> k.Kernel.cluster | Lib c -> c in
+  Printf.sprintf "c%d" c.Cluster.cid
+
+(* Resilience hooks shared by both execution paths. [faults] injects
+   seeded launch failures and request-level OOMs; [despeculate] pins the
+   named kernel to its generic version (the serving layer trips it after
+   repeated faults on a speculative variant); live bytes are checked
+   against device capacity. All failures raise [Error.Error] — the
+   [_result] wrappers below turn them into values. *)
+let check_request_oom ?faults (device : Gpusim.Device.t) ~resident =
+  match faults with
+  | Some inj when Gpusim.Fault.request_oom inj ->
+      Error.fail
+        (Error.Oom { live_bytes = resident; capacity_bytes = device.Gpusim.Device.memory_bytes })
+  | _ -> ()
+
+let check_kernel_fault ?faults kname =
+  match faults with
+  | Some inj when Gpusim.Fault.kernel_fault inj ~kernel:kname ->
+      Error.fail (Error.Kernel_fault { kernel = kname; reason = "injected launch failure" })
+  | _ -> ()
+
+let check_capacity (device : Gpusim.Device.t) ~live =
+  if live > device.Gpusim.Device.memory_bytes then
+    Error.fail
+      (Error.Oom { live_bytes = live; capacity_bytes = device.Gpusim.Device.memory_bytes })
+
+let select_launch ?(despeculate = fun _ -> false) g device bnd kname (k : Kernel.t) =
+  let l =
+    try Kernel.launch_for g device bnd k
+    with Not_found ->
+      Error.fail
+        (Error.Guard_violation (Printf.sprintf "no version guard held for kernel %s" kname))
+  in
+  if despeculate kname then { l with Kernel.version = Kernel.generic_version } else l
+
 (* Last cluster (by position) that reads each value; used to free
    intermediate buffers and track peak memory. *)
 let last_use_positions (e : t) =
@@ -58,8 +97,8 @@ let last_use_positions (e : t) =
    they can run at the paper's real model sizes; the data plane (below)
    validates correctness at test-sized shapes. *)
 let simulate ?(device = Gpusim.Device.a10) ?(profile = Profile.create ())
-    ?(tune = fun (w : Gpusim.Cost.kernel_work) -> w) (e : t) (bnd : Table.binding) :
-    Profile.t =
+    ?(tune = fun (w : Gpusim.Cost.kernel_work) -> w) ?faults ?despeculate (e : t)
+    (bnd : Table.binding) : Profile.t =
   let g = e.g in
   let tab = Graph.symtab g in
   let bytes_of id =
@@ -71,18 +110,22 @@ let simulate ?(device = Gpusim.Device.a10) ?(profile = Profile.create ())
   List.iter (fun (pid, _) -> resident := !resident + bytes_of pid) (Graph.parameters g);
   Graph.iter g (fun i ->
       match i.op with Op.Constant _ -> resident := !resident + bytes_of i.id | _ -> ());
+  check_request_oom ?faults device ~resident:!resident;
   let last = last_use_positions e in
   let live = ref !resident in
   Profile.note_live_bytes profile !live;
   List.iteri
     (fun pos item ->
       let c = match item with Fused k -> k.Kernel.cluster | Lib c -> c in
+      let kname = item_kname item in
+      check_kernel_fault ?faults kname;
       List.iter (fun o -> live := !live + bytes_of o) c.Cluster.outputs;
+      check_capacity device ~live:!live;
       Profile.note_live_bytes profile !live;
       let work, version_tag =
         match item with
         | Fused k ->
-            let launch = Kernel.launch_for g device bnd k in
+            let launch = select_launch ?despeculate g device bnd kname k in
             (Kernel.work_of g bnd k launch, launch.Kernel.version.Kernel.tag)
         | Lib c -> (Kernel.library_work g bnd c, "library")
       in
@@ -106,8 +149,8 @@ let simulate ?(device = Gpusim.Device.a10) ?(profile = Profile.create ())
     e.items;
   profile
 
-let run ?(device = Gpusim.Device.a10) ?cost_binding ?(profile = Profile.create ()) (e : t)
-    (inputs : Nd.t list) : Nd.t list * Profile.t =
+let run ?(device = Gpusim.Device.a10) ?cost_binding ?(profile = Profile.create ()) ?faults
+    ?despeculate (e : t) (inputs : Nd.t list) : Nd.t list * Profile.t =
   let g = e.g in
   let bnd = Ir.Interp.bind_inputs g inputs in
   let cost_bnd = Option.value cost_binding ~default:bnd in
@@ -125,6 +168,7 @@ let run ?(device = Gpusim.Device.a10) ?cost_binding ?(profile = Profile.create (
           Hashtbl.replace values i.id nd;
           resident := !resident + Nd.byte_size nd
       | _ -> ());
+  check_request_oom ?faults device ~resident:!resident;
   let value_of id =
     match Hashtbl.find_opt values id with
     | Some v -> v
@@ -136,6 +180,8 @@ let run ?(device = Gpusim.Device.a10) ?cost_binding ?(profile = Profile.create (
   List.iteri
     (fun pos item ->
       let c = match item with Fused k -> k.Kernel.cluster | Lib c -> c in
+      let kname = item_kname item in
+      check_kernel_fault ?faults kname;
       (* run the kernel's data plane *)
       let outs =
         match item with
@@ -150,12 +196,13 @@ let run ?(device = Gpusim.Device.a10) ?cost_binding ?(profile = Profile.create (
           Hashtbl.replace values id nd;
           live := !live + Nd.byte_size nd)
         outs;
+      check_capacity device ~live:!live;
       Profile.note_live_bytes profile !live;
       (* charge simulated cost, possibly under a padded cost binding *)
       let work, version_tag =
         match item with
         | Fused k ->
-            let launch = Kernel.launch_for g device cost_bnd k in
+            let launch = select_launch ?despeculate g device cost_bnd kname k in
             (Kernel.work_of g cost_bnd k launch, launch.Kernel.version.Kernel.tag)
         | Lib c -> (Kernel.library_work g cost_bnd c, "library")
       in
@@ -181,3 +228,27 @@ let run ?(device = Gpusim.Device.a10) ?cost_binding ?(profile = Profile.create (
         c.Cluster.inputs)
     e.items;
   (List.map value_of (Graph.outputs g), profile)
+
+(* --- structured-error variants ------------------------------------------
+
+   Same execution paths, but every failure mode — injected faults, OOM,
+   unbound dims, guard selection, data-plane evaluation errors — comes
+   back as a [Runtime.Error.t] value instead of an exception, so serving
+   layers can retry / fall back without exception fishing. *)
+
+let map_exn (f : unit -> 'a) : ('a, Error.t) result =
+  match f () with
+  | v -> Ok v
+  | exception Error.Error e -> Error e
+  | exception Table.Inconsistent m -> Error (Error.Unbound_dim m)
+  | exception Ir.Interp.Eval_error m ->
+      Error (Error.Kernel_fault { kernel = "data-plane"; reason = m })
+  | exception Invalid_argument m -> Error (Error.Invalid_request m)
+
+let simulate_result ?device ?profile ?tune ?faults ?despeculate (e : t)
+    (bnd : Table.binding) : (Profile.t, Error.t) result =
+  map_exn (fun () -> simulate ?device ?profile ?tune ?faults ?despeculate e bnd)
+
+let run_result ?device ?cost_binding ?profile ?faults ?despeculate (e : t)
+    (inputs : Nd.t list) : (Nd.t list * Profile.t, Error.t) result =
+  map_exn (fun () -> run ?device ?cost_binding ?profile ?faults ?despeculate e inputs)

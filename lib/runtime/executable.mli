@@ -28,23 +28,58 @@ val compile :
 
 val num_kernels : t -> int
 
+val item_kname : item -> string
+(** Kernel identity ("c<cluster-id>") used by profiles, fault injection
+    and the serving layer's circuit breakers. *)
+
 val simulate :
   ?device:Gpusim.Device.t ->
   ?profile:Profile.t ->
   ?tune:(Gpusim.Cost.kernel_work -> Gpusim.Cost.kernel_work) ->
+  ?faults:Gpusim.Fault.t ->
+  ?despeculate:(string -> bool) ->
   t ->
   Symshape.Table.binding ->
   Profile.t
 (** Cost-only execution under a shape binding. [tune] lets baseline
     strategies adjust per-kernel efficiencies. Tracks peak memory from
-    shapes and buffer liveness. *)
+    shapes and buffer liveness. [faults] injects seeded launch failures
+    and request OOMs; [despeculate] pins the named kernels to the generic
+    version (circuit breaker). Failures raise {!Error.Error} — prefer
+    {!simulate_result} for structured handling. *)
 
 val run :
   ?device:Gpusim.Device.t ->
   ?cost_binding:Symshape.Table.binding ->
   ?profile:Profile.t ->
+  ?faults:Gpusim.Fault.t ->
+  ?despeculate:(string -> bool) ->
   t ->
   Tensor.Nd.t list ->
   Tensor.Nd.t list * Profile.t
 (** Data-plane execution; numerics always use the true input shapes,
-    cost is charged under [cost_binding] when given (padding baselines). *)
+    cost is charged under [cost_binding] when given (padding baselines).
+    Failures raise {!Error.Error} — prefer {!run_result}. *)
+
+val simulate_result :
+  ?device:Gpusim.Device.t ->
+  ?profile:Profile.t ->
+  ?tune:(Gpusim.Cost.kernel_work -> Gpusim.Cost.kernel_work) ->
+  ?faults:Gpusim.Fault.t ->
+  ?despeculate:(string -> bool) ->
+  t ->
+  Symshape.Table.binding ->
+  (Profile.t, Error.t) result
+(** {!simulate} with every failure mode (injected faults, OOM, unbound
+    dims, guard selection) returned as a structured {!Error.t}. *)
+
+val run_result :
+  ?device:Gpusim.Device.t ->
+  ?cost_binding:Symshape.Table.binding ->
+  ?profile:Profile.t ->
+  ?faults:Gpusim.Fault.t ->
+  ?despeculate:(string -> bool) ->
+  t ->
+  Tensor.Nd.t list ->
+  (Tensor.Nd.t list * Profile.t, Error.t) result
+(** {!run} with structured errors instead of exceptions. *)

@@ -23,6 +23,17 @@ type t = {
 
 val plan : ?alignment:int -> Executable.t -> Symshape.Table.binding -> t
 
+val plan_result :
+  ?alignment:int ->
+  ?device:Gpusim.Device.t ->
+  ?faults:Gpusim.Fault.t ->
+  Executable.t ->
+  Symshape.Table.binding ->
+  (t, Error.t) result
+(** {!plan} with structured errors: [Error.Oom] when the arena plus
+    resident weights exceed [device] capacity or the injector fires a
+    seeded allocation failure; [Error.Unbound_dim] for missing bindings. *)
+
 val validate : t -> bool
 (** No two simultaneously-live buffers overlap. *)
 

@@ -26,17 +26,33 @@ type outcome = {
   mean_batch : float;
 }
 
-(* Shape environment of one batch: batch dim = size; others = max. *)
+(* Shape environment of one batch: batch dim = size; others = max.
+   Total over heterogeneous batches: the dim set is the union over all
+   members (in first-seen order), and a member missing a dim contributes
+   the lower bound 1 — so a stray request can no longer kill the server
+   with [Not_found]. Mixed batches should be rejected at enqueue time
+   ({!validate_request}); this is the second line of defense. *)
 let batch_env ~batch_dim (reqs : request list) : (string * int) list =
   let n = List.length reqs in
-  match reqs with
-  | [] -> invalid_arg "batch_env: empty batch"
-  | first :: _ ->
-      (batch_dim, n)
-      :: List.map
-           (fun (name, _) ->
-             (name, List.fold_left (fun acc r -> max acc (List.assoc name r.dims)) 1 reqs))
-           first.dims
+  if reqs = [] then invalid_arg "batch_env: empty batch";
+  let names =
+    List.fold_left
+      (fun acc r ->
+        List.fold_left
+          (fun acc (name, _) -> if List.mem name acc then acc else name :: acc)
+          acc r.dims)
+      [] reqs
+    |> List.rev
+  in
+  (batch_dim, n)
+  :: List.map
+       (fun name ->
+         ( name,
+           List.fold_left
+             (fun acc r ->
+               match List.assoc_opt name r.dims with Some v -> max acc v | None -> acc)
+             1 reqs ))
+       names
 
 let simulate ~(arrivals : request list) ~(policy : policy) ~(batch_dim : string)
     ~(service : (string * int) list -> float) : outcome =
@@ -104,3 +120,179 @@ let percentile (xs : float array) p =
   Array.sort compare arr;
   if Array.length arr = 0 then 0.0
   else arr.(min (Array.length arr - 1) (int_of_float (p *. float_of_int (Array.length arr))))
+
+(* --- overload-aware serving ----------------------------------------------
+
+   The plain [simulate] assumes an infinitely patient queue and a
+   service function that always succeeds. Under heavy traffic neither
+   holds: the queue must be bounded (shed arrivals beyond it), requests
+   carry deadlines (drop work that can no longer meet them), malformed
+   requests must be rejected at enqueue time, and the service layer may
+   serve a batch on its fallback path. [simulate_server] models all of
+   that and accounts for every request exactly once. *)
+
+type disposition =
+  | Served (* completed on the compiled path *)
+  | Fell_back (* completed on the service's fallback path *)
+  | Shed (* refused at arrival: queue at capacity *)
+  | Expired (* dropped at dequeue: deadline already passed *)
+  | Rejected (* refused at enqueue: malformed dim set *)
+
+let disposition_to_string = function
+  | Served -> "served"
+  | Fell_back -> "fell_back"
+  | Shed -> "shed"
+  | Expired -> "expired"
+  | Rejected -> "rejected"
+
+type server_policy = {
+  batching : policy;
+  queue_bound : int; (* pending-queue capacity; arrivals beyond are shed *)
+  deadline_us : float; (* relative per-request deadline; infinity = none *)
+}
+
+let default_server_policy ~batching =
+  { batching; queue_bound = max_int; deadline_us = Float.infinity }
+
+type accounting = {
+  dispositions : disposition array; (* per request, arrival order *)
+  request_latencies_us : float array; (* nan for requests that never completed *)
+  served : int;
+  fell_back : int;
+  shed : int;
+  expired : int;
+  rejected : int;
+  server_makespan_us : float;
+  server_batches : int;
+  server_mean_batch : float;
+}
+
+let accounting_to_string (a : accounting) =
+  Printf.sprintf
+    "served=%d fell_back=%d shed=%d expired=%d rejected=%d batches=%d mean_batch=%.1f \
+     makespan=%.0fus"
+    a.served a.fell_back a.shed a.expired a.rejected a.server_batches a.server_mean_batch
+    a.server_makespan_us
+
+(* Structured enqueue-time validation: a request must bind exactly the
+   expected dim names, each once, with positive values. *)
+let validate_request ~(expected : string list) (r : request) : (unit, string) result =
+  let names = List.map fst r.dims in
+  let missing = List.filter (fun e -> not (List.mem e names)) expected in
+  let extra = List.filter (fun n -> not (List.mem n expected)) names in
+  let dup =
+    List.filter (fun n -> List.length (List.filter (String.equal n) names) > 1) names
+  in
+  let bad = List.filter (fun (_, v) -> v < 1) r.dims in
+  if missing <> [] then
+    Error (Printf.sprintf "missing dims: %s" (String.concat "," missing))
+  else if extra <> [] then
+    Error (Printf.sprintf "unknown dims: %s" (String.concat "," extra))
+  else if dup <> [] then
+    Error (Printf.sprintf "duplicate dims: %s" (String.concat "," dup))
+  else if bad <> [] then
+    Error
+      (Printf.sprintf "non-positive dims: %s"
+         (String.concat "," (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) bad)))
+  else Ok ()
+
+let simulate_server ~(arrivals : request list) ~(policy : server_policy)
+    ~(batch_dim : string) ?expected_dims
+    ~(service : (string * int) list -> float * [ `Compiled | `Fallback ]) () : accounting =
+  let arrivals = List.sort (fun a b -> compare a.arrival_us b.arrival_us) arrivals in
+  let n = List.length arrivals in
+  let disp = Array.make n Shed in
+  let lats = Array.make n Float.nan in
+  let expected =
+    match expected_dims with
+    | Some e -> e
+    | None -> ( match arrivals with [] -> [] | r :: _ -> List.map fst r.dims)
+  in
+  let bound = max 1 policy.queue_bound in
+  let deadline_of (r : request) = r.arrival_us +. policy.deadline_us in
+  (* enqueue-time validation: malformed requests never reach the queue *)
+  let indexed =
+    List.filteri
+      (fun _ _ -> true)
+      (List.mapi (fun i r -> (i, r)) arrivals)
+    |> List.filter (fun (i, r) ->
+           match validate_request ~expected r with
+           | Ok () -> true
+           | Error _ ->
+               disp.(i) <- Rejected;
+               false)
+  in
+  (* Chronological loop: one batch per iteration. Arrivals are admitted
+     in order as simulated time reaches them, so the queue-occupancy
+     check at each admission is exact. *)
+  let rec loop queue upcoming t_free batches batched_total =
+    match (queue, upcoming) with
+    | [], [] -> (t_free, batches, batched_total)
+    | [], a :: rest ->
+        (* idle server: the next arrival opens a fresh queue (bound >= 1) *)
+        loop [ a ] rest t_free batches batched_total
+    | (_, first) :: _, _ -> (
+        let form_start = Float.max t_free first.arrival_us in
+        let window_end = form_start +. policy.batching.max_wait_us in
+        (* admit (or shed) arrivals up to the formation deadline *)
+        let rec admit q up =
+          match up with
+          | (i, r) :: rest when r.arrival_us <= window_end ->
+              if List.length q >= bound then begin
+                disp.(i) <- Shed;
+                admit q rest
+              end
+              else admit (q @ [ (i, r) ]) rest
+          | _ -> (q, up)
+        in
+        let queue, upcoming = admit queue upcoming in
+        (* expire queued requests whose deadline passed before service *)
+        let live, dead =
+          List.partition (fun (_, r) -> deadline_of r >= form_start) queue
+        in
+        List.iter (fun (i, _) -> disp.(i) <- Expired) dead;
+        match live with
+        | [] -> loop [] upcoming (Float.max t_free form_start) batches batched_total
+        | _ ->
+            let rec take taken rest k =
+              match rest with
+              | r :: tl when k < policy.batching.max_batch -> take (r :: taken) tl (k + 1)
+              | _ -> (List.rev taken, rest)
+            in
+            let batch, remaining = take [] live 0 in
+            let last_arrival =
+              List.fold_left (fun acc (_, r) -> Float.max acc r.arrival_us) 0.0 batch
+            in
+            let launch =
+              if List.length batch = policy.batching.max_batch then
+                Float.max form_start last_arrival
+              else
+                Float.max form_start
+                  (Float.min window_end (Float.max last_arrival form_start))
+            in
+            let env = batch_env ~batch_dim (List.map snd batch) in
+            let service_us, spath = service env in
+            let done_at = launch +. service_us in
+            List.iter
+              (fun (i, r) ->
+                lats.(i) <- done_at -. r.arrival_us;
+                disp.(i) <- (match spath with `Compiled -> Served | `Fallback -> Fell_back))
+              batch;
+            loop remaining upcoming done_at (batches + 1)
+              (batched_total + List.length batch))
+  in
+  let makespan, batches, batched_total = loop [] indexed 0.0 0 0 in
+  let count d = Array.fold_left (fun acc x -> if x = d then acc + 1 else acc) 0 disp in
+  {
+    dispositions = disp;
+    request_latencies_us = lats;
+    served = count Served;
+    fell_back = count Fell_back;
+    shed = count Shed;
+    expired = count Expired;
+    rejected = count Rejected;
+    server_makespan_us = makespan;
+    server_batches = batches;
+    server_mean_batch =
+      (if batches = 0 then 0.0 else float_of_int batched_total /. float_of_int batches);
+  }

@@ -21,7 +21,9 @@ type outcome = {
 
 val batch_env : batch_dim:string -> request list -> (string * int) list
 (** Shape of one formed batch: batch dim = size, others = max over
-    members. @raise Invalid_argument on an empty batch. *)
+    members. Total over heterogeneous batches (the dim set is the union
+    over members; a missing dim contributes 1).
+    @raise Invalid_argument on an empty batch. *)
 
 val simulate :
   arrivals:request list ->
@@ -37,3 +39,63 @@ val generate_arrivals :
 (** Poisson arrivals with per-request dims drawn from [dims]. *)
 
 val percentile : float array -> float -> float
+
+(** {1 Overload-aware serving}
+
+    {!simulate} assumes an unbounded, infinitely patient queue. The
+    server simulation below bounds the queue (shedding excess load),
+    enforces per-request deadlines (expiring stale work at dequeue
+    time), rejects malformed requests at enqueue time, and accounts
+    for every request exactly once. *)
+
+type disposition =
+  | Served  (** completed on the compiled path *)
+  | Fell_back  (** completed on the service's fallback path *)
+  | Shed  (** refused at arrival: queue at capacity *)
+  | Expired  (** dropped at dequeue: deadline already passed *)
+  | Rejected  (** refused at enqueue: malformed dim set *)
+
+val disposition_to_string : disposition -> string
+
+type server_policy = {
+  batching : policy;
+  queue_bound : int;  (** pending-queue capacity; arrivals beyond are shed *)
+  deadline_us : float;  (** relative per-request deadline; [infinity] = none *)
+}
+
+val default_server_policy : batching:policy -> server_policy
+(** Unbounded queue, no deadline — behaves like {!simulate}. *)
+
+type accounting = {
+  dispositions : disposition array;  (** per request, arrival order *)
+  request_latencies_us : float array;  (** [nan] for requests that never completed *)
+  served : int;
+  fell_back : int;
+  shed : int;
+  expired : int;
+  rejected : int;
+  server_makespan_us : float;
+  server_batches : int;
+  server_mean_batch : float;
+}
+
+val accounting_to_string : accounting -> string
+
+val validate_request :
+  expected:string list -> request -> (unit, string) result
+(** Enqueue-time validation: the request must bind exactly the expected
+    dim names, each once, with positive values. *)
+
+val simulate_server :
+  arrivals:request list ->
+  policy:server_policy ->
+  batch_dim:string ->
+  ?expected_dims:string list ->
+  service:((string * int) list -> float * [ `Compiled | `Fallback ]) ->
+  unit ->
+  accounting
+(** Bounded-queue, deadline-aware variant of {!simulate}. [service]
+    returns the batch latency in µs plus which path served it (e.g.
+    from {!Disc.Session.serve_result}). [expected_dims] defaults to the
+    first arrival's dim names. Every request ends in exactly one
+    disposition. *)

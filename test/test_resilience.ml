@@ -1,0 +1,419 @@
+(* Resilience-layer tests: deterministic fault injection, structured
+   errors, the session retry / interpreter-fallback / circuit-breaker
+   ladder, and overload-aware serving with full request accounting. *)
+
+module Fault = Gpusim.Fault
+module Error = Runtime.Error
+module Session = Disc.Session
+module Compiler = Disc.Compiler
+module Suite = Models.Suite
+module Common = Models.Common
+module Q = Workloads.Queueing
+module Nd = Tensor.Nd
+module Profile = Runtime.Profile
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- fault injector ------------------------------------------------------- *)
+
+let test_injector_deterministic () =
+  let cfg = Fault.create ~seed:42 ~kernel_fault_rate:0.3 ~oom_rate:0.2 () in
+  let seq inj =
+    List.init 200 (fun i ->
+        if i mod 2 = 0 then Fault.kernel_fault inj ~kernel:"c0" else Fault.request_oom inj)
+  in
+  let a = seq (Fault.make cfg) and b = seq (Fault.make cfg) in
+  check_bool "same config, same schedule" true (a = b);
+  let other = seq (Fault.make (Fault.create ~seed:43 ~kernel_fault_rate:0.3 ~oom_rate:0.2 ())) in
+  check_bool "different seed, different schedule" true (a <> other)
+
+let test_injector_rates () =
+  let inj = Fault.make (Fault.create ~seed:7 ~kernel_fault_rate:0.1 ()) in
+  for _ = 1 to 2000 do
+    ignore (Fault.kernel_fault inj ~kernel:"c0")
+  done;
+  let frac = float_of_int (Fault.kernel_faults_injected inj) /. 2000.0 in
+  check_bool "empirical rate near 0.1" true (frac > 0.05 && frac < 0.17);
+  check_int "draws counted" 2000 (Fault.draws inj);
+  let off = Fault.make Fault.none in
+  for _ = 1 to 500 do
+    ignore (Fault.kernel_fault off ~kernel:"c0");
+    ignore (Fault.request_oom off)
+  done;
+  check_int "zero rate never fires" 0 (Fault.kernel_faults_injected off + Fault.ooms_injected off);
+  let certain = Fault.make (Fault.create ~kernel_fault_rate:1.0 ()) in
+  check_bool "rate 1.0 always fires" true (Fault.kernel_fault certain ~kernel:"c0");
+  check_bool "invalid rate rejected" true
+    (try
+       ignore (Fault.create ~kernel_fault_rate:1.5 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* --- structured errors on the compiled path ------------------------------- *)
+
+let compile_dien_tiny () =
+  let entry = Suite.find "dien" in
+  let built = entry.Suite.build_tiny () in
+  let c = Compiler.compile built.Common.graph in
+  (built, c)
+
+let dims_of built env = List.map (fun (n, v) -> (Common.dim_exn built n, v)) env
+
+let test_kernel_fault_error () =
+  let built, c = compile_dien_tiny () in
+  let faults = Fault.make (Fault.create ~kernel_fault_rate:1.0 ()) in
+  match Compiler.simulate_result ~faults c (dims_of built [ ("batch", 2); ("hist", 5) ]) with
+  | Error (Error.Kernel_fault { kernel; _ }) ->
+      check_bool "kernel named" true (String.length kernel > 0);
+      check_bool "transient" true (Error.is_transient (Error.Kernel_fault { kernel; reason = "" }))
+  | Ok _ -> Alcotest.fail "expected a kernel fault"
+  | Error e -> Alcotest.fail ("unexpected error: " ^ Error.to_string e)
+
+let test_unbound_dim_error () =
+  let _, c = compile_dien_tiny () in
+  match Compiler.simulate_result c [] with
+  | Error (Error.Unbound_dim _) -> ()
+  | Ok _ -> Alcotest.fail "expected unbound-dim error"
+  | Error e -> Alcotest.fail ("unexpected error: " ^ Error.to_string e)
+
+let test_memplan_oom_error () =
+  let built, c = compile_dien_tiny () in
+  let bnd = Compiler.binding_of_dims c.Compiler.exe.Runtime.Executable.g
+      (dims_of built [ ("batch", 2); ("hist", 5) ]) in
+  let faults = Fault.make (Fault.create ~oom_rate:1.0 ()) in
+  (match Runtime.Memplan.plan_result ~faults c.Compiler.exe bnd with
+  | Error (Error.Oom { capacity_bytes; _ }) -> check_bool "capacity reported" true (capacity_bytes > 0)
+  | Ok _ -> Alcotest.fail "expected OOM"
+  | Error e -> Alcotest.fail ("unexpected error: " ^ Error.to_string e));
+  (* without injection the same plan succeeds *)
+  match Runtime.Memplan.plan_result c.Compiler.exe bnd with
+  | Ok p -> check_bool "plan valid" true (Runtime.Memplan.validate p)
+  | Error e -> Alcotest.fail ("clean plan failed: " ^ Error.to_string e)
+
+let test_despeculate_pins_generic () =
+  let built, c = compile_dien_tiny () in
+  match
+    Compiler.simulate_result ~despeculate:(fun _ -> true) c
+      (dims_of built [ ("batch", 2); ("hist", 5) ])
+  with
+  | Ok p ->
+      List.iter
+        (fun r ->
+          if r.Profile.kind <> "library" then
+            Alcotest.(check string)
+              ("kernel " ^ r.Profile.kname ^ " pinned")
+              "generic" r.Profile.version_tag)
+        p.Profile.records
+  | Error e -> Alcotest.fail ("despeculated run failed: " ^ Error.to_string e)
+
+(* --- session: retry, fallback, breaker ------------------------------------ *)
+
+let test_fallback_matches_interp () =
+  let entry = Suite.find "crnn" in
+  let built = entry.Suite.build_tiny () in
+  let inputs = Common.test_inputs built entry.Suite.tiny_dims in
+  let expected = Ir.Interp.run built.Common.graph inputs in
+  (* every compiled attempt faults, so the session must serve via the
+     reference interpreter — bit-identical numerics *)
+  let built2 = entry.Suite.build_tiny () in
+  let sess =
+    Session.create ~fault_config:(Fault.create ~seed:3 ~kernel_fault_rate:1.0 ()) built2
+  in
+  let inputs2 = Common.test_inputs built2 entry.Suite.tiny_dims in
+  match Session.serve_data_result sess inputs2 with
+  | Ok (outs, profile, path) ->
+      check_bool "served on the fallback path" true (path = `Fallback);
+      List.iter2
+        (fun e o -> check_bool "bit-identical to Ir.Interp" true (Nd.equal_approx ~eps:0.0 e o))
+        expected outs;
+      check_bool "fallback cost charged" true (Profile.total_us profile > 0.0);
+      let s = Session.stats sess in
+      check_int "counted as fallback" 1 s.Session.fell_back;
+      check_int "not counted as served" 0 s.Session.served;
+      check_bool "faults observed" true (s.Session.faults > 0);
+      check_bool "retried before falling back" true (s.Session.retries > 0)
+  | Error e -> Alcotest.fail ("fallback should not fail: " ^ Error.to_string e)
+
+let test_fallback_disabled_errors () =
+  let entry = Suite.find "dien" in
+  let sess =
+    Session.create
+      ~policy:{ Session.default_policy with Session.fallback_to_interp = false }
+      ~fault_config:(Fault.create ~seed:3 ~kernel_fault_rate:1.0 ())
+      (entry.Suite.build ())
+  in
+  (match Session.serve_result sess [ ("batch", 4); ("hist", 10) ] with
+  | Error (Error.Kernel_fault _) -> ()
+  | Ok _ -> Alcotest.fail "expected failure with fallback disabled"
+  | Error e -> Alcotest.fail ("unexpected error: " ^ Error.to_string e));
+  check_int "counted as failed" 1 (Session.stats sess).Session.failed
+
+let test_circuit_breaker_despeculates () =
+  let entry = Suite.find "dien" in
+  let sess =
+    Session.create ~fault_config:(Fault.create ~seed:5 ~kernel_fault_rate:1.0 ())
+      (entry.Suite.build ())
+  in
+  let k = Session.default_policy.Session.breaker_threshold + 2 in
+  for _ = 1 to k do
+    ignore (Session.serve_result sess [ ("batch", 4); ("hist", 10) ])
+  done;
+  check_bool "breaker tripped at least one kernel" true
+    (Session.despeculated_kernels sess <> []);
+  check_bool "stats expose despeculation" true
+    ((Session.stats sess).Session.despeculated >= 1)
+
+let test_deadline_exceeded () =
+  let entry = Suite.find "dien" in
+  let sess = Session.create (entry.Suite.build ()) in
+  (match Session.serve_result ~deadline_us:0.001 sess [ ("batch", 256); ("hist", 100) ] with
+  | Error (Error.Deadline_exceeded { deadline_us; elapsed_us }) ->
+      check_bool "elapsed exceeds budget" true (elapsed_us > deadline_us)
+  | Ok _ -> Alcotest.fail "expected deadline violation"
+  | Error e -> Alcotest.fail ("unexpected error: " ^ Error.to_string e));
+  check_int "deadline failure counted" 1 (Session.stats sess).Session.failed
+
+let test_invalid_request_error () =
+  let entry = Suite.find "dien" in
+  let sess = Session.create (entry.Suite.build ()) in
+  (match Session.serve_result sess [ ("bogus", 1) ] with
+  | Error (Error.Invalid_request _) -> ()
+  | Ok _ -> Alcotest.fail "expected rejection"
+  | Error e -> Alcotest.fail ("unexpected error: " ^ Error.to_string e));
+  match Session.serve_result sess [ ("batch", 4) ] with
+  | Error (Error.Unbound_dim _) -> ()
+  | Ok _ -> Alcotest.fail "expected missing-dim rejection"
+  | Error e -> Alcotest.fail ("unexpected error: " ^ Error.to_string e)
+
+let test_latency_window_bounded () =
+  let entry = Suite.find "dien" in
+  let sess = Session.create ~window:4 (entry.Suite.build ()) in
+  for b = 1 to 10 do
+    ignore (Session.serve sess [ ("batch", b); ("hist", 10) ])
+  done;
+  let s = Session.stats sess in
+  check_int "all requests counted" 10 s.Session.requests;
+  check_int "window capped" 4 s.Session.window;
+  check_bool "percentiles over the window are ordered" true
+    (s.Session.p50_us <= s.Session.p95_us && s.Session.p95_us <= s.Session.max_us);
+  (* the window holds the 4 most recent latencies: batches 7..10; the
+     max over the window must be below the latency of batch 256 *)
+  let big = Profile.total_us (Session.serve sess [ ("batch", 256); ("hist", 100) ]) in
+  check_bool "window max tracks recent requests" true ((Session.stats sess).Session.max_us = big)
+
+(* --- specialization breaker ----------------------------------------------- *)
+
+let test_specialize_despecializes () =
+  let entry = Suite.find "dien" in
+  let built = entry.Suite.build () in
+  let hot_env = List.hd entry.Suite.bench_dims in
+  let sp =
+    Disc.Specialize.create ~hot_envs:[ hot_env ]
+      ~fault_config:(Fault.create ~seed:9 ~kernel_fault_rate:1.0 ())
+      ~breaker_threshold:2 built
+  in
+  (* hot variant faults; request is re-served on the generic artifact.
+     With rate 1.0 the generic path faults too, so accept either a
+     served-generic result or a structured error — never an abort. *)
+  for _ = 1 to 3 do
+    match Disc.Specialize.serve_result sp hot_env with
+    | Ok (_, src) -> check_bool "hot variant never serves while faulting" true (src = `Generic)
+    | Error e -> check_bool "structured error" true (Error.is_transient e)
+  done;
+  check_bool "hot signature evicted" true (Disc.Specialize.despecialized_envs sp <> [])
+
+(* --- overload-aware queueing ----------------------------------------------- *)
+
+let test_batch_env_heterogeneous () =
+  let reqs =
+    [
+      { Q.arrival_us = 0.0; dims = [ ("seq", 8) ] };
+      { Q.arrival_us = 1.0; dims = [ ("hist", 3) ] };
+    ]
+  in
+  let env = Q.batch_env ~batch_dim:"batch" reqs in
+  check_int "batch size" 2 (List.assoc "batch" env);
+  check_int "seq max" 8 (List.assoc "seq" env);
+  check_int "hist max" 3 (List.assoc "hist" env)
+
+let test_validate_request () =
+  let ok r = Q.validate_request ~expected:[ "seq" ] r = Ok () in
+  check_bool "well-formed accepted" true (ok { Q.arrival_us = 0.0; dims = [ ("seq", 8) ] });
+  check_bool "missing dim rejected" false (ok { Q.arrival_us = 0.0; dims = [] });
+  check_bool "extra dim rejected" false
+    (ok { Q.arrival_us = 0.0; dims = [ ("seq", 8); ("hist", 2) ] });
+  check_bool "duplicate rejected" false
+    (ok { Q.arrival_us = 0.0; dims = [ ("seq", 8); ("seq", 9) ] });
+  check_bool "non-positive rejected" false (ok { Q.arrival_us = 0.0; dims = [ ("seq", 0) ] })
+
+let fixed_service us _env = (us, `Compiled)
+
+let total (a : Q.accounting) = a.Q.served + a.Q.fell_back + a.Q.shed + a.Q.expired + a.Q.rejected
+
+let test_server_sheds_at_bound () =
+  (* 10 simultaneous arrivals, queue bound 3, slow service: the first
+     batch takes 3; arrivals beyond the bound during formation are shed *)
+  let arrivals = List.init 10 (fun i -> { Q.arrival_us = float_of_int i; dims = [ ("seq", 8) ] }) in
+  let policy =
+    { Q.batching = { Q.max_batch = 4; max_wait_us = 100.0 }; queue_bound = 3;
+      deadline_us = Float.infinity }
+  in
+  let a = Q.simulate_server ~arrivals ~policy ~batch_dim:"batch" ~service:(fixed_service 50.0) () in
+  check_bool "some requests shed" true (a.Q.shed > 0);
+  check_int "every request accounted once" 10 (total a);
+  Array.iteri
+    (fun i d ->
+      let has_lat = not (Float.is_nan a.Q.request_latencies_us.(i)) in
+      check_bool "latency iff completed" true
+        (has_lat = (d = Q.Served || d = Q.Fell_back)))
+    a.Q.dispositions
+
+let test_server_expires_stale () =
+  (* one giant batch monopolizes the server; late arrivals with a tight
+     deadline expire before they can be dequeued *)
+  let arrivals =
+    { Q.arrival_us = 0.0; dims = [ ("seq", 8) ] }
+    :: List.init 4 (fun i -> { Q.arrival_us = 10.0 +. float_of_int i; dims = [ ("seq", 8) ] })
+  in
+  let policy =
+    { Q.batching = { Q.max_batch = 1; max_wait_us = 0.0 }; queue_bound = 100;
+      deadline_us = 500.0 }
+  in
+  let a =
+    Q.simulate_server ~arrivals ~policy ~batch_dim:"batch" ~service:(fixed_service 5000.0) ()
+  in
+  check_bool "stale requests expired" true (a.Q.expired > 0);
+  check_int "every request accounted once" 5 (total a)
+
+let test_server_rejects_malformed () =
+  let arrivals =
+    [
+      { Q.arrival_us = 0.0; dims = [ ("seq", 8) ] };
+      { Q.arrival_us = 1.0; dims = [ ("bogus", 2) ] };
+      { Q.arrival_us = 2.0; dims = [ ("seq", 4) ] };
+    ]
+  in
+  let policy = Q.default_server_policy ~batching:{ Q.max_batch = 4; max_wait_us = 10.0 } in
+  let a = Q.simulate_server ~arrivals ~policy ~batch_dim:"batch" ~service:(fixed_service 10.0) () in
+  check_int "malformed rejected" 1 a.Q.rejected;
+  check_int "rest served" 2 a.Q.served;
+  check_int "every request accounted once" 3 (total a);
+  check_bool "rejected disposition recorded" true (a.Q.dispositions.(1) = Q.Rejected)
+
+let test_server_fallback_disposition () =
+  let arrivals = List.init 4 (fun i -> { Q.arrival_us = float_of_int i; dims = [ ("seq", 8) ] }) in
+  let policy = Q.default_server_policy ~batching:{ Q.max_batch = 4; max_wait_us = 10.0 } in
+  let a =
+    Q.simulate_server ~arrivals ~policy ~batch_dim:"batch"
+      ~service:(fun _ -> (10.0, `Fallback)) ()
+  in
+  check_int "fallback-path completions tracked" 4 a.Q.fell_back;
+  check_int "none marked served" 0 a.Q.served
+
+(* --- acceptance: 1000 requests under 10% kernel faults --------------------- *)
+
+let run_acceptance () =
+  let entry = Suite.find "dien" in
+  let arrivals =
+    Q.generate_arrivals ~seed:11 ~qps:2000.0 ~n:1000
+      ~dims:[ ("hist", Workloads.Trace.Skewed (5, 100)) ]
+  in
+  let policy =
+    { Q.batching = { Q.max_batch = 8; max_wait_us = 2000.0 }; queue_bound = 64;
+      deadline_us = 200_000.0 }
+  in
+  let sess =
+    Session.create ~fault_config:(Fault.create ~seed:7 ~kernel_fault_rate:0.1 ())
+      (entry.Suite.build ())
+  in
+  let service env =
+    match Session.serve_result sess env with
+    | Ok (p, path) -> (Profile.total_us p, path)
+    | Error _ -> (1e6, `Fallback)
+  in
+  let a = Q.simulate_server ~arrivals ~policy ~batch_dim:"batch" ~service () in
+  (a, Session.stats sess)
+
+let test_acceptance_overload_with_faults () =
+  let a, s = run_acceptance () in
+  check_int "all 1000 requests accounted" 1000 (total a);
+  check_int "no malformed arrivals in this trace" 0 a.Q.rejected;
+  check_bool "requests were served" true (a.Q.served > 0);
+  check_bool "faults forced fallbacks" true (a.Q.fell_back > 0);
+  check_bool "session observed the injected faults" true (s.Session.faults > 0);
+  check_int "the session never returned an error to the server loop" 0 s.Session.failed
+
+let test_acceptance_deterministic () =
+  let a1, _ = run_acceptance () in
+  let a2, _ = run_acceptance () in
+  check_bool "dispositions reproduce exactly" true (a1.Q.dispositions = a2.Q.dispositions);
+  check_bool "latencies reproduce exactly" true
+    (Array.for_all2
+       (fun x y -> x = y || (Float.is_nan x && Float.is_nan y))
+       a1.Q.request_latencies_us a2.Q.request_latencies_us)
+
+(* --- property: accounting is total ----------------------------------------- *)
+
+let prop_every_request_accounted =
+  QCheck.Test.make ~name:"simulate_server accounts for every request" ~count:30
+    QCheck.(
+      triple
+        (list_of_size (QCheck.Gen.int_range 1 40)
+           (pair (QCheck.Gen.float_range 0.0 1000.0 |> QCheck.make) (int_range 1 64)))
+        (int_range 1 8) (int_range 1 10))
+    (fun (reqs, max_batch, bound) ->
+      let arrivals =
+        List.map (fun (t, s) -> { Q.arrival_us = t; dims = [ ("seq", s) ] }) reqs
+      in
+      let policy =
+        { Q.batching = { Q.max_batch; max_wait_us = 50.0 }; queue_bound = bound;
+          deadline_us = 300.0 }
+      in
+      let a =
+        Q.simulate_server ~arrivals ~policy ~batch_dim:"batch" ~service:(fixed_service 100.0) ()
+      in
+      total a = List.length reqs)
+
+let () =
+  Alcotest.run "resilience"
+    [
+      ( "fault injection",
+        [
+          Alcotest.test_case "deterministic schedule" `Quick test_injector_deterministic;
+          Alcotest.test_case "rates honored" `Quick test_injector_rates;
+        ] );
+      ( "structured errors",
+        [
+          Alcotest.test_case "kernel fault surfaces" `Quick test_kernel_fault_error;
+          Alcotest.test_case "unbound dim surfaces" `Quick test_unbound_dim_error;
+          Alcotest.test_case "memplan OOM surfaces" `Quick test_memplan_oom_error;
+          Alcotest.test_case "despeculate pins generic" `Quick test_despeculate_pins_generic;
+        ] );
+      ( "session ladder",
+        [
+          Alcotest.test_case "fallback matches Ir.Interp" `Quick test_fallback_matches_interp;
+          Alcotest.test_case "fallback disabled errors" `Quick test_fallback_disabled_errors;
+          Alcotest.test_case "breaker despeculates" `Quick test_circuit_breaker_despeculates;
+          Alcotest.test_case "deadline exceeded" `Quick test_deadline_exceeded;
+          Alcotest.test_case "invalid requests" `Quick test_invalid_request_error;
+          Alcotest.test_case "latency window bounded" `Quick test_latency_window_bounded;
+          Alcotest.test_case "hot variant despecializes" `Quick test_specialize_despecializes;
+        ] );
+      ( "overload serving",
+        [
+          Alcotest.test_case "heterogeneous batch env" `Quick test_batch_env_heterogeneous;
+          Alcotest.test_case "validate request" `Quick test_validate_request;
+          Alcotest.test_case "sheds at bound" `Quick test_server_sheds_at_bound;
+          Alcotest.test_case "expires stale" `Quick test_server_expires_stale;
+          Alcotest.test_case "rejects malformed" `Quick test_server_rejects_malformed;
+          Alcotest.test_case "fallback disposition" `Quick test_server_fallback_disposition;
+        ] );
+      ( "acceptance",
+        [
+          Alcotest.test_case "1000 req, 10% faults, no aborts" `Quick
+            test_acceptance_overload_with_faults;
+          Alcotest.test_case "fault schedule reproducible" `Quick test_acceptance_deterministic;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_every_request_accounted ]);
+    ]
