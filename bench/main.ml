@@ -29,9 +29,31 @@ let env_to_string env =
 
 (* ----------------------------------------------------------------------
    E1: end-to-end inference latency & speedups (the headline figures:
-   one per device). *)
+   one per device). With [--json OUT] the same numbers — per-model
+   latency, speedup vs every baseline, one-off compile time — are also
+   written as a machine-readable file, so each PR's perf trajectory can
+   be tracked without scraping tables. *)
 
-let e2e () =
+let json_rows : Obs.Json.t list ref = ref []
+let json_compile : (string * float) list ref = ref []
+
+let write_bench_json ~path ~summary =
+  let doc =
+    Obs.Json.Obj
+      [
+        ("experiment", Obs.Json.Str "E1-e2e");
+        ("unit", Obs.Json.Obj [ ("latency", Obs.Json.Str "us"); ("compile", Obs.Json.Str "ms") ]);
+        ("rows", Obs.Json.List (List.rev !json_rows));
+        ( "compile_ms",
+          Obs.Json.Obj
+            (List.rev_map (fun (m, ms) -> (m, Obs.Json.Float ms)) !json_compile) );
+        ("summary", Obs.Json.List summary);
+      ]
+  in
+  Obs.Json.write_file path doc;
+  Printf.printf "\nheadline numbers -> %s\n" path
+
+let e2e ?json () =
   header "E1: end-to-end speedup of BladeDISC over each baseline (per device)";
   let paper_avg =
     [
@@ -59,18 +81,33 @@ let e2e () =
           List.iter
             (fun env ->
               let d = (disc.E.run ~device env).E.latency_us in
+              let row_speedups = ref [] in
               let cells =
                 List.map
                   (fun n ->
                     let r = (List.assoc n execs).E.run ~device env in
                     let x = r.E.latency_us /. d in
                     (Hashtbl.find speedups n) := x :: !(Hashtbl.find speedups n);
+                    row_speedups := (n, Obs.Json.Float x) :: !row_speedups;
                     Printf.sprintf "%10.2fx" x)
                   baseline_names
               in
+              json_rows :=
+                Obs.Json.Obj
+                  [
+                    ("model", Obs.Json.Str entry.Suite.name);
+                    ("device", Obs.Json.Str device.Gpusim.Device.name);
+                    ("shape", Obs.Json.Str (env_to_string env));
+                    ("disc_us", Obs.Json.Float d);
+                    ("speedups", Obs.Json.Obj (List.rev !row_speedups));
+                  ]
+                :: !json_rows;
               Printf.printf "%-11s %-26s %10.0f  %s\n" entry.Suite.name (env_to_string env) d
                 (String.concat " " cells))
-            entry.Suite.bench_dims)
+            entry.Suite.bench_dims;
+          if not (List.mem_assoc entry.Suite.name !json_compile) then
+            json_compile :=
+              (entry.Suite.name, disc.E.total_compile_ms ()) :: !json_compile)
         Suite.all)
     devices;
   Printf.printf "\n-- summary over both devices (speedup of BladeDISC) --\n";
@@ -81,14 +118,23 @@ let e2e () =
       ("xla", 2.06); ("inductor", 7.92); ("tensorrt", 4.16);
     ]
   in
-  List.iter
-    (fun n ->
-      let xs = !(Hashtbl.find speedups n) in
-      let avg = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
-      let mx = List.fold_left Float.max 0.0 xs in
-      Printf.printf "%-12s %9.2fx %9.2fx %11.2fx %9.2fx\n" n avg mx (List.assoc n paper_avg)
-        (List.assoc n paper_max))
-    baseline_names
+  let summary =
+    List.map
+      (fun n ->
+        let xs = !(Hashtbl.find speedups n) in
+        let avg = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+        let mx = List.fold_left Float.max 0.0 xs in
+        Printf.printf "%-12s %9.2fx %9.2fx %11.2fx %9.2fx\n" n avg mx (List.assoc n paper_avg)
+          (List.assoc n paper_max);
+        Obs.Json.Obj
+          [
+            ("baseline", Obs.Json.Str n);
+            ("avg_speedup", Obs.Json.Float avg);
+            ("max_speedup", Obs.Json.Float mx);
+          ])
+      baseline_names
+  in
+  match json with Some path -> write_bench_json ~path ~summary | None -> ()
 
 (* ----------------------------------------------------------------------
    E2: the model-suite characteristics table. *)
@@ -608,8 +654,8 @@ let micro () =
 
 (* ---------------------------------------------------------------------- *)
 
-let all () =
-  e2e ();
+let all ?json () =
+  e2e ?json ();
   suite ();
   sweep ();
   fusion_ablation ();
@@ -625,9 +671,24 @@ let all () =
   resilience ()
 
 let () =
-  let cmd = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  match cmd with
-  | "e2e" -> e2e ()
+  (* main.exe [--] [EXPERIMENT] [--json OUT.json] [--trace OUT.json]
+     --json: write E1 headline numbers machine-readably (e2e / all)
+     --trace: arm the observability layer and dump a Chrome trace of
+       every compile phase and kernel launch the experiments simulate *)
+  let rec parse_args cmd json trace = function
+    | [] -> (cmd, json, trace)
+    | "--" :: rest -> parse_args cmd json trace rest
+    | "--json" :: path :: rest -> parse_args cmd (Some path) trace rest
+    | "--trace" :: path :: rest -> parse_args cmd json (Some path) rest
+    | a :: rest -> parse_args (Some a) json trace rest
+  in
+  let cmd, json, trace =
+    parse_args None None None (List.tl (Array.to_list Sys.argv))
+  in
+  let cmd = Option.value cmd ~default:"all" in
+  if trace <> None then Obs.Scope.enable ();
+  (match cmd with
+  | "e2e" -> e2e ?json ()
   | "suite" -> suite ()
   | "sweep" -> sweep ()
   | "fusion_ablation" -> fusion_ablation ()
@@ -642,11 +703,17 @@ let () =
   | "specialization" -> specialization ()
   | "resilience" -> resilience ()
   | "micro" -> micro ()
-  | "all" -> all ()
+  | "all" -> all ?json ()
   | other ->
       Printf.eprintf
         "unknown experiment %s\n\
          usage: main.exe \
-         [e2e|suite|sweep|fusion_ablation|speculation_ablation|compile_time|memory|constraints|mixed_precision|micro|all]\n"
+         [e2e|suite|sweep|fusion_ablation|speculation_ablation|compile_time|memory|constraints|mixed_precision|micro|all] \
+         [--json OUT.json] [--trace OUT.json]\n"
         other;
-      exit 1
+      exit 1);
+  match trace with
+  | Some file ->
+      Obs.Trace.write_chrome Obs.Trace.global file;
+      Printf.printf "trace: %d spans -> %s\n" (Obs.Trace.length Obs.Trace.global) file
+  | None -> ()

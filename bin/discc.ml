@@ -4,7 +4,12 @@
      discc compile --model bert [--tiny] [--planner VARIANT] [--dump ir|plan|symbols]
      discc run --model bert --dims batch=4,seq=73 [--device A10|T4] [--planner V]
      discc exec --model bert --dims batch=2,seq=5   (tiny data-plane run)
-     discc compare --model bert --dims batch=4,seq=73 [--device D]  (all systems) *)
+     discc compare --model bert --dims batch=4,seq=73 [--device D]  (all systems)
+
+   compile/run/exec additionally take --trace FILE.json (Chrome
+   trace_event export of compile phases / kernel launches, loadable in
+   chrome://tracing or Perfetto) and --metrics (print the metrics
+   registry after the command). *)
 
 open Cmdliner
 
@@ -63,6 +68,34 @@ let dims_arg =
   let doc = "Dynamic dimension values, e.g. batch=4,seq=73." in
   Arg.(required & opt (some string) None & info [ "dims" ] ~docv:"DIMS" ~doc)
 
+let trace_arg =
+  let doc =
+    "Enable observability and write a Chrome trace_event JSON file (open in \
+     chrome://tracing or https://ui.perfetto.dev)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE.json" ~doc)
+
+let metrics_arg =
+  let doc = "Enable observability and print the metrics-registry table afterwards." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+(* Arm the observability layer around a subcommand body: spans/metrics
+   are only collected when one of the flags asks for them, so the
+   default CLI behaviour (and output) is untouched. *)
+let with_obs ~trace ~metrics f =
+  if trace <> None || metrics then Obs.Scope.enable ();
+  let v = f () in
+  (match trace with
+  | Some file ->
+      Obs.Trace.write_chrome Obs.Trace.global file;
+      Printf.printf "trace: %d spans -> %s\n" (Obs.Trace.length Obs.Trace.global) file
+  | None -> ());
+  if metrics then begin
+    print_newline ();
+    print_string (Obs.Metrics.to_table_string (Obs.Metrics.snapshot Obs.Metrics.global))
+  end;
+  v
+
 let build_model name tiny =
   let entry = Suite.find name in
   if tiny then entry.Suite.build_tiny () else entry.Suite.build ()
@@ -94,7 +127,8 @@ let compile_cmd =
     let doc = "What to print: ir, plan, symbols, stats, kernels (repeatable)." in
     Arg.(value & opt_all string [] & info [ "dump" ] ~docv:"WHAT" ~doc)
   in
-  let run model tiny planner dumps =
+  let run model tiny planner dumps trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let built = build_model model tiny in
     let c = Compiler.compile ~options:(options_of planner) built.Common.graph in
     Printf.printf
@@ -104,6 +138,9 @@ let compile_cmd =
       (List.length c.Compiler.plan.Fusion.Cluster.clusters)
       (c.Compiler.compile_time_ms /. 1000.0)
       (Ir.Passes.stats_to_string c.Compiler.pass_stats);
+    Printf.printf "  phases: %s\n"
+      (String.concat " "
+         (List.map (fun (ph, ms) -> Printf.sprintf "%s=%.1fms" ph ms) c.Compiler.phases));
     List.iter
       (fun what ->
         match what with
@@ -122,12 +159,13 @@ let compile_cmd =
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a model and inspect the pipeline")
-    Term.(const run $ model_arg $ tiny_arg $ planner_arg $ dump_arg)
+    Term.(const run $ model_arg $ tiny_arg $ planner_arg $ dump_arg $ trace_arg $ metrics_arg)
 
 (* --- run (cost simulation) ------------------------------------------------ *)
 
 let run_cmd =
-  let run model tiny planner device dims =
+  let run model tiny planner device dims trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let built = build_model model tiny in
     let c = Compiler.compile ~options:(options_of planner) built.Common.graph in
     let device = device_of_string device in
@@ -154,12 +192,15 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate one inference at given dynamic-dim values")
-    Term.(const run $ model_arg $ tiny_arg $ planner_arg $ device_arg $ dims_arg)
+    Term.(
+      const run $ model_arg $ tiny_arg $ planner_arg $ device_arg $ dims_arg $ trace_arg
+      $ metrics_arg)
 
 (* --- exec (data plane, tiny) ---------------------------------------------- *)
 
 let exec_cmd =
-  let run model dims =
+  let run model dims trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let built = build_model model true in
     let env = parse_dims dims in
     let inputs = Common.test_inputs built env in
@@ -172,7 +213,7 @@ let exec_cmd =
   in
   Cmd.v
     (Cmd.info "exec" ~doc:"Execute the tiny model on real data and print outputs")
-    Term.(const run $ model_arg $ dims_arg)
+    Term.(const run $ model_arg $ dims_arg $ trace_arg $ metrics_arg)
 
 (* --- compile-file ----------------------------------------------------------- *)
 

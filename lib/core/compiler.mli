@@ -26,11 +26,20 @@ type compiled = {
   plan : Fusion.Cluster.plan;
   pass_stats : Ir.Passes.stats;
   compile_time_ms : float;  (** simulated one-off compilation cost *)
+  phases : (string * float) list;
+      (** per-phase breakdown (graph_passes, fusion_planning, codegen,
+          executable_build) in ms; sums to [compile_time_ms] *)
 }
 
+val simulated_phase_times_ms :
+  num_insts:int -> num_kernels:int -> (string * float) list
+(** The compilation-latency model decomposed per phase (per-instruction
+    pass/planning time, per-kernel codegen, constant build floor). *)
+
 val simulated_compile_time_ms : num_insts:int -> num_kernels:int -> float
-(** The compilation-latency model (per-kernel codegen + per-instruction
-    pass time); paid once per model, never per shape. *)
+(** Sum of {!simulated_phase_times_ms}; paid once per model, never per
+    shape. When observability is enabled ({!Obs.Scope}), {!compile}
+    records one nested trace span per phase whose durations sum to this. *)
 
 val compile : ?options:options -> Graph.t -> compiled
 (** Runs cleanup passes (mutating the graph), verifies, plans fusion and

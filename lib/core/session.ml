@@ -45,6 +45,11 @@ let ring_push r v =
 
 let ring_contents r = Array.sub r.buf 0 r.len (* order irrelevant for percentiles *)
 
+(* Outcome counters live in a per-session metrics registry (Obs.Metrics)
+   — the same cells back the public [stats] record, the registry
+   snapshot/JSON export, and whatever dashboards read the registry, so
+   the numbers cannot drift apart. The handles below are the registry's
+   own cells, fetched once at creation. *)
 type t = {
   built : Common.built;
   compiled : Compiler.compiled;
@@ -54,12 +59,14 @@ type t = {
   latencies : ring;
   breakers : (string, int) Hashtbl.t; (* kernel -> consecutive faults *)
   tripped : (string, unit) Hashtbl.t; (* de-speculated kernels *)
-  mutable requests : int;
-  mutable served : int; (* compiled path succeeded *)
-  mutable fell_back : int; (* reference path served *)
-  mutable failed : int; (* structured error returned to caller *)
-  mutable retries : int;
-  mutable faults_seen : int; (* kernel faults + OOMs observed *)
+  metrics : Obs.Metrics.t;
+  requests_c : Obs.Metrics.counter;
+  served_c : Obs.Metrics.counter; (* compiled path succeeded *)
+  fell_back_c : Obs.Metrics.counter; (* reference path served *)
+  failed_c : Obs.Metrics.counter; (* structured error returned to caller *)
+  retries_c : Obs.Metrics.counter;
+  faults_c : Obs.Metrics.counter; (* kernel faults + OOMs observed *)
+  latency_h : Obs.Metrics.histogram; (* all recorded request latencies, µs *)
 }
 
 type stats = {
@@ -82,9 +89,10 @@ type stats = {
 let default_window = 1024
 
 let create ?(options = Compiler.default_options) ?(device = Gpusim.Device.a10)
-    ?(policy = default_policy) ?fault_config ?(window = default_window)
+    ?(policy = default_policy) ?fault_config ?(window = default_window) ?metrics
     (built : Common.built) : t =
   let compiled = Compiler.compile ~options built.Common.graph in
+  let m = match metrics with Some m -> m | None -> Obs.Metrics.create () in
   {
     built;
     compiled;
@@ -94,17 +102,22 @@ let create ?(options = Compiler.default_options) ?(device = Gpusim.Device.a10)
     latencies = ring_create window;
     breakers = Hashtbl.create 16;
     tripped = Hashtbl.create 16;
-    requests = 0;
-    served = 0;
-    fell_back = 0;
-    failed = 0;
-    retries = 0;
-    faults_seen = 0;
+    metrics = m;
+    requests_c = Obs.Metrics.counter m "session.requests";
+    served_c = Obs.Metrics.counter m "session.served";
+    fell_back_c = Obs.Metrics.counter m "session.fell_back";
+    failed_c = Obs.Metrics.counter m "session.failed";
+    retries_c = Obs.Metrics.counter m "session.retries";
+    faults_c = Obs.Metrics.counter m "session.faults";
+    latency_h = Obs.Metrics.histogram m "session.latency_us";
   }
+
+let metrics t = t.metrics
 
 let record t lat =
   ring_push t.latencies lat;
-  t.requests <- t.requests + 1
+  Obs.Metrics.observe t.latency_h lat;
+  Obs.Metrics.inc t.requests_c
 
 let despeculated_kernels t = List.of_seq (Seq.map fst (Hashtbl.to_seq t.tripped))
 
@@ -113,7 +126,7 @@ let despeculated_kernels t = List.of_seq (Seq.map fst (Hashtbl.to_seq t.tripped)
 let is_tripped t kname = Hashtbl.mem t.tripped kname
 
 let note_fault t (e : Error.t) =
-  t.faults_seen <- t.faults_seen + 1;
+  Obs.Metrics.inc t.faults_c;
   match e with
   | Error.Kernel_fault { kernel; _ } ->
       let n = 1 + Option.value (Hashtbl.find_opt t.breakers kernel) ~default:0 in
@@ -200,8 +213,9 @@ let reference_profile (t : t) (bnd : Table.binding) : Profile.t =
 
 (* --- the retry / fallback ladder ------------------------------------------ *)
 
-let rec attempt t ~tries_left ~(compiled : unit -> ('a, Error.t) result)
-    ~(fallback : Error.t -> ('a * path, Error.t) result) : ('a * path, Error.t) result =
+let rec attempt t ?(retries_used = ref 0) ~tries_left
+    ~(compiled : unit -> ('a, Error.t) result)
+    ~(fallback : Error.t -> ('a * path, Error.t) result) () : ('a * path, Error.t) result =
   match compiled () with
   | Ok v ->
       note_clean_pass t;
@@ -209,8 +223,9 @@ let rec attempt t ~tries_left ~(compiled : unit -> ('a, Error.t) result)
   | Error e when Error.is_transient e ->
       note_fault t e;
       if tries_left > 0 then begin
-        t.retries <- t.retries + 1;
-        attempt t ~tries_left:(tries_left - 1) ~compiled ~fallback
+        Obs.Metrics.inc t.retries_c;
+        incr retries_used;
+        attempt t ~retries_used ~tries_left:(tries_left - 1) ~compiled ~fallback ()
       end
       else fallback e
   | Error e -> Error e (* permanent: retrying or falling back cannot help *)
@@ -222,15 +237,46 @@ let fallback_or_fail t e ~(reference : unit -> ('a, Error.t) result) =
     | Ok v -> Ok (v, `Fallback)
     | Error e' -> Error e'
 
+(* Request-span bookkeeping: one span per request on the global trace,
+   annotated with the serve path, retry count, outcome, and breaker
+   state. Kernel spans emitted inside the compiled attempts (and the
+   fallback span) advance the virtual clock, so the request span's
+   duration is the simulated time actually spent — including failed
+   attempts that were retried. *)
+let begin_request_span t name env =
+  if Obs.Scope.on () then
+    Obs.Scope.begin_span ~cat:"request"
+      ~args:
+        (("model", t.built.Common.name)
+        :: List.map (fun (n, v) -> (n, string_of_int v)) env)
+      name
+
+let end_request_span t ~outcome ~path ~retries_used =
+  if Obs.Scope.on () then
+    Obs.Scope.end_span
+      ~args:
+        [
+          ("outcome", outcome);
+          ("path", path);
+          ("retries", string_of_int retries_used);
+          ("despeculated", string_of_int (Hashtbl.length t.tripped));
+        ]
+      ()
+
+let path_to_string = function `Compiled -> "compiled" | `Fallback -> "fallback"
+
 (* Cost-only request at named dynamic-dim values. *)
 let serve_result ?deadline_us (t : t) (env : (string * int) list) :
     (Profile.t * path, Error.t) result =
-  let fail e =
-    t.failed <- t.failed + 1;
+  let retries_used = ref 0 in
+  begin_request_span t "serve" env;
+  let fail ~outcome e =
+    Obs.Metrics.inc t.failed_c;
+    end_request_span t ~outcome ~path:"none" ~retries_used:!retries_used;
     Error e
   in
   match validate_env t env with
-  | Error e -> fail e
+  | Error e -> fail ~outcome:"invalid" e
   | Ok dims -> (
       let compiled () =
         Compiler.simulate_result ~device:t.device ?faults:t.faults
@@ -238,25 +284,34 @@ let serve_result ?deadline_us (t : t) (env : (string * int) list) :
       in
       let reference () =
         match Compiler.binding_of_dims t.compiled.Compiler.exe.Runtime.Executable.g dims with
-        | bnd -> Ok (reference_profile t bnd)
+        | bnd ->
+            let p = reference_profile t bnd in
+            if Obs.Scope.on () then
+              Obs.Scope.span ~advance:true ~cat:"fallback" ~dur_us:(Profile.total_us p)
+                "reference_fallback";
+            Ok p
         | exception Table.Inconsistent m -> Error (Error.Fallback_failed m)
       in
       let outcome =
-        attempt t ~tries_left:t.policy.max_retries ~compiled
+        attempt t ~retries_used ~tries_left:t.policy.max_retries ~compiled
           ~fallback:(fun e -> fallback_or_fail t e ~reference)
+          ()
       in
       match outcome with
-      | Error e -> fail e
+      | Error e -> fail ~outcome:"error" e
       | Ok (profile, path) -> (
           let lat = Profile.total_us profile in
           match deadline_us with
           | Some budget when lat > budget ->
-              fail (Error.Deadline_exceeded { deadline_us = budget; elapsed_us = lat })
+              fail ~outcome:"deadline"
+                (Error.Deadline_exceeded { deadline_us = budget; elapsed_us = lat })
           | _ ->
               record t lat;
               (match path with
-              | `Compiled -> t.served <- t.served + 1
-              | `Fallback -> t.fell_back <- t.fell_back + 1);
+              | `Compiled -> Obs.Metrics.inc t.served_c
+              | `Fallback -> Obs.Metrics.inc t.fell_back_c);
+              end_request_span t ~outcome:"ok" ~path:(path_to_string path)
+                ~retries_used:!retries_used;
               Ok (profile, path)))
 
 (* Data-plane request on real tensors; the fallback path computes the
@@ -265,28 +320,38 @@ let serve_result ?deadline_us (t : t) (env : (string * int) list) :
 let serve_data_result (t : t) (inputs : Tensor.Nd.t list) :
     (Tensor.Nd.t list * Profile.t * path, Error.t) result =
   let g = t.built.Common.graph in
+  let retries_used = ref 0 in
+  begin_request_span t "serve_data" [];
   let compiled () = Compiler.run_result ~device:t.device ?faults:t.faults t.compiled inputs in
   let reference () =
     match Ir.Interp.run g inputs with
     | outs ->
         let bnd = Ir.Interp.bind_inputs g inputs in
-        Ok (outs, reference_profile t bnd)
+        let p = reference_profile t bnd in
+        if Obs.Scope.on () then
+          Obs.Scope.span ~advance:true ~cat:"fallback" ~dur_us:(Profile.total_us p)
+            "reference_fallback";
+        Ok (outs, p)
     | exception Ir.Interp.Eval_error m -> Error (Error.Fallback_failed m)
     | exception Table.Inconsistent m -> Error (Error.Fallback_failed m)
   in
   let outcome =
-    attempt t ~tries_left:t.policy.max_retries ~compiled
+    attempt t ~retries_used ~tries_left:t.policy.max_retries ~compiled
       ~fallback:(fun e -> fallback_or_fail t e ~reference)
+      ()
   in
   match outcome with
   | Error e ->
-      t.failed <- t.failed + 1;
+      Obs.Metrics.inc t.failed_c;
+      end_request_span t ~outcome:"error" ~path:"none" ~retries_used:!retries_used;
       Error e
   | Ok ((outs, profile), path) ->
       record t (Profile.total_us profile);
       (match path with
-      | `Compiled -> t.served <- t.served + 1
-      | `Fallback -> t.fell_back <- t.fell_back + 1);
+      | `Compiled -> Obs.Metrics.inc t.served_c
+      | `Fallback -> Obs.Metrics.inc t.fell_back_c);
+      end_request_span t ~outcome:"ok" ~path:(path_to_string path)
+        ~retries_used:!retries_used;
       Ok (outs, profile, path)
 
 (* --- legacy exception wrappers -------------------------------------------- *)
@@ -313,24 +378,28 @@ let percentile sorted p =
   | 0 -> 0.0
   | n -> sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
 
+(* The stats record is a *view*: outcome counts read straight from the
+   metrics registry cells (no shadow ints to drift), percentiles are
+   exact over the bounded latency window, breaker state comes from the
+   tripped table. *)
 let stats (t : t) : stats =
   let arr = ring_contents t.latencies in
   Array.sort compare arr;
   let n = Array.length arr in
   let total = Array.fold_left ( +. ) 0.0 arr in
   {
-    requests = t.requests;
+    requests = Obs.Metrics.counter_value t.requests_c;
     compile_ms = t.compiled.Compiler.compile_time_ms;
     mean_us = (if n = 0 then 0.0 else total /. float_of_int n);
     p50_us = percentile arr 0.5;
     p95_us = percentile arr 0.95;
     p99_us = percentile arr 0.99;
     max_us = (if n = 0 then 0.0 else arr.(n - 1));
-    served = t.served;
-    fell_back = t.fell_back;
-    failed = t.failed;
-    retries = t.retries;
-    faults = t.faults_seen;
+    served = Obs.Metrics.counter_value t.served_c;
+    fell_back = Obs.Metrics.counter_value t.fell_back_c;
+    failed = Obs.Metrics.counter_value t.failed_c;
+    retries = Obs.Metrics.counter_value t.retries_c;
+    faults = Obs.Metrics.counter_value t.faults_c;
     despeculated = Hashtbl.length t.tripped;
     window = n;
   }

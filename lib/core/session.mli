@@ -52,10 +52,19 @@ val create :
   ?policy:policy ->
   ?fault_config:Gpusim.Fault.config ->
   ?window:int ->
+  ?metrics:Obs.Metrics.t ->
   Models.Common.built ->
   t
 (** Compiles immediately; every later request reuses the artifact.
-    [fault_config] arms deterministic fault injection for this session. *)
+    [fault_config] arms deterministic fault injection for this session.
+    [metrics] is the registry the session's outcome counters and latency
+    histogram live in (default: a fresh private registry). The registry
+    is the single source of truth: {!stats} is a view over it. *)
+
+val metrics : t -> Obs.Metrics.t
+(** The session's registry — counters [session.requests/served/
+    fell_back/failed/retries/faults] and histogram [session.latency_us];
+    snapshot or export it with {!Obs.Metrics}. *)
 
 val serve_result :
   ?deadline_us:float ->

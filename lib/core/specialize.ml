@@ -20,19 +20,37 @@ module Table = Symshape.Table
 module Graph = Ir.Graph
 module Error = Runtime.Error
 
+(* Hit/miss/despecialize counters live in a metrics registry
+   (Obs.Metrics): the same cells back {!hits}/{!misses}/{!stats} and the
+   registry's own export, so the accounting cannot drift from what was
+   actually served. Per-signature latency histograms are created lazily
+   under "specialize.latency_us{sig}". *)
 type t = {
   built : Common.built;
   generic : Compiler.compiled;
   mutable hot : ((string * int) list * Compiler.compiled) list; (* sorted envs *)
-  mutable hits : int;
-  mutable misses : int;
   faults : Gpusim.Fault.t option;
   breaker_threshold : int;
   breakers : ((string * int) list, int) Hashtbl.t; (* consecutive faults per hot env *)
   mutable despecialized : (string * int) list list; (* evicted hot envs *)
+  metrics : Obs.Metrics.t;
+  hits_c : Obs.Metrics.counter;
+  misses_c : Obs.Metrics.counter;
+  despec_c : Obs.Metrics.counter;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  despecialized : int;
+  hot_variants : int;  (* still live *)
+  total_compile_ms : float;
 }
 
 let norm env = List.sort compare env
+
+let sig_of_env env =
+  String.concat "," (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) (norm env))
 
 (* Default hot set: cartesian product of each dim's likely values
    (capped to avoid explosion). *)
@@ -54,7 +72,7 @@ let default_hot_envs (built : Common.built) : (string * int) list list =
   List.filteri (fun i _ -> i < 16) (List.map List.rev product)
 
 let create ?(options = Compiler.default_options) ?hot_envs ?fault_config
-    ?(breaker_threshold = 3) (built : Common.built) : t =
+    ?(breaker_threshold = 3) ?metrics (built : Common.built) : t =
   let envs = Option.value hot_envs ~default:(default_hot_envs built) in
   let generic = Compiler.compile ~options built.Common.graph in
   let hot =
@@ -67,29 +85,52 @@ let create ?(options = Compiler.default_options) ?hot_envs ?fault_config
         (norm env, Compiler.compile ~options static_g))
       envs
   in
+  let m = match metrics with Some m -> m | None -> Obs.Metrics.create () in
   {
     built;
     generic;
     hot;
-    hits = 0;
-    misses = 0;
     faults = Option.map Gpusim.Fault.make fault_config;
     breaker_threshold;
     breakers = Hashtbl.create 8;
     despecialized = [];
+    metrics = m;
+    hits_c = Obs.Metrics.counter m "specialize.hits";
+    misses_c = Obs.Metrics.counter m "specialize.misses";
+    despec_c = Obs.Metrics.counter m "specialize.despecialized";
   }
+
+let metrics t = t.metrics
+let hits t = Obs.Metrics.counter_value t.hits_c
+let misses t = Obs.Metrics.counter_value t.misses_c
 
 let total_compile_ms (t : t) =
   t.generic.Compiler.compile_time_ms
   +. List.fold_left (fun acc (_, c) -> acc +. c.Compiler.compile_time_ms) 0.0 t.hot
 
+let stats (t : t) : stats =
+  {
+    hits = hits t;
+    misses = misses t;
+    despecialized = List.length t.despecialized;
+    hot_variants = List.length t.hot;
+    total_compile_ms = total_compile_ms t;
+  }
+
 let despecialized_envs (t : t) = t.despecialized
+
+let observe_latency (t : t) env (p : Runtime.Profile.t) =
+  Obs.Metrics.observe
+    (Obs.Metrics.histogram t.metrics
+       (Printf.sprintf "specialize.latency_us{%s}" (sig_of_env env)))
+    (Runtime.Profile.total_us p)
 
 (* De-specialize a hot variant: evict it so every future request at that
    signature runs the always-valid generic dynamic-shape artifact. *)
 let trip (t : t) key =
   t.hot <- List.remove_assoc key t.hot;
   t.despecialized <- key :: t.despecialized;
+  Obs.Metrics.inc t.despec_c;
   Hashtbl.remove t.breakers key
 
 let note_hot_fault (t : t) key =
@@ -121,24 +162,27 @@ let serve_result ?(device = Gpusim.Device.a10) (t : t) (env : (string * int) lis
     | Error e -> Error e
     | Ok dims -> (
         match Compiler.simulate_result ~device ?faults:t.faults t.generic dims with
-        | Ok p -> Ok (p, `Generic)
+        | Ok p ->
+            observe_latency t env p;
+            Ok (p, `Generic)
         | Error e -> Error e)
   in
   let key = norm env in
   match List.assoc_opt key t.hot with
   | Some c -> (
-      t.hits <- t.hits + 1;
+      Obs.Metrics.inc t.hits_c;
       (* the static variant has no dynamic dims left to bind *)
       match Compiler.simulate_result ~device ?faults:t.faults c [] with
       | Ok p ->
           Hashtbl.remove t.breakers key;
+          observe_latency t env p;
           Ok (p, `Hot)
       | Error e when Error.is_transient e ->
           note_hot_fault t key;
           serve_generic ()
       | Error e -> Error e)
   | None ->
-      t.misses <- t.misses + 1;
+      Obs.Metrics.inc t.misses_c;
       serve_generic ()
 
 let serve ?(device = Gpusim.Device.a10) (t : t) (env : (string * int) list) :

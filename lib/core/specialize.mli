@@ -12,12 +12,22 @@ type t = {
   built : Models.Common.built;
   generic : Compiler.compiled;
   mutable hot : ((string * int) list * Compiler.compiled) list;
-  mutable hits : int;
-  mutable misses : int;
   faults : Gpusim.Fault.t option;
   breaker_threshold : int;
   breakers : ((string * int) list, int) Hashtbl.t;
   mutable despecialized : (string * int) list list;
+  metrics : Obs.Metrics.t;
+  hits_c : Obs.Metrics.counter;
+  misses_c : Obs.Metrics.counter;
+  despec_c : Obs.Metrics.counter;
+}
+
+type stats = {
+  hits : int;  (** requests whose signature matched a live hot variant *)
+  misses : int;
+  despecialized : int;  (** hot variants evicted by the breaker *)
+  hot_variants : int;  (** still live *)
+  total_compile_ms : float;
 }
 
 val default_hot_envs : Models.Common.built -> (string * int) list list
@@ -28,8 +38,22 @@ val create :
   ?hot_envs:(string * int) list list ->
   ?fault_config:Gpusim.Fault.config ->
   ?breaker_threshold:int ->
+  ?metrics:Obs.Metrics.t ->
   Models.Common.built ->
   t
+(** [metrics] is the registry holding [specialize.hits/misses/
+    despecialized] and the lazily-created per-signature latency
+    histograms [specialize.latency_us{sig}] (default: fresh private
+    registry). It is the single source of truth behind {!stats}. *)
+
+val metrics : t -> Obs.Metrics.t
+val hits : t -> int
+val misses : t -> int
+val stats : t -> stats
+(** Derived from the registry and the live hot-variant list. *)
+
+val sig_of_env : (string * int) list -> string
+(** Canonical signature string, e.g. ["batch=4,seq=73"] (sorted). *)
 
 val total_compile_ms : t -> float
 

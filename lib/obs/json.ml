@@ -1,0 +1,85 @@
+(* Minimal JSON emitter: enough for trace files, metrics snapshots and
+   benchmark headline output. Build the document, serialize once. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape (s : string) : string =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* JSON numbers: no nan/inf, and no OCaml "1." spelling. "%.12g" keeps
+   microsecond timestamps exact well past any trace we can buffer. *)
+let float_to_string f =
+  if not (Float.is_finite f) then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.12g" f
+
+let to_string ?(pretty = false) (v : t) : string =
+  let buf = Buffer.create 1024 in
+  let pad n = if pretty then Buffer.add_string buf (String.make (2 * n) ' ') in
+  let nl () = if pretty then Buffer.add_char buf '\n' in
+  let rec go depth v =
+    match v with
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (float_to_string f)
+    | Str s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape s);
+        Buffer.add_char buf '"'
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+        Buffer.add_char buf '[';
+        nl ();
+        List.iteri
+          (fun i item ->
+            if i > 0 then (Buffer.add_char buf ','; nl ());
+            pad (depth + 1);
+            go (depth + 1) item)
+          items;
+        nl ();
+        pad depth;
+        Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        nl ();
+        List.iteri
+          (fun i (k, fv) ->
+            if i > 0 then (Buffer.add_char buf ','; nl ());
+            pad (depth + 1);
+            Buffer.add_char buf '"';
+            Buffer.add_string buf (escape k);
+            Buffer.add_string buf (if pretty then "\": " else "\":");
+            go (depth + 1) fv)
+          fields;
+        nl ();
+        pad depth;
+        Buffer.add_char buf '}'
+  in
+  go 0 v;
+  Buffer.contents buf
+
+let write_file path v =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_string ~pretty:true v);
+      Out_channel.output_char oc '\n')

@@ -1,0 +1,25 @@
+(** Minimal JSON document model and serializer.
+
+    The observability layer emits Chrome [trace_event] files and metrics
+    snapshots; the benchmark harness emits headline-number files. All of
+    them build a {!t} and serialize with {!to_string} — no external JSON
+    dependency, no printf-escaping bugs at the call sites. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** [nan]/[inf] serialize as [null] (JSON has neither) *)
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** Body of a JSON string literal (no surrounding quotes): quotes,
+    backslashes and control characters escaped. *)
+
+val to_string : ?pretty:bool -> t -> string
+(** Compact by default; [~pretty:true] indents objects and lists. *)
+
+val write_file : string -> t -> unit
+(** Serialize pretty-printed to [path] with a trailing newline. *)

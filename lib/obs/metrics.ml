@@ -1,0 +1,243 @@
+(* Counters, gauges, log-linear histograms; snapshot/diff and JSON /
+   table export. See metrics.mli for the model. *)
+
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+
+(* Log-linear buckets: bucket 0 is [0, 1); past that, each power of two
+   [2^e, 2^(e+1)) splits into [sub_buckets] equal linear slices. Bucket
+   widths grow with the value, so relative error is bounded by
+   1/sub_buckets while the bucket count stays logarithmic. *)
+let sub_buckets = 16
+
+type histogram = {
+  mutable counts : int array; (* grown on demand *)
+  mutable n : int;
+  mutable sum : float;
+  mutable vmin : float;
+  mutable vmax : float;
+}
+
+type t = {
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+let create () =
+  { counters = Hashtbl.create 16; gauges = Hashtbl.create 16; histograms = Hashtbl.create 16 }
+
+let global = create ()
+
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.gauges;
+  Hashtbl.reset t.histograms
+
+let get_or_create tbl name mk =
+  match Hashtbl.find_opt tbl name with
+  | Some v -> v
+  | None ->
+      let v = mk () in
+      Hashtbl.replace tbl name v;
+      v
+
+let counter t name = get_or_create t.counters name (fun () -> { c = 0 })
+let inc ?(by = 1) c = c.c <- c.c + by
+let counter_value c = c.c
+
+let gauge t name = get_or_create t.gauges name (fun () -> { g = 0.0 })
+let set_gauge g v = g.g <- v
+let gauge_value g = g.g
+
+let histogram t name =
+  get_or_create t.histograms name (fun () ->
+      { counts = Array.make 64 0; n = 0; sum = 0.0; vmin = infinity; vmax = neg_infinity })
+
+let bucket_of (v : float) : int =
+  if v < 1.0 then 0
+  else
+    let e = int_of_float (Float.log2 v) in
+    (* guard against log2 rounding at exact powers of two *)
+    let e = if Float.pow 2.0 (float_of_int (e + 1)) <= v then e + 1 else e in
+    let e = if Float.pow 2.0 (float_of_int e) > v then e - 1 else e in
+    let base = Float.pow 2.0 (float_of_int e) in
+    let slice = int_of_float ((v -. base) /. base *. float_of_int sub_buckets) in
+    let slice = min (sub_buckets - 1) (max 0 slice) in
+    1 + (e * sub_buckets) + slice
+
+(* Midpoint of a bucket: the estimate returned for any sample in it. *)
+let bucket_mid (i : int) : float =
+  if i = 0 then 0.5
+  else
+    let e = (i - 1) / sub_buckets and slice = (i - 1) mod sub_buckets in
+    let base = Float.pow 2.0 (float_of_int e) in
+    let lo = base *. (1.0 +. (float_of_int slice /. float_of_int sub_buckets)) in
+    let hi = base *. (1.0 +. (float_of_int (slice + 1) /. float_of_int sub_buckets)) in
+    (lo +. hi) /. 2.0
+
+let observe h v =
+  let v = Float.max 0.0 v in
+  let i = bucket_of v in
+  if i >= Array.length h.counts then begin
+    let bigger = Array.make (max (i + 1) (2 * Array.length h.counts)) 0 in
+    Array.blit h.counts 0 bigger 0 (Array.length h.counts);
+    h.counts <- bigger
+  end;
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.n <- h.n + 1;
+  h.sum <- h.sum +. v;
+  if v < h.vmin then h.vmin <- v;
+  if v > h.vmax then h.vmax <- v
+
+let histogram_count h = h.n
+let histogram_mean h = if h.n = 0 then 0.0 else h.sum /. float_of_int h.n
+
+(* Nearest-rank percentile over the buckets, clamped to exact [min,max]. *)
+let percentile_buckets ~n ~vmin ~vmax (counts : (int * int) list) (p : float) : float =
+  if n = 0 then 0.0
+  else begin
+    let rank = max 1 (int_of_float (Float.ceil (p *. float_of_int n))) in
+    let rec walk acc = function
+      | [] -> vmax
+      | (i, c) :: rest -> if acc + c >= rank then bucket_mid i else walk (acc + c) rest
+    in
+    let est = walk 0 counts in
+    Float.min vmax (Float.max vmin est)
+  end
+
+let buckets_of_histogram h =
+  let out = ref [] in
+  for i = Array.length h.counts - 1 downto 0 do
+    if h.counts.(i) > 0 then out := (i, h.counts.(i)) :: !out
+  done;
+  !out
+
+let percentile h p =
+  percentile_buckets ~n:h.n
+    ~vmin:(if h.n = 0 then 0.0 else h.vmin)
+    ~vmax:(if h.n = 0 then 0.0 else h.vmax)
+    (buckets_of_histogram h) p
+
+(* --- snapshots ------------------------------------------------------------- *)
+
+type histo_snapshot = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  buckets : (int * int) list;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * histo_snapshot) list;
+}
+
+let sorted_bindings tbl f =
+  Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let snapshot (t : t) : snapshot =
+  {
+    counters = sorted_bindings t.counters (fun c -> c.c);
+    gauges = sorted_bindings t.gauges (fun g -> g.g);
+    histograms =
+      sorted_bindings t.histograms (fun h ->
+          {
+            h_count = h.n;
+            h_sum = h.sum;
+            h_min = (if h.n = 0 then 0.0 else h.vmin);
+            h_max = (if h.n = 0 then 0.0 else h.vmax);
+            buckets = buckets_of_histogram h;
+          });
+  }
+
+let percentile_of_snapshot (hs : histo_snapshot) p =
+  percentile_buckets ~n:hs.h_count ~vmin:hs.h_min ~vmax:hs.h_max hs.buckets p
+
+let diff (earlier : snapshot) (later : snapshot) : snapshot =
+  let sub_counter name v =
+    max 0 (v - Option.value (List.assoc_opt name earlier.counters) ~default:0)
+  in
+  let sub_histo name (hs : histo_snapshot) =
+    match List.assoc_opt name earlier.histograms with
+    | None -> hs
+    | Some old ->
+        let buckets =
+          List.filter_map
+            (fun (i, c) ->
+              let c' = c - Option.value (List.assoc_opt i old.buckets) ~default:0 in
+              if c' > 0 then Some (i, c') else None)
+            hs.buckets
+        in
+        {
+          h_count = max 0 (hs.h_count - old.h_count);
+          h_sum = Float.max 0.0 (hs.h_sum -. old.h_sum);
+          (* exact interval min/max are not recoverable from endpoints *)
+          h_min = hs.h_min;
+          h_max = hs.h_max;
+          buckets;
+        }
+  in
+  {
+    counters = List.map (fun (n, v) -> (n, sub_counter n v)) later.counters;
+    gauges = later.gauges;
+    histograms = List.map (fun (n, h) -> (n, sub_histo n h)) later.histograms;
+  }
+
+(* --- export ---------------------------------------------------------------- *)
+
+let histo_to_json (hs : histo_snapshot) : Json.t =
+  Json.Obj
+    [
+      ("count", Json.Int hs.h_count);
+      ("sum", Json.Float hs.h_sum);
+      ("min", Json.Float hs.h_min);
+      ("max", Json.Float hs.h_max);
+      ("mean", Json.Float (if hs.h_count = 0 then 0.0 else hs.h_sum /. float_of_int hs.h_count));
+      ("p50", Json.Float (percentile_of_snapshot hs 0.5));
+      ("p95", Json.Float (percentile_of_snapshot hs 0.95));
+      ("p99", Json.Float (percentile_of_snapshot hs 0.99));
+      ("buckets", Json.Obj (List.map (fun (i, c) -> (string_of_int i, Json.Int c)) hs.buckets));
+    ]
+
+let snapshot_to_json (s : snapshot) : Json.t =
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) s.counters));
+      ("gauges", Json.Obj (List.map (fun (n, v) -> (n, Json.Float v)) s.gauges));
+      ("histograms", Json.Obj (List.map (fun (n, h) -> (n, histo_to_json h)) s.histograms));
+    ]
+
+let to_table_string (s : snapshot) : string =
+  let buf = Buffer.create 512 in
+  if s.counters <> [] then begin
+    Buffer.add_string buf (Printf.sprintf "%-40s %12s\n" "counter" "value");
+    List.iter
+      (fun (n, v) -> Buffer.add_string buf (Printf.sprintf "%-40s %12d\n" n v))
+      s.counters
+  end;
+  if s.gauges <> [] then begin
+    Buffer.add_string buf (Printf.sprintf "%-40s %12s\n" "gauge" "value");
+    List.iter
+      (fun (n, v) -> Buffer.add_string buf (Printf.sprintf "%-40s %12.1f\n" n v))
+      s.gauges
+  end;
+  if s.histograms <> [] then begin
+    Buffer.add_string buf
+      (Printf.sprintf "%-40s %8s %10s %10s %10s %10s %10s\n" "histogram" "count" "mean" "p50"
+         "p95" "p99" "max");
+    List.iter
+      (fun (n, h) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%-40s %8d %10.1f %10.1f %10.1f %10.1f %10.1f\n" n h.h_count
+             (if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count)
+             (percentile_of_snapshot h 0.5)
+             (percentile_of_snapshot h 0.95)
+             (percentile_of_snapshot h 0.99)
+             h.h_max))
+      s.histograms
+  end;
+  Buffer.contents buf

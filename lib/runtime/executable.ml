@@ -79,6 +79,19 @@ let select_launch ?(despeculate = fun _ -> false) g device bnd kname (k : Kernel
   in
   if despeculate kname then { l with Kernel.version = Kernel.generic_version } else l
 
+(* Per-kernel-launch observability: one trace span per launch (advancing
+   the simulated timeline by device + host time, so an enclosing request
+   span's duration is the profile total) plus process-wide launch
+   counters. Disabled-mode cost is the single [Obs.Scope.on] branch. *)
+let note_kernel_obs ~kname ~kind ~version_tag ~time_us ~host_us =
+  if Obs.Scope.on () then begin
+    Obs.Scope.span ~advance:true ~cat:"kernel"
+      ~args:[ ("kind", kind); ("version", version_tag) ]
+      ~dur_us:(time_us +. host_us) kname;
+    Obs.Scope.count "runtime.kernel_launches";
+    Obs.Scope.observe "runtime.kernel_time_us" time_us
+  end
+
 (* Last cluster (by position) that reads each value; used to free
    intermediate buffers and track peak memory. *)
 let last_use_positions (e : t) =
@@ -137,6 +150,8 @@ let simulate ?(device = Gpusim.Device.a10) ?(profile = Profile.create ())
         ~version_tag ~time_us ~host_us:e.host_overhead_us
         ~bytes:(work.Gpusim.Cost.bytes_read + work.Gpusim.Cost.bytes_written)
         ~flops:work.Gpusim.Cost.flops;
+      note_kernel_obs ~kname ~kind:(Cluster.kind_to_string c.Cluster.kind) ~version_tag
+        ~time_us ~host_us:e.host_overhead_us;
       List.iter
         (fun input ->
           match Hashtbl.find_opt last input with
@@ -213,6 +228,8 @@ let run ?(device = Gpusim.Device.a10) ?cost_binding ?(profile = Profile.create (
         ~version_tag ~time_us ~host_us:e.host_overhead_us
         ~bytes:(work.Gpusim.Cost.bytes_read + work.Gpusim.Cost.bytes_written)
         ~flops:work.Gpusim.Cost.flops;
+      note_kernel_obs ~kname ~kind:(Cluster.kind_to_string c.Cluster.kind) ~version_tag
+        ~time_us ~host_us:e.host_overhead_us;
       (* free intermediates whose last use has passed *)
       List.iter
         (fun input ->

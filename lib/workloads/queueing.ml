@@ -203,6 +203,16 @@ let simulate_server ~(arrivals : request list) ~(policy : server_policy)
   let n = List.length arrivals in
   let disp = Array.make n Shed in
   let lats = Array.make n Float.nan in
+  (* Queue-depth gauge (with high-water mark) sampled at every admission
+     and dequeue; the simulation itself never pays more than the branch. *)
+  let obs = Obs.Scope.on () in
+  let peak_depth = ref 0 in
+  let note_depth d =
+    if obs then begin
+      if d > !peak_depth then peak_depth := d;
+      Obs.Scope.gauge "queue.depth" (float_of_int d)
+    end
+  in
   let expected =
     match expected_dims with
     | Some e -> e
@@ -246,6 +256,7 @@ let simulate_server ~(arrivals : request list) ~(policy : server_policy)
           | _ -> (q, up)
         in
         let queue, upcoming = admit queue upcoming in
+        note_depth (List.length queue);
         (* expire queued requests whose deadline passed before service *)
         let live, dead =
           List.partition (fun (_, r) -> deadline_of r >= form_start) queue
@@ -278,11 +289,30 @@ let simulate_server ~(arrivals : request list) ~(policy : server_policy)
                 lats.(i) <- done_at -. r.arrival_us;
                 disp.(i) <- (match spath with `Compiled -> Served | `Fallback -> Fell_back))
               batch;
+            note_depth (List.length remaining);
             loop remaining upcoming done_at (batches + 1)
               (batched_total + List.length batch))
   in
   let makespan, batches, batched_total = loop [] indexed 0.0 0 0 in
   let count d = Array.fold_left (fun acc x -> if x = d then acc + 1 else acc) 0 disp in
+  if obs then begin
+    (* Per-request end-to-end spans on the server track, stamped at the
+       simulation's own arrival clock, plus one disposition counter per
+       request. Dropped requests get a zero-length marker span. *)
+    Obs.Trace.set_track_name Obs.Trace.global 1 "server";
+    Obs.Scope.gauge "queue.depth.peak" (float_of_int !peak_depth);
+    let arr = Array.of_list arrivals in
+    Array.iteri
+      (fun i d ->
+        Obs.Scope.count (Printf.sprintf "queue.%s" (disposition_to_string d));
+        let dur = if Float.is_nan lats.(i) then 0.0 else lats.(i) in
+        Obs.Scope.span ~track:1 ~cat:"queue" ~ts:arr.(i).arrival_us
+          ~args:[ ("disposition", disposition_to_string d) ]
+          ~dur_us:dur
+          (Printf.sprintf "request#%d" i);
+        if not (Float.is_nan lats.(i)) then Obs.Scope.observe "queue.latency_us" lats.(i))
+      disp
+  end;
   {
     dispositions = disp;
     request_latencies_us = lats;

@@ -98,4 +98,11 @@ val simulate_server :
     returns the batch latency in µs plus which path served it (e.g.
     from {!Disc.Session.serve_result}). [expected_dims] defaults to the
     first arrival's dim names. Every request ends in exactly one
-    disposition. *)
+    disposition.
+
+    When observability is on ({!Obs.Scope}), the run also records a
+    [queue.depth] gauge (plus [queue.depth.peak]), one
+    [queue.served/fell_back/shed/expired/rejected] counter bump per
+    request, a [queue.latency_us] histogram, and a per-request
+    end-to-end span on the "server" trace track stamped at the
+    simulation's arrival clock. *)

@@ -63,7 +63,54 @@ let test_empty_stats () =
   let session = Session.create (entry.Suite.build ()) in
   let s = Session.stats session in
   check_int "no requests" 0 s.Session.requests;
-  check_bool "zeroed" true (s.Session.mean_us = 0.0 && s.Session.max_us = 0.0)
+  check_bool "zeroed" true (s.Session.mean_us = 0.0 && s.Session.max_us = 0.0);
+  check_bool "percentiles zero, never nan" true
+    (List.for_all
+       (fun v -> Float.is_finite v && v = 0.0)
+       [ s.Session.mean_us; s.Session.p50_us; s.Session.p95_us; s.Session.p99_us; s.Session.max_us ])
+
+let test_window_one () =
+  (* a window of 1 keeps only the latest latency: every percentile
+     collapses onto it, while the request counters still see all *)
+  let entry = Suite.find "dien" in
+  let session = Session.create ~window:1 (entry.Suite.build ()) in
+  let last = ref 0.0 in
+  List.iter
+    (fun (b, h) ->
+      last := Runtime.Profile.total_us (Session.serve session [ ("batch", b); ("hist", h) ]))
+    [ (256, 50); (64, 20); (16, 5) ];
+  let s = Session.stats session in
+  check_int "window" 1 s.Session.window;
+  check_int "all requests counted" 3 s.Session.requests;
+  check_bool "percentiles collapse to the retained latency" true
+    (s.Session.p50_us = !last && s.Session.p95_us = !last
+    && s.Session.p99_us = !last && s.Session.max_us = !last
+    && s.Session.mean_us = !last)
+
+let test_all_requests_fall_back () =
+  (* every kernel launch faults: with retries exhausted, each request is
+     served by the reference fallback — none fail, none are compiled *)
+  let entry = Suite.find "dien" in
+  let session =
+    Session.create
+      ~fault_config:(Gpusim.Fault.create ~kernel_fault_rate:1.0 ())
+      (entry.Suite.build ())
+  in
+  let n = 4 in
+  for _ = 1 to n do
+    match Session.serve_result session [ ("batch", 16); ("hist", 5) ] with
+    | Ok (_, `Fallback) -> ()
+    | Ok (_, `Compiled) -> Alcotest.fail "compiled path cannot succeed at fault rate 1"
+    | Error _ -> Alcotest.fail "fallback should absorb the faults"
+  done;
+  let s = Session.stats session in
+  check_int "all fell back" n s.Session.fell_back;
+  check_int "none served compiled" 0 s.Session.served;
+  check_int "none failed" 0 s.Session.failed;
+  check_int "all counted" n s.Session.requests;
+  check_bool "faults observed" true (s.Session.faults >= n);
+  check_bool "fallback latencies recorded" true
+    (Float.is_finite s.Session.p99_us && s.Session.p99_us > 0.0)
 
 let prop_stats_match_recorded_latencies =
   QCheck.Test.make ~name:"session max equals slowest request" ~count:20
@@ -91,6 +138,8 @@ let () =
           Alcotest.test_case "device selection" `Quick test_device_selection;
           Alcotest.test_case "unknown dim" `Quick test_unknown_dim_rejected;
           Alcotest.test_case "empty stats" `Quick test_empty_stats;
+          Alcotest.test_case "window of one" `Quick test_window_one;
+          Alcotest.test_case "all requests fall back" `Quick test_all_requests_fall_back;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest [ prop_stats_match_recorded_latencies ]);
     ]

@@ -94,8 +94,8 @@ let test_hot_hit_and_miss () =
   check_bool "hot hit" true (src = `Hot);
   let _, src = Disc.Specialize.serve sp [ ("batch", 128); ("hist", 21) ] in
   check_bool "miss falls back" true (src = `Generic);
-  check_int "hits" 1 sp.Disc.Specialize.hits;
-  check_int "misses" 1 sp.Disc.Specialize.misses
+  check_int "hits" 1 (Disc.Specialize.hits sp);
+  check_int "misses" 1 (Disc.Specialize.misses sp)
 
 let test_specialized_not_slower () =
   (* on a model whose reduce rows lack upper bounds, the generic plan
