@@ -3,9 +3,10 @@
 
      dune exec bench/main.exe [--] [e2e|suite|sweep|fusion_ablation|
        speculation_ablation|compile_time|memory|constraints|
-       mixed_precision|horizontal|cpu|serving|specialization|micro|all]
+       mixed_precision|horizontal|cpu|serving|specialization|
+       resilience|cache|micro|all]
 
-   "all" runs E1..E13; "micro" runs the Bechamel compiler
+   "all" runs E1..E15; "micro" runs the Bechamel compiler
    microbenchmarks. *)
 
 module Suite = Models.Suite
@@ -559,6 +560,106 @@ let resilience () =
     (List.length arrivals)
 
 (* ----------------------------------------------------------------------
+   E15 (extension): compilation cache — cold vs warm session creation.
+   One shared Compile_cache serves several session replicas per model
+   (the millions-of-users deployment shape: many endpoints, one model
+   zoo). The first replica pays the full simulated compile; every later
+   one hits the cache and reports compile_ms = 0. A second segment
+   shows async compile: a session created with the compile in flight
+   serves its first batches on the reference path ("warmed"
+   disposition) and transparently switches to the compiled path. *)
+
+let cache_experiment ?json () =
+  header "E15 (extension): compilation cache — cold vs warm sessions (A10)";
+  let cache = Disc.Compile_cache.create () in
+  let replicas = 10 in
+  Printf.printf "%-12s %12s %12s %9s\n" "model" "cold(ms)" "warm(ms)" "hits";
+  let rows =
+    List.map
+      (fun entry ->
+        let cold = Disc.Session.create ~cache (entry.Suite.build ()) in
+        let cold_ms = (Disc.Session.stats cold).Disc.Session.compile_ms in
+        let warm_ms = ref 0.0 and hits = ref 0 in
+        for _ = 2 to replicas do
+          let s = Disc.Session.stats (Disc.Session.create ~cache (entry.Suite.build ())) in
+          warm_ms := !warm_ms +. s.Disc.Session.compile_ms;
+          if s.Disc.Session.cache_hit then incr hits
+        done;
+        let warm_mean = !warm_ms /. float_of_int (replicas - 1) in
+        Printf.printf "%-12s %12.1f %12.1f %6d/%d\n" entry.Suite.name cold_ms warm_mean
+          !hits (replicas - 1);
+        (entry.Suite.name, cold_ms, warm_mean, !hits))
+      Suite.all
+  in
+  let s = Disc.Compile_cache.stats cache in
+  let rate = Disc.Compile_cache.hit_rate s in
+  Printf.printf "cache: %s; overall hit rate %.1f%%\n"
+    (Disc.Compile_cache.stats_to_string s)
+    (100.0 *. rate);
+  (* async-compile warmup: serve through the queue while the compile is
+     in flight; batches launching inside the window are "warmed" *)
+  let module Q = Workloads.Queueing in
+  let sess = Disc.Session.create ~async_compile:true ((Suite.find "crnn").Suite.build ()) in
+  let until_us = Disc.Session.warmup_remaining_us sess in
+  let service env =
+    (* the queue owns the wall clock: it only routes here after the
+       warmup window, i.e. the background compile has finished *)
+    Disc.Session.finish_warmup sess;
+    match Disc.Session.serve_result sess env with
+    | Ok (p, path) -> (Profile.total_us p, path)
+    | Error _ -> (1e6, `Fallback)
+  in
+  let arrivals =
+    Q.generate_arrivals ~seed:5 ~qps:800.0 ~n:4000
+      ~dims:[ ("width", Workloads.Trace.Skewed (32, 320)) ]
+  in
+  let policy = Q.default_server_policy ~batching:{ Q.max_batch = 8; max_wait_us = 2000.0 } in
+  let a =
+    Q.simulate_server ~arrivals ~policy ~batch_dim:"batch"
+      ~warmup:(until_us, fun env -> fst (service env))
+      ~service ()
+  in
+  Printf.printf
+    "async compile (crnn): warmup window %.0f ms -> %d warmed, %d compiled, %d fell back\n"
+    (until_us /. 1000.0) a.Q.warmed a.Q.served a.Q.fell_back;
+  match json with
+  | None -> ()
+  | Some path ->
+      let doc =
+        Obs.Json.Obj
+          [
+            ("experiment", Obs.Json.Str "E15-cache");
+            ("replicas_per_model", Obs.Json.Int replicas);
+            ( "rows",
+              Obs.Json.List
+                (List.map
+                   (fun (name, cold_ms, warm_ms, hits) ->
+                     Obs.Json.Obj
+                       [
+                         ("model", Obs.Json.Str name);
+                         ("cold_compile_ms", Obs.Json.Float cold_ms);
+                         ("warm_compile_ms", Obs.Json.Float warm_ms);
+                         ("hits", Obs.Json.Int hits);
+                       ])
+                   rows) );
+            ("hits", Obs.Json.Int s.Disc.Compile_cache.hits);
+            ("misses", Obs.Json.Int s.Disc.Compile_cache.misses);
+            ("evictions", Obs.Json.Int s.Disc.Compile_cache.evictions);
+            ("hit_rate", Obs.Json.Float rate);
+            ( "async_warmup",
+              Obs.Json.Obj
+                [
+                  ("window_ms", Obs.Json.Float (until_us /. 1000.0));
+                  ("warmed", Obs.Json.Int a.Q.warmed);
+                  ("served", Obs.Json.Int a.Q.served);
+                  ("fell_back", Obs.Json.Int a.Q.fell_back);
+                ] );
+          ]
+      in
+      Obs.Json.write_file path doc;
+      Printf.printf "cache numbers -> %s\n" path
+
+(* ----------------------------------------------------------------------
    Bechamel microbenchmarks of the compiler itself. *)
 
 let micro () =
@@ -668,7 +769,8 @@ let all ?json () =
   cpu ();
   serving ();
   specialization ();
-  resilience ()
+  resilience ();
+  cache_experiment ()
 
 let () =
   (* main.exe [--] [EXPERIMENT] [--json OUT.json] [--trace OUT.json]
@@ -702,6 +804,7 @@ let () =
   | "serving" -> serving ()
   | "specialization" -> specialization ()
   | "resilience" -> resilience ()
+  | "cache" -> cache_experiment ?json ()
   | "micro" -> micro ()
   | "all" -> all ?json ()
   | other ->

@@ -5,6 +5,11 @@
      discc run --model bert --dims batch=4,seq=73 [--device A10|T4] [--planner V]
      discc exec --model bert --dims batch=2,seq=5   (tiny data-plane run)
      discc compare --model bert --dims batch=4,seq=73 [--device D]  (all systems)
+     discc fingerprint --all --tiny               (compile-cache identities)
+
+   compile additionally takes --cache-dir DIR: compile records persist
+   there keyed by structural fingerprint, and a later run finding its
+   record reports a warm cache hit with the compile cost waived.
 
    compile/run/exec additionally take --trace FILE.json (Chrome
    trace_event export of compile phases / kernel launches, loadable in
@@ -79,6 +84,14 @@ let metrics_arg =
   let doc = "Enable observability and print the metrics-registry table afterwards." in
   Arg.(value & flag & info [ "metrics" ] ~doc)
 
+let cache_dir_arg =
+  let doc =
+    "Persist/load fingerprinted compile records in $(docv). A record present from an \
+     earlier run makes the compile a warm hit: the simulated compile cost is waived and \
+     the hit rate is reported."
+  in
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
 (* Arm the observability layer around a subcommand body: spans/metrics
    are only collected when one of the flags asks for them, so the
    default CLI behaviour (and output) is untouched. *)
@@ -127,10 +140,22 @@ let compile_cmd =
     let doc = "What to print: ir, plan, symbols, stats, kernels (repeatable)." in
     Arg.(value & opt_all string [] & info [ "dump" ] ~docv:"WHAT" ~doc)
   in
-  let run model tiny planner dumps trace metrics =
+  let run model tiny planner dumps cache_dir trace metrics =
     with_obs ~trace ~metrics @@ fun () ->
     let built = build_model model tiny in
-    let c = Compiler.compile ~options:(options_of planner) built.Common.graph in
+    let options = options_of planner in
+    let c, cache_report =
+      match cache_dir with
+      | None -> (Compiler.compile ~options built.Common.graph, None)
+      | Some dir ->
+          let cache = Disc.Compile_cache.create () in
+          Disc.Compile_cache.attach_dir cache dir;
+          let c, _dims, outcome =
+            Disc.Compile_cache.find_or_compile cache ~options ~dims:built.Common.dims
+              built.Common.graph
+          in
+          (c, Some (outcome, Disc.Compile_cache.stats cache))
+    in
     Printf.printf
       "compiled %s (%s): %d instructions -> %d kernels; simulated compile %.1f s; %s\n" model
       (if tiny then "tiny" else "paper scale")
@@ -138,6 +163,13 @@ let compile_cmd =
       (List.length c.Compiler.plan.Fusion.Cluster.clusters)
       (c.Compiler.compile_time_ms /. 1000.0)
       (Ir.Passes.stats_to_string c.Compiler.pass_stats);
+    (match cache_report with
+    | Some (outcome, s) ->
+        Printf.printf "  cache: %s (%s); hit rate %.0f%%\n"
+          (Disc.Compile_cache.outcome_to_string outcome)
+          (Disc.Compile_cache.stats_to_string s)
+          (100.0 *. Disc.Compile_cache.hit_rate s)
+    | None -> ());
     Printf.printf "  phases: %s\n"
       (String.concat " "
          (List.map (fun (ph, ms) -> Printf.sprintf "%s=%.1fms" ph ms) c.Compiler.phases));
@@ -159,7 +191,39 @@ let compile_cmd =
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a model and inspect the pipeline")
-    Term.(const run $ model_arg $ tiny_arg $ planner_arg $ dump_arg $ trace_arg $ metrics_arg)
+    Term.(
+      const run $ model_arg $ tiny_arg $ planner_arg $ dump_arg $ cache_dir_arg $ trace_arg
+      $ metrics_arg)
+
+(* --- fingerprint ----------------------------------------------------------- *)
+
+let fingerprint_cmd =
+  let model_opt_arg =
+    let doc = "Model from the suite (see `discc list`)." in
+    Arg.(value & opt (some string) None & info [ "model"; "m" ] ~docv:"NAME" ~doc)
+  in
+  let all_arg =
+    let doc = "Print the fingerprint of every suite model." in
+    Arg.(value & flag & info [ "all" ] ~doc)
+  in
+  let run model all tiny =
+    let print_one name =
+      let built = build_model name tiny in
+      Printf.printf "%-12s %s\n" name
+        (Ir.Fingerprint.fingerprint ~dims:built.Common.dims built.Common.graph)
+    in
+    if all then List.iter (fun e -> print_one e.Suite.name) Suite.all
+    else
+      match model with
+      | Some m -> print_one m
+      | None -> raise (Usage "fingerprint: need --model NAME or --all")
+  in
+  Cmd.v
+    (Cmd.info "fingerprint"
+       ~doc:
+         "Print the canonical structural fingerprint (compile-cache identity) of suite \
+          models")
+    Term.(const run $ model_opt_arg $ all_arg $ tiny_arg)
 
 (* --- run (cost simulation) ------------------------------------------------ *)
 
@@ -308,7 +372,10 @@ let () =
   in
   match
     Cmd.eval ~catch:false (Cmd.group info
-      [ list_cmd; compile_cmd; compile_file_cmd; run_cmd; exec_cmd; explain_cmd; compare_cmd ])
+      [
+        list_cmd; compile_cmd; compile_file_cmd; run_cmd; exec_cmd; explain_cmd;
+        compare_cmd; fingerprint_cmd;
+      ])
   with
   | code -> exit code
   | exception Usage msg -> die 1 msg

@@ -1,0 +1,233 @@
+(* Compilation-result cache (BladeDISC §6 "compilation cache"): compile
+   a computation once, serve it from every session that presents a
+   structurally identical graph under identical compiler options.
+
+   Keying. The key digests [Ir.Fingerprint.canonical] — invariant under
+   node renumbering / symbol alpha-renaming / dead code — concatenated
+   with [Compiler.options_signature], plus the named-dynamic-dims
+   binding surface. A hit therefore guarantees both that the cached
+   executable computes the same function and that every request-level
+   dim name of the requesting session maps onto a canonical symbol of
+   the cached graph, so bindings translate mechanically.
+
+   Sharing. [Runtime.Executable.t] is immutable, so one compiled
+   artifact is safely shared across sessions; session-local resilience
+   state (breakers, de-speculation) never leaks through the cache. When
+   a session does trip de-speculation or observes a kernel fault it
+   calls {!invalidate} so no *fresh* session starts from a suspect
+   artifact.
+
+   Persistence. A cache directory holds one JSON record per key. A
+   record's existence marks the key "warm": the artifact itself is
+   re-materialized in-process (this is a simulation — there is no real
+   object code to mmap), but the simulated compile cost is waived:
+   warm hits return [compile_time_ms = 0.]. *)
+
+module Graph = Ir.Graph
+module Sym = Symshape.Sym
+
+type entry = {
+  compiled : Compiler.compiled;
+  dims : (string * Sym.dim) list;
+      (* named dynamic dims resolved against the *cached* graph's symbol
+         table — the binding surface every sharing session must use *)
+  fingerprint : string;
+  mutable last_used : int;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  warm_hits : int;
+  invalidations : int;
+  entries : int;
+}
+
+type t = {
+  capacity : int;
+  table : (string, entry) Hashtbl.t;
+  warm : (string, unit) Hashtbl.t;
+  mutable dir : string option;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable warm_hits : int;
+  mutable invalidations : int;
+}
+
+let default_capacity = 64
+
+let create ?(capacity = default_capacity) () =
+  {
+    capacity = max 1 capacity;
+    table = Hashtbl.create 32;
+    warm = Hashtbl.create 32;
+    dir = None;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    warm_hits = 0;
+    invalidations = 0;
+  }
+
+let capacity t = t.capacity
+let length t = Hashtbl.length t.table
+
+let stats t =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    warm_hits = t.warm_hits;
+    invalidations = t.invalidations;
+    entries = Hashtbl.length t.table;
+  }
+
+let key_of ?(dims = []) ~(options : Compiler.options) (g : Graph.t) : string =
+  Digest.to_hex
+    (Digest.string
+       (Ir.Fingerprint.canonical ~dims g
+       ^ "options "
+       ^ Compiler.options_signature options))
+
+(* --- persistence ---------------------------------------------------------- *)
+
+let record_path dir key = Filename.concat dir (key ^ ".json")
+
+let write_record dir key (e : entry) =
+  let oc = open_out (record_path dir key) in
+  Printf.fprintf oc
+    "{\n  \"key\": %S,\n  \"fingerprint\": %S,\n  \"compile_time_ms\": %g,\n  \"kernels\": %d,\n  \"dims\": [%s]\n}\n"
+    key e.fingerprint e.compiled.Compiler.compile_time_ms
+    (Runtime.Executable.num_kernels e.compiled.Compiler.exe)
+    (String.concat ", " (List.map (fun (n, _) -> Printf.sprintf "%S" n) e.dims));
+  close_out oc
+
+let is_key s =
+  String.length s = 32 && String.for_all (function 'a' .. 'f' | '0' .. '9' -> true | _ -> false) s
+
+let attach_dir t dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".json" then begin
+        let key = Filename.chop_suffix f ".json" in
+        if is_key key then Hashtbl.replace t.warm key ()
+      end)
+    (Sys.readdir dir);
+  t.dir <- Some dir
+
+let warm_keys t = Hashtbl.length t.warm
+
+(* --- lookup --------------------------------------------------------------- *)
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.last_used <- t.tick
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun key e acc ->
+        match acc with
+        | Some (_, best) when best.last_used <= e.last_used -> acc
+        | _ -> Some (key, e))
+      t.table None
+  in
+  match victim with
+  | None -> ()
+  | Some (key, _) ->
+      Hashtbl.remove t.table key;
+      t.evictions <- t.evictions + 1;
+      if Obs.Scope.on () then Obs.Scope.count "cache.evictions"
+
+type outcome = Hit | Warm_hit | Miss
+
+let outcome_to_string = function Hit -> "hit" | Warm_hit -> "warm_hit" | Miss -> "miss"
+
+(* Warm re-materialization recompiles in-process but must not charge the
+   virtual clock or emit compile spans — from the serving system's point
+   of view the work was done in a previous run. *)
+let compile_silently ~options g =
+  let was_on = Obs.Scope.on () in
+  Obs.Scope.set_enabled false;
+  Fun.protect
+    ~finally:(fun () -> Obs.Scope.set_enabled was_on)
+    (fun () -> Compiler.compile ~options g)
+
+let lookup_span outcome key =
+  if Obs.Scope.on () then begin
+    Obs.Scope.span ~cat:"cache" ~dur_us:0.0
+      ~args:[ ("key", key); ("outcome", outcome_to_string outcome) ]
+      "cache.lookup";
+    Obs.Scope.count
+      (match outcome with
+      | Hit -> "cache.hits"
+      | Warm_hit -> "cache.warm_hits"
+      | Miss -> "cache.misses")
+  end
+
+let find_or_compile t ?(options = Compiler.default_options)
+    ?(dims : (string * Sym.dim) list = []) (g : Graph.t) :
+    Compiler.compiled * (string * Sym.dim) list * outcome =
+  (* key + fingerprint must be taken *before* compiling: graph passes
+     mutate the instruction list. *)
+  let key = key_of ~dims ~options g in
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+      t.hits <- t.hits + 1;
+      touch t e;
+      lookup_span Hit key;
+      (e.compiled, e.dims, Hit)
+  | None ->
+      let fingerprint = Ir.Fingerprint.fingerprint ~dims g in
+      let warm = Hashtbl.mem t.warm key in
+      let compiled =
+        if warm then
+          let c = compile_silently ~options g in
+          { c with Compiler.compile_time_ms = 0.0; phases = [] }
+        else Compiler.compile ~options g
+      in
+      let e = { compiled; dims; fingerprint; last_used = 0 } in
+      touch t e;
+      if Hashtbl.length t.table >= t.capacity then evict_lru t;
+      Hashtbl.replace t.table key e;
+      let outcome =
+        if warm then begin
+          t.warm_hits <- t.warm_hits + 1;
+          Warm_hit
+        end
+        else begin
+          t.misses <- t.misses + 1;
+          Miss
+        end
+      in
+      lookup_span outcome key;
+      (match t.dir with
+      | Some dir -> ( try write_record dir key e with Sys_error _ -> ())
+      | None -> ());
+      (compiled, dims, outcome)
+
+let invalidate t key =
+  let present = Hashtbl.mem t.table key in
+  Hashtbl.remove t.table key;
+  let was_warm = Hashtbl.mem t.warm key in
+  Hashtbl.remove t.warm key;
+  if present || was_warm then begin
+    t.invalidations <- t.invalidations + 1;
+    if Obs.Scope.on () then Obs.Scope.count "cache.invalidations"
+  end;
+  match t.dir with
+  | Some dir -> ( try Sys.remove (record_path dir key) with Sys_error _ -> ())
+  | None -> ()
+
+let stats_to_string (s : stats) =
+  Printf.sprintf "hits=%d misses=%d warm_hits=%d evictions=%d invalidations=%d entries=%d"
+    s.hits s.misses s.warm_hits s.evictions s.invalidations s.entries
+
+let hit_rate (s : stats) =
+  let total = s.hits + s.misses + s.warm_hits in
+  if total = 0 then 0.0 else float_of_int (s.hits + s.warm_hits) /. float_of_int total

@@ -1,0 +1,78 @@
+(** Compilation-result cache shared across {!Session}s.
+
+    Keyed on the canonical structural fingerprint of the graph
+    ({!Ir.Fingerprint}), the named-dynamic-dim binding surface, and the
+    full {!Compiler.options_signature} — a hit guarantees the cached
+    executable is interchangeable with what a fresh compile would
+    produce. Bounded LRU; hit/miss/evict counters are exposed both as
+    {!stats} and (when {!Obs.Scope} is enabled) as [cache.*] counters
+    plus a [cache.lookup] trace span per lookup.
+
+    With {!attach_dir}, compile records persist to a directory; on the
+    next run their presence makes the key {e warm}: the artifact is
+    re-materialized in-process (the simulation has no real object code
+    to load) but the simulated compile cost is waived
+    ([compile_time_ms = 0.]). *)
+
+type t
+
+type outcome =
+  | Hit  (** in-memory: artifact reused, nothing recompiled *)
+  | Warm_hit  (** persisted record: re-materialized, cost waived *)
+  | Miss  (** full compile was paid *)
+
+val outcome_to_string : outcome -> string
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  warm_hits : int;
+  invalidations : int;
+  entries : int;
+}
+
+val default_capacity : int
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] (default {!default_capacity}) bounds in-memory entries;
+    least-recently-used entries are evicted beyond it. *)
+
+val capacity : t -> int
+val length : t -> int
+val stats : t -> stats
+val stats_to_string : stats -> string
+
+val hit_rate : stats -> float
+(** [(hits + warm_hits) / lookups], 0 if no lookups. *)
+
+val key_of :
+  ?dims:(string * Symshape.Sym.dim) list -> options:Compiler.options -> Ir.Graph.t -> string
+(** The cache key: digest of {!Ir.Fingerprint.canonical} (with [dims])
+    and {!Compiler.options_signature}. Compute before {!Compiler.compile}
+    — graph passes mutate the graph. *)
+
+val find_or_compile :
+  t ->
+  ?options:Compiler.options ->
+  ?dims:(string * Symshape.Sym.dim) list ->
+  Ir.Graph.t ->
+  Compiler.compiled * (string * Symshape.Sym.dim) list * outcome
+(** Returns the compiled artifact, the named dims {e of the cached
+    graph} (on a hit these belong to the original graph's symbol table
+    and must be used — not the caller's own dims — to bind requests
+    against the shared executable), and the lookup outcome. On a miss
+    the caller's graph is compiled (mutating it) and inserted. *)
+
+val invalidate : t -> string -> unit
+(** Drop a key (by {!key_of}) from memory, the warm set, and the
+    attached directory: the next lookup recompiles from scratch.
+    Sessions call this when an executable trips de-speculation or
+    faults, so a suspect artifact is never served to a fresh session. *)
+
+val attach_dir : t -> string -> unit
+(** Create/scan a persistence directory: existing records become warm
+    keys, and future misses write records through. *)
+
+val warm_keys : t -> int
+(** Number of warm (persisted, not yet re-materialized) keys known. *)

@@ -28,6 +28,34 @@ let default_options =
     run_graph_passes = true;
   }
 
+(* Every field of every nested config, spelled out explicitly: adding a
+   field without extending this string is caught by the record-pattern
+   exhaustiveness check below, so cache keys can never silently ignore a
+   new compilation knob. *)
+let options_signature (o : options) : string =
+  let { planner; codegen; host_overhead_us; run_graph_passes } = o in
+  let {
+    Planner.fusion_enabled;
+    oracle;
+    enable_stitch;
+    shared_mem_bytes;
+    max_cluster_size;
+    enable_horizontal;
+  } =
+    planner
+  in
+  let { Kernel.enable_speculation } = codegen in
+  Printf.sprintf
+    "planner{fusion=%b,oracle=%s,stitch=%b,smem=%d,max_cluster=%s,horizontal=%b};codegen{spec=%b};host_us=%g;passes=%b"
+    fusion_enabled
+    (match oracle with
+    | Planner.Static_only -> "static"
+    | Planner.Symbolic_dims -> "symbolic"
+    | Planner.Full_constraints -> "full")
+    enable_stitch shared_mem_bytes
+    (match max_cluster_size with Some n -> string_of_int n | None -> "-")
+    enable_horizontal enable_speculation host_overhead_us run_graph_passes
+
 type compiled = {
   exe : Executable.t;
   plan : Fusion.Cluster.plan;

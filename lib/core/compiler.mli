@@ -21,6 +21,11 @@ type options = {
 
 val default_options : options
 
+val options_signature : options -> string
+(** Deterministic rendering of every option field, part of the compile
+    cache key: equal signatures ⇔ the options cannot change the compile
+    result. Exhaustive over the record fields by construction. *)
+
 type compiled = {
   exe : Executable.t;
   plan : Fusion.Cluster.plan;

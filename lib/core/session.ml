@@ -53,6 +53,17 @@ let ring_contents r = Array.sub r.buf 0 r.len (* order irrelevant for percentile
 type t = {
   built : Common.built;
   compiled : Compiler.compiled;
+  serve_dims : (string * Symshape.Sym.dim) list;
+      (* named dynamic dims resolved in the symbol table of
+         [compiled.exe.g] — on a cache hit that is the *original*
+         session's graph, not [built.graph], and bindings for the
+         compiled path must go through these *)
+  compile_ms : float; (* compile cost charged to THIS session (0. on cache hit) *)
+  cache_hit : bool;
+  cache : (Compile_cache.t * string) option; (* cache + this session's key *)
+  mutable warmup_remaining_us : float;
+      (* async-compile: virtual time until the compiled artifact is
+         "ready"; while positive, requests serve via the reference path *)
   device : Gpusim.Device.t;
   policy : policy;
   faults : Gpusim.Fault.t option;
@@ -66,12 +77,14 @@ type t = {
   failed_c : Obs.Metrics.counter; (* structured error returned to caller *)
   retries_c : Obs.Metrics.counter;
   faults_c : Obs.Metrics.counter; (* kernel faults + OOMs observed *)
+  warmup_c : Obs.Metrics.counter; (* served during the async-compile window *)
   latency_h : Obs.Metrics.histogram; (* all recorded request latencies, µs *)
 }
 
 type stats = {
   requests : int;
   compile_ms : float;
+  cache_hit : bool;
   mean_us : float;
   p50_us : float;
   p95_us : float;
@@ -89,13 +102,35 @@ type stats = {
 let default_window = 1024
 
 let create ?(options = Compiler.default_options) ?(device = Gpusim.Device.a10)
-    ?(policy = default_policy) ?fault_config ?(window = default_window) ?metrics
-    (built : Common.built) : t =
-  let compiled = Compiler.compile ~options built.Common.graph in
+    ?(policy = default_policy) ?fault_config ?(window = default_window) ?metrics ?cache
+    ?(async_compile = false) (built : Common.built) : t =
+  let compiled, serve_dims, cache_hit, cache_ref =
+    match cache with
+    | None ->
+        let c = Compiler.compile ~options built.Common.graph in
+        (c, built.Common.dims, false, None)
+    | Some cache ->
+        (* key before compile: the passes inside compile mutate the graph *)
+        let key = Compile_cache.key_of ~dims:built.Common.dims ~options built.Common.graph in
+        let compiled, dims, outcome =
+          Compile_cache.find_or_compile cache ~options ~dims:built.Common.dims
+            built.Common.graph
+        in
+        (compiled, dims, outcome <> Compile_cache.Miss, Some (cache, key))
+  in
+  (* a warm/persisted hit already reports compile_time_ms = 0.; an
+     in-memory hit keeps the original cost in the shared record, but this
+     session paid nothing *)
+  let compile_ms = if cache_hit then 0.0 else compiled.Compiler.compile_time_ms in
   let m = match metrics with Some m -> m | None -> Obs.Metrics.create () in
   {
     built;
     compiled;
+    serve_dims;
+    compile_ms;
+    cache_hit;
+    cache = cache_ref;
+    warmup_remaining_us = (if async_compile && not cache_hit then compile_ms *. 1000.0 else 0.0);
     device;
     policy;
     faults = Option.map Gpusim.Fault.make fault_config;
@@ -109,10 +144,20 @@ let create ?(options = Compiler.default_options) ?(device = Gpusim.Device.a10)
     failed_c = Obs.Metrics.counter m "session.failed";
     retries_c = Obs.Metrics.counter m "session.retries";
     faults_c = Obs.Metrics.counter m "session.faults";
+    warmup_c = Obs.Metrics.counter m "session.warmup_served";
     latency_h = Obs.Metrics.histogram m "session.latency_us";
   }
 
 let metrics t = t.metrics
+let cache_hit (t : t) = t.cache_hit
+let in_warmup t = t.warmup_remaining_us > 0.0
+let warmup_remaining_us t = t.warmup_remaining_us
+
+(* The session itself only observes virtual *request* time; a driver
+   that owns a wall clock (e.g. a queue simulation whose batches launch
+   at absolute times) calls this when its clock passes the compile
+   window. Idempotent. *)
+let finish_warmup t = t.warmup_remaining_us <- 0.0
 
 let record t lat =
   ring_push t.latencies lat;
@@ -125,13 +170,25 @@ let despeculated_kernels t = List.of_seq (Seq.map fst (Hashtbl.to_seq t.tripped)
 
 let is_tripped t kname = Hashtbl.mem t.tripped kname
 
+(* A de-speculated or permanently faulted executable is suspect: drop it
+   from the shared cache so a *fresh* session recompiles rather than
+   inheriting the artifact. This session keeps serving through its own
+   breaker/fallback ladder. *)
+let invalidate_cached t =
+  match t.cache with
+  | Some (cache, key) -> Compile_cache.invalidate cache key
+  | None -> ()
+
 let note_fault t (e : Error.t) =
   Obs.Metrics.inc t.faults_c;
   match e with
   | Error.Kernel_fault { kernel; _ } ->
       let n = 1 + Option.value (Hashtbl.find_opt t.breakers kernel) ~default:0 in
       Hashtbl.replace t.breakers kernel n;
-      if n >= t.policy.breaker_threshold then Hashtbl.replace t.tripped kernel ()
+      if n >= t.policy.breaker_threshold then begin
+        Hashtbl.replace t.tripped kernel ();
+        invalidate_cached t
+      end
   | _ -> ()
 
 (* A clean compiled-path pass means every kernel ran: reset the
@@ -165,7 +222,11 @@ let validate_env (t : t) (env : (string * int) list) :
       in
       match missing with
       | (name, _) :: _ -> Error (Error.Unbound_dim name)
-      | [] -> Ok (List.map (fun (n, v) -> (Common.dim_exn t.built n, v)) env))
+      | [] ->
+          (* bind via [serve_dims]: on a cache hit the compiled graph is
+             the original session's, and its symbols — not this
+             session's — are what the executable evaluates *)
+          Ok (List.map (fun (n, v) -> (List.assoc n t.serve_dims, v)) env))
 
 (* --- reference (fallback) cost model --------------------------------------
 
@@ -176,8 +237,10 @@ let validate_env (t : t) (env : (string * int) list) :
 
 let interp_dispatch_us = 4.0 (* framework per-op host overhead *)
 
-let reference_profile (t : t) (bnd : Table.binding) : Profile.t =
-  let g = t.built.Common.graph in
+(* [g] must be the graph [bnd] was built against: the compiled graph for
+   cost-only serving (shared across cached sessions), the session's own
+   graph for data-plane interpretation. *)
+let reference_profile (t : t) ~(g : Graph.t) (bnd : Table.binding) : Profile.t =
   let tab = Graph.symtab g in
   let profile = Profile.create () in
   let bytes_of (i : Graph.inst) =
@@ -285,7 +348,7 @@ let serve_result ?deadline_us (t : t) (env : (string * int) list) :
       let reference () =
         match Compiler.binding_of_dims t.compiled.Compiler.exe.Runtime.Executable.g dims with
         | bnd ->
-            let p = reference_profile t bnd in
+            let p = reference_profile t ~g:t.compiled.Compiler.exe.Runtime.Executable.g bnd in
             if Obs.Scope.on () then
               Obs.Scope.span ~advance:true ~cat:"fallback" ~dur_us:(Profile.total_us p)
                 "reference_fallback";
@@ -293,9 +356,20 @@ let serve_result ?deadline_us (t : t) (env : (string * int) list) :
         | exception Table.Inconsistent m -> Error (Error.Fallback_failed m)
       in
       let outcome =
-        attempt t ~retries_used ~tries_left:t.policy.max_retries ~compiled
-          ~fallback:(fun e -> fallback_or_fail t e ~reference)
-          ()
+        if t.warmup_remaining_us > 0.0 then
+          (* async compile still in flight: this request is served by the
+             reference path, and its (virtual) duration is time the
+             background compile makes progress in *)
+          match reference () with
+          | Ok p ->
+              t.warmup_remaining_us <- t.warmup_remaining_us -. Profile.total_us p;
+              Obs.Metrics.inc t.warmup_c;
+              Ok (p, `Fallback)
+          | Error e -> Error e
+        else
+          attempt t ~retries_used ~tries_left:t.policy.max_retries ~compiled
+            ~fallback:(fun e -> fallback_or_fail t e ~reference)
+            ()
       in
       match outcome with
       | Error e -> fail ~outcome:"error" e
@@ -327,7 +401,7 @@ let serve_data_result (t : t) (inputs : Tensor.Nd.t list) :
     match Ir.Interp.run g inputs with
     | outs ->
         let bnd = Ir.Interp.bind_inputs g inputs in
-        let p = reference_profile t bnd in
+        let p = reference_profile t ~g bnd in
         if Obs.Scope.on () then
           Obs.Scope.span ~advance:true ~cat:"fallback" ~dur_us:(Profile.total_us p)
             "reference_fallback";
@@ -336,9 +410,19 @@ let serve_data_result (t : t) (inputs : Tensor.Nd.t list) :
     | exception Table.Inconsistent m -> Error (Error.Fallback_failed m)
   in
   let outcome =
-    attempt t ~retries_used ~tries_left:t.policy.max_retries ~compiled
-      ~fallback:(fun e -> fallback_or_fail t e ~reference)
-      ()
+    if t.warmup_remaining_us > 0.0 then
+      (* async compile in flight: exact Interp numerics, fallback cost *)
+      match reference () with
+      | Ok v ->
+          t.warmup_remaining_us <-
+            t.warmup_remaining_us -. Profile.total_us (snd v);
+          Obs.Metrics.inc t.warmup_c;
+          Ok (v, `Fallback)
+      | Error e -> Error e
+    else
+      attempt t ~retries_used ~tries_left:t.policy.max_retries ~compiled
+        ~fallback:(fun e -> fallback_or_fail t e ~reference)
+        ()
   in
   match outcome with
   | Error e ->
@@ -389,7 +473,8 @@ let stats (t : t) : stats =
   let total = Array.fold_left ( +. ) 0.0 arr in
   {
     requests = Obs.Metrics.counter_value t.requests_c;
-    compile_ms = t.compiled.Compiler.compile_time_ms;
+    compile_ms = t.compile_ms;
+    cache_hit = t.cache_hit;
     mean_us = (if n = 0 then 0.0 else total /. float_of_int n);
     p50_us = percentile arr 0.5;
     p95_us = percentile arr 0.95;
@@ -406,7 +491,9 @@ let stats (t : t) : stats =
 
 let stats_to_string (s : stats) =
   Printf.sprintf
-    "requests=%d compile=%.1fs mean=%.0fus p50=%.0fus p95=%.0fus p99=%.0fus max=%.0fus \
+    "requests=%d compile=%.1fs%s mean=%.0fus p50=%.0fus p95=%.0fus p99=%.0fus max=%.0fus \
      served=%d fell_back=%d failed=%d retries=%d faults=%d despeculated=%d"
-    s.requests (s.compile_ms /. 1000.0) s.mean_us s.p50_us s.p95_us s.p99_us s.max_us
-    s.served s.fell_back s.failed s.retries s.faults s.despeculated
+    s.requests (s.compile_ms /. 1000.0)
+    (if s.cache_hit then " (cache hit)" else "")
+    s.mean_us s.p50_us s.p95_us s.p99_us s.max_us s.served s.fell_back s.failed s.retries
+    s.faults s.despeculated

@@ -28,7 +28,9 @@ type path = [ `Compiled | `Fallback ]
 
 type stats = {
   requests : int;
-  compile_ms : float;  (** the single up-front compilation *)
+  compile_ms : float;
+      (** compile cost charged to this session — [0.] on a cache hit *)
+  cache_hit : bool;  (** artifact came from the shared {!Compile_cache} *)
   mean_us : float;
   p50_us : float;
   p95_us : float;
@@ -53,18 +55,47 @@ val create :
   ?fault_config:Gpusim.Fault.config ->
   ?window:int ->
   ?metrics:Obs.Metrics.t ->
+  ?cache:Compile_cache.t ->
+  ?async_compile:bool ->
   Models.Common.built ->
   t
 (** Compiles immediately; every later request reuses the artifact.
     [fault_config] arms deterministic fault injection for this session.
     [metrics] is the registry the session's outcome counters and latency
     histogram live in (default: a fresh private registry). The registry
-    is the single source of truth: {!stats} is a view over it. *)
+    is the single source of truth: {!stats} is a view over it.
+
+    [cache] consults/populates a shared {!Compile_cache}: on a hit the
+    session reuses the cached executable, reports [compile_ms = 0.] and
+    [cache_hit = true], and — if its circuit breaker later de-speculates
+    a kernel — invalidates the shared entry so fresh sessions recompile.
+
+    [async_compile] (default false) starts the session with the compile
+    "in flight": for the first [compile_ms] of virtual request time,
+    requests are served by the reference (Interp-exact) path while the
+    background compile completes, then the session transparently
+    switches to the compiled path. A cache hit makes the artifact
+    available immediately (no warmup window). *)
 
 val metrics : t -> Obs.Metrics.t
 (** The session's registry — counters [session.requests/served/
-    fell_back/failed/retries/faults] and histogram [session.latency_us];
-    snapshot or export it with {!Obs.Metrics}. *)
+    fell_back/failed/retries/faults/warmup_served] and histogram
+    [session.latency_us]; snapshot or export it with {!Obs.Metrics}. *)
+
+val cache_hit : t -> bool
+
+val in_warmup : t -> bool
+(** Still inside the async-compile window (next request falls back). *)
+
+val warmup_remaining_us : t -> float
+(** Virtual time left until the async compile completes (0 if ready). *)
+
+val finish_warmup : t -> unit
+(** Mark the async compile complete: subsequent requests use the
+    compiled path. The session only observes virtual {e request} time;
+    a driver that owns a wall clock (e.g.
+    {!Workloads.Queueing.simulate_server} with [~warmup]) calls this
+    once its clock passes the compile window. Idempotent. *)
 
 val serve_result :
   ?deadline_us:float ->

@@ -300,6 +300,8 @@ let numel_equal t (a : Sym.shape) (b : Sym.shape) = products_equal t a b
 
 let num_product_facts t = List.length t.product_facts
 
+let product_facts t = t.product_facts
+
 (* --- Runtime bindings --------------------------------------------------- *)
 
 type binding = (int, int) Hashtbl.t

@@ -59,6 +59,11 @@ val numel_equal : t -> Sym.shape -> Sym.shape -> bool
 
 val num_product_facts : t -> int
 
+val product_facts : t -> (Sym.dim array * Sym.dim array) list
+(** The recorded product-equality facts, most recent first; dims are as
+    recorded (callers should {!resolve} them). Used by the structural
+    fingerprint to hash the constraint system. *)
+
 val fresh_affine :
   ?name:string -> t -> base:Sym.dim -> add:int -> div:int -> mul:int -> post:int -> Sym.dim
 (** Derived dim [(base + add) / div * mul + post] (floor division); folds

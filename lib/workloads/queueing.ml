@@ -134,6 +134,7 @@ let percentile (xs : float array) p =
 type disposition =
   | Served (* completed on the compiled path *)
   | Fell_back (* completed on the service's fallback path *)
+  | Warmed (* completed during the async-compile warmup window *)
   | Shed (* refused at arrival: queue at capacity *)
   | Expired (* dropped at dequeue: deadline already passed *)
   | Rejected (* refused at enqueue: malformed dim set *)
@@ -141,6 +142,7 @@ type disposition =
 let disposition_to_string = function
   | Served -> "served"
   | Fell_back -> "fell_back"
+  | Warmed -> "warmed"
   | Shed -> "shed"
   | Expired -> "expired"
   | Rejected -> "rejected"
@@ -159,6 +161,7 @@ type accounting = {
   request_latencies_us : float array; (* nan for requests that never completed *)
   served : int;
   fell_back : int;
+  warmed : int;
   shed : int;
   expired : int;
   rejected : int;
@@ -169,10 +172,10 @@ type accounting = {
 
 let accounting_to_string (a : accounting) =
   Printf.sprintf
-    "served=%d fell_back=%d shed=%d expired=%d rejected=%d batches=%d mean_batch=%.1f \
-     makespan=%.0fus"
-    a.served a.fell_back a.shed a.expired a.rejected a.server_batches a.server_mean_batch
-    a.server_makespan_us
+    "served=%d fell_back=%d warmed=%d shed=%d expired=%d rejected=%d batches=%d \
+     mean_batch=%.1f makespan=%.0fus"
+    a.served a.fell_back a.warmed a.shed a.expired a.rejected a.server_batches
+    a.server_mean_batch a.server_makespan_us
 
 (* Structured enqueue-time validation: a request must bind exactly the
    expected dim names, each once, with positive values. *)
@@ -198,6 +201,7 @@ let validate_request ~(expected : string list) (r : request) : (unit, string) re
 
 let simulate_server ~(arrivals : request list) ~(policy : server_policy)
     ~(batch_dim : string) ?expected_dims
+    ?(warmup : (float * ((string * int) list -> float)) option)
     ~(service : (string * int) list -> float * [ `Compiled | `Fallback ]) () : accounting =
   let arrivals = List.sort (fun a b -> compare a.arrival_us b.arrival_us) arrivals in
   let n = List.length arrivals in
@@ -282,12 +286,22 @@ let simulate_server ~(arrivals : request list) ~(policy : server_policy)
                   (Float.min window_end (Float.max last_arrival form_start))
             in
             let env = batch_env ~batch_dim (List.map snd batch) in
-            let service_us, spath = service env in
+            (* during the async-compile window (batch launches before the
+               artifact is ready), the warmup service — typically the
+               reference-fallback cost — serves the batch *)
+            let service_us, bdisp =
+              match warmup with
+              | Some (until_us, warm_service) when launch < until_us ->
+                  (warm_service env, Warmed)
+              | _ ->
+                  let us, spath = service env in
+                  (us, match spath with `Compiled -> Served | `Fallback -> Fell_back)
+            in
             let done_at = launch +. service_us in
             List.iter
               (fun (i, r) ->
                 lats.(i) <- done_at -. r.arrival_us;
-                disp.(i) <- (match spath with `Compiled -> Served | `Fallback -> Fell_back))
+                disp.(i) <- bdisp)
               batch;
             note_depth (List.length remaining);
             loop remaining upcoming done_at (batches + 1)
@@ -318,6 +332,7 @@ let simulate_server ~(arrivals : request list) ~(policy : server_policy)
     request_latencies_us = lats;
     served = count Served;
     fell_back = count Fell_back;
+    warmed = count Warmed;
     shed = count Shed;
     expired = count Expired;
     rejected = count Rejected;

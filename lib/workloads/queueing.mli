@@ -51,6 +51,7 @@ val percentile : float array -> float -> float
 type disposition =
   | Served  (** completed on the compiled path *)
   | Fell_back  (** completed on the service's fallback path *)
+  | Warmed  (** completed during the async-compile warmup window *)
   | Shed  (** refused at arrival: queue at capacity *)
   | Expired  (** dropped at dequeue: deadline already passed *)
   | Rejected  (** refused at enqueue: malformed dim set *)
@@ -71,6 +72,7 @@ type accounting = {
   request_latencies_us : float array;  (** [nan] for requests that never completed *)
   served : int;
   fell_back : int;
+  warmed : int;
   shed : int;
   expired : int;
   rejected : int;
@@ -91,6 +93,7 @@ val simulate_server :
   policy:server_policy ->
   batch_dim:string ->
   ?expected_dims:string list ->
+  ?warmup:float * ((string * int) list -> float) ->
   service:((string * int) list -> float * [ `Compiled | `Fallback ]) ->
   unit ->
   accounting
@@ -99,6 +102,12 @@ val simulate_server :
     from {!Disc.Session.serve_result}). [expected_dims] defaults to the
     first arrival's dim names. Every request ends in exactly one
     disposition.
+
+    [warmup = (until_us, warmup_service)] models an async compile in
+    flight: batches that {e launch} before [until_us] are served by
+    [warmup_service] (typically the reference-fallback cost, e.g. a
+    {!Disc.Session} created with [~async_compile:true]) and accounted
+    as [Warmed]; later batches use [service] as usual.
 
     When observability is on ({!Obs.Scope}), the run also records a
     [queue.depth] gauge (plus [queue.depth.peak]), one

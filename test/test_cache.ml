@@ -1,0 +1,247 @@
+(* Compile-cache semantics at the Session level: sharing one compile
+   across sessions, LRU eviction, invalidation of suspect (de-speculated)
+   artifacts, warm persistence across cache instances, async-compile
+   warmup numerics, and the Obs counter wiring. *)
+
+module Suite = Models.Suite
+module Common = Models.Common
+module Session = Disc.Session
+module Cache = Disc.Compile_cache
+module Nd = Tensor.Nd
+
+let build name = (Suite.find name).Suite.build_tiny ()
+let tiny_env name = (Suite.find name).Suite.tiny_dims
+
+(* --- sharing --------------------------------------------------------------- *)
+
+let test_two_sessions_share_one_compile () =
+  let cache = Cache.create () in
+  let s1 = Session.create ~cache (build "dien") in
+  let s2 = Session.create ~cache (build "dien") in
+  let st1 = Session.stats s1 and st2 = Session.stats s2 in
+  Alcotest.(check bool) "first session misses" false st1.Session.cache_hit;
+  Alcotest.(check bool) "first session pays the compile" true (st1.Session.compile_ms > 0.0);
+  Alcotest.(check bool) "second session hits" true st2.Session.cache_hit;
+  Alcotest.(check (float 0.0)) "second session compile_ms = 0" 0.0 st2.Session.compile_ms;
+  let s = Cache.stats cache in
+  Alcotest.(check int) "one miss" 1 s.Cache.misses;
+  Alcotest.(check int) "one hit" 1 s.Cache.hits;
+  (* the shared executable serves the hit session at the same cost as
+     the owner — the binding goes through the cached graph's symbols *)
+  let env = tiny_env "dien" in
+  let p1 = Session.serve s1 env and p2 = Session.serve s2 env in
+  Alcotest.(check (float 1e-6))
+    "identical latency through the shared artifact"
+    (Runtime.Profile.total_us p1) (Runtime.Profile.total_us p2)
+
+let test_hit_session_data_plane_matches_interp () =
+  let cache = Cache.create () in
+  let _owner = Session.create ~cache (build "dien") in
+  let built = build "dien" in
+  let sess = Session.create ~cache built in
+  Alcotest.(check bool) "session hit" true (Session.cache_hit sess);
+  let inputs = Common.test_inputs built (tiny_env "dien") in
+  let expected = Ir.Interp.run built.Common.graph inputs in
+  match Session.serve_data_result sess inputs with
+  | Error e -> Alcotest.failf "serve_data failed: %s" (Runtime.Error.to_string e)
+  | Ok (outs, _, path) ->
+      Alcotest.(check bool) "served compiled" true (path = `Compiled);
+      Alcotest.(check bool) "outputs match interpreter" true
+        (List.for_all2 (Nd.equal_approx ~eps:1e-5) expected outs)
+
+(* --- eviction --------------------------------------------------------------- *)
+
+let test_eviction_recompiles () =
+  let cache = Cache.create ~capacity:1 () in
+  let _a1 = Session.create ~cache (build "dien") in
+  let _b = Session.create ~cache (build "crnn") in
+  (* crnn evicted dien (capacity 1): a second dien session recompiles *)
+  let a2 = Session.create ~cache (build "dien") in
+  let st = Session.stats a2 in
+  Alcotest.(check bool) "evicted model recompiles" false st.Session.cache_hit;
+  Alcotest.(check bool) "and pays the compile again" true (st.Session.compile_ms > 0.0);
+  let s = Cache.stats cache in
+  Alcotest.(check bool) "evictions counted" true (s.Cache.evictions >= 2);
+  Alcotest.(check int) "capacity respected" 1 s.Cache.entries
+
+let test_lru_order () =
+  let cache = Cache.create ~capacity:2 () in
+  let _a = Session.create ~cache (build "dien") in
+  let _b = Session.create ~cache (build "crnn") in
+  (* touch dien so crnn is the least recently used *)
+  let a2 = Session.create ~cache (build "dien") in
+  Alcotest.(check bool) "touch hits" true (Session.cache_hit a2);
+  let _c = Session.create ~cache (build "vit") in
+  let a3 = Session.create ~cache (build "dien") in
+  let b2 = Session.create ~cache (build "crnn") in
+  Alcotest.(check bool) "recently-used survivor still hits" true (Session.cache_hit a3);
+  Alcotest.(check bool) "LRU victim was evicted" false (Session.cache_hit b2)
+
+(* --- invalidation ----------------------------------------------------------- *)
+
+let test_despeculated_never_served_fresh () =
+  let cache = Cache.create () in
+  let sess =
+    Session.create ~cache
+      ~fault_config:(Gpusim.Fault.create ~seed:3 ~kernel_fault_rate:1.0 ())
+      (build "dien")
+  in
+  (* before any fault, a fresh session would share the artifact *)
+  let probe = Session.create ~cache (build "dien") in
+  Alcotest.(check bool) "pre-fault probe hits" true (Session.cache_hit probe);
+  (* hammer until the circuit breaker de-speculates a kernel *)
+  let env = tiny_env "dien" in
+  let tries = ref 0 in
+  while (Session.stats sess).Session.despeculated = 0 && !tries < 50 do
+    ignore (Session.serve_result sess env);
+    incr tries
+  done;
+  Alcotest.(check bool) "breaker tripped" true
+    ((Session.stats sess).Session.despeculated > 0);
+  (* the suspect artifact must not be served to a fresh session *)
+  let fresh = Session.create ~cache (build "dien") in
+  Alcotest.(check bool) "fresh session recompiles" false (Session.cache_hit fresh);
+  Alcotest.(check bool) "invalidation counted" true
+    ((Cache.stats cache).Cache.invalidations >= 1)
+
+(* --- warm persistence -------------------------------------------------------- *)
+
+let with_tmp_dir f =
+  let dir = Filename.temp_file "disc_cache" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun x -> Sys.remove (Filename.concat dir x)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let test_warm_persistence () =
+  with_tmp_dir @@ fun dir ->
+  let c1 = Cache.create () in
+  Cache.attach_dir c1 dir;
+  let s1 = Session.create ~cache:c1 (build "dien") in
+  Alcotest.(check bool) "cold run misses" false (Session.cache_hit s1);
+  (* a new cache instance (new process in real life) finds the record *)
+  let c2 = Cache.create () in
+  Cache.attach_dir c2 dir;
+  Alcotest.(check bool) "record was persisted" true (Cache.warm_keys c2 >= 1);
+  let s2 = Session.create ~cache:c2 (build "dien") in
+  let st = Session.stats s2 in
+  Alcotest.(check bool) "warm run hits" true st.Session.cache_hit;
+  Alcotest.(check (float 0.0)) "warm compile_ms = 0" 0.0 st.Session.compile_ms;
+  Alcotest.(check int) "counted as warm hit" 1 (Cache.stats c2).Cache.warm_hits;
+  (* warm artifacts still serve correctly *)
+  ignore (Session.serve s2 (tiny_env "dien"))
+
+(* --- async-compile warmup ---------------------------------------------------- *)
+
+let test_async_warmup_bit_identical_fallback () =
+  let built = build "dien" in
+  let sess = Session.create ~async_compile:true built in
+  Alcotest.(check bool) "starts in warmup" true (Session.in_warmup sess);
+  let inputs = Common.test_inputs built (tiny_env "dien") in
+  let expected = Ir.Interp.run built.Common.graph inputs in
+  (match Session.serve_data_result sess inputs with
+  | Error e -> Alcotest.failf "warmup serve failed: %s" (Runtime.Error.to_string e)
+  | Ok (outs, _, path) ->
+      Alcotest.(check bool) "warmup serves on the fallback path" true (path = `Fallback);
+      (* bit-identical, not approximately equal: it IS the interpreter *)
+      Alcotest.(check bool) "fallback numerics bit-identical to Interp" true
+        (List.for_all2 (Nd.equal_approx ~eps:0.0) expected outs));
+  (* once the (virtual-time) compile completes, the switch is transparent *)
+  Session.finish_warmup sess;
+  Alcotest.(check bool) "warmup over" false (Session.in_warmup sess);
+  match Session.serve_data_result sess inputs with
+  | Error e -> Alcotest.failf "post-warmup serve failed: %s" (Runtime.Error.to_string e)
+  | Ok (outs, _, path) ->
+      Alcotest.(check bool) "compiled path after warmup" true (path = `Compiled);
+      Alcotest.(check bool) "compiled outputs still match" true
+        (List.for_all2 (Nd.equal_approx ~eps:1e-5) expected outs)
+
+let test_async_warmup_budget_drains () =
+  let sess = Session.create ~async_compile:true (build "crnn") in
+  let env = tiny_env "crnn" in
+  let budget = Session.warmup_remaining_us sess in
+  Alcotest.(check bool) "budget is the compile time" true (budget > 0.0);
+  let guard = ref 0 in
+  while Session.in_warmup sess && !guard < 100_000 do
+    ignore (Session.serve_result sess env);
+    incr guard
+  done;
+  Alcotest.(check bool) "fallback traffic drains the budget" false (Session.in_warmup sess);
+  match Session.serve_result sess env with
+  | Ok (_, path) -> Alcotest.(check bool) "then compiled" true (path = `Compiled)
+  | Error e -> Alcotest.failf "post-drain serve failed: %s" (Runtime.Error.to_string e)
+
+(* --- cache hit without cache: plain sessions unaffected ---------------------- *)
+
+let test_no_cache_defaults () =
+  let sess = Session.create (build "dien") in
+  let st = Session.stats sess in
+  Alcotest.(check bool) "no cache: not a hit" false st.Session.cache_hit;
+  Alcotest.(check bool) "no cache: compile paid" true (st.Session.compile_ms > 0.0)
+
+(* --- observability wiring ----------------------------------------------------- *)
+
+let test_obs_counters () =
+  Obs.Scope.enable ();
+  Fun.protect ~finally:Obs.Scope.disable @@ fun () ->
+  let hits0 =
+    Obs.Metrics.counter_value (Obs.Metrics.counter Obs.Metrics.global "cache.hits")
+  and misses0 =
+    Obs.Metrics.counter_value (Obs.Metrics.counter Obs.Metrics.global "cache.misses")
+  in
+  let cache = Cache.create () in
+  let _s1 = Session.create ~cache (build "dien") in
+  let _s2 = Session.create ~cache (build "dien") in
+  let hits =
+    Obs.Metrics.counter_value (Obs.Metrics.counter Obs.Metrics.global "cache.hits")
+  and misses =
+    Obs.Metrics.counter_value (Obs.Metrics.counter Obs.Metrics.global "cache.misses")
+  in
+  Alcotest.(check int) "cache.misses counter" (misses0 + 1) misses;
+  Alcotest.(check int) "cache.hits counter" (hits0 + 1) hits;
+  (* lookups leave spans on the global trace *)
+  let found =
+    List.exists
+      (fun sp -> String.equal sp.Obs.Trace.name "cache.lookup")
+      (Obs.Trace.spans Obs.Trace.global)
+  in
+  Alcotest.(check bool) "cache.lookup span recorded" true found
+
+let () =
+  Alcotest.run "compile-cache"
+    [
+      ( "sharing",
+        [
+          Alcotest.test_case "two sessions share one compile" `Quick
+            test_two_sessions_share_one_compile;
+          Alcotest.test_case "hit session data plane matches interp" `Quick
+            test_hit_session_data_plane_matches_interp;
+          Alcotest.test_case "no cache: defaults unchanged" `Quick test_no_cache_defaults;
+        ] );
+      ( "eviction",
+        [
+          Alcotest.test_case "eviction at capacity recompiles" `Quick
+            test_eviction_recompiles;
+          Alcotest.test_case "least-recently-used is the victim" `Quick test_lru_order;
+        ] );
+      ( "invalidation",
+        [
+          Alcotest.test_case "de-speculated artifact never served fresh" `Quick
+            test_despeculated_never_served_fresh;
+        ] );
+      ( "persistence",
+        [ Alcotest.test_case "warm records waive the compile" `Quick test_warm_persistence ] );
+      ( "async-warmup",
+        [
+          Alcotest.test_case "warmup numerics bit-identical to Interp" `Quick
+            test_async_warmup_bit_identical_fallback;
+          Alcotest.test_case "fallback traffic drains the budget" `Quick
+            test_async_warmup_budget_drains;
+        ] );
+      ( "observability",
+        [ Alcotest.test_case "counters and spans recorded" `Quick test_obs_counters ] );
+    ]

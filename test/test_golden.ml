@@ -90,6 +90,40 @@ let test_stats_string_golden () =
     "insts=4 symbols=1 classes=1 product_facts=0 dyn_slots=3 equal_pairs=3/3"
     (Disc.Stats.to_string (Disc.Stats.coverage g))
 
+(* Pinned structural fingerprints of the tiny suite models — the
+   identities the compilation cache keys on. A mismatch here means the
+   canonical form changed: every persisted cache directory is silently
+   cold after such a change, so bump deliberately. To refresh after an
+   intentional IR/canonicalization change, regenerate with
+
+     dune exec bin/discc.exe -- fingerprint --all --tiny
+
+   and paste the table below. *)
+let pinned_fingerprints =
+  [
+    ("bert", "c03f3e37724cc0fe6b139351679fe716");
+    ("gpt2", "46a4ab043e88f8d651d3a057db795e87");
+    ("seq2seq", "63081b005394d57737bfab0ddc6f98c7");
+    ("t5", "7d7d7d35fe1d9e1dba086ec1e908fbb6");
+    ("crnn", "1ae88223a32328bd03cdcb1e90902ac3");
+    ("fastspeech", "c1fceb5a6dcecf0caaa22581f9a345f8");
+    ("asr", "bde60ac2e1b32aae1dffd94526eda5cc");
+    ("vit", "e3caf31ed25430c501202dd8d6e84dae");
+    ("dien", "1928611d2f30f59fcc617bbe3780e25a");
+  ]
+
+let test_fingerprint_golden () =
+  Alcotest.(check int) "every suite model pinned"
+    (List.length Models.Suite.all) (List.length pinned_fingerprints);
+  List.iter
+    (fun (name, expected) ->
+      let built = (Models.Suite.find name).Models.Suite.build_tiny () in
+      check_string (name ^ " fingerprint")
+        expected
+        (Ir.Fingerprint.fingerprint ~dims:built.Models.Common.dims
+           built.Models.Common.graph))
+    pinned_fingerprints
+
 let () =
   Alcotest.run "golden"
     [
@@ -102,4 +136,6 @@ let () =
           Alcotest.test_case "profile" `Quick test_profile_string_golden;
           Alcotest.test_case "stats" `Quick test_stats_string_golden;
         ] );
+      ( "fingerprints",
+        [ Alcotest.test_case "suite models pinned" `Quick test_fingerprint_golden ] );
     ]

@@ -2,7 +2,12 @@
    exercise broadcast, reshape-through-products, reductions (stitch
    patterns), transposes and library ops; then check that every pipeline
    configuration produces exactly the interpreter's results at several
-   random shapes, and that plan/schedule invariants hold. *)
+   random shapes, and that plan/schedule invariants hold.
+
+   Failures don't dump the raw 12-step graph: a greedy shrinker first
+   drops and simplifies generator steps while the failure persists, then
+   prints the minimal reproducer (plus generator seed) and writes it to
+   shrinker_reproducer.disc for bug reports / CI artifacts. *)
 
 module Sym = Symshape.Sym
 module Table = Symshape.Table
@@ -14,72 +19,74 @@ module Nd = Tensor.Nd
 module Planner = Fusion.Planner
 module Cluster = Fusion.Cluster
 
-(* A generated model: builder (fresh graph each call) + dim names. *)
-type gen_model = { build : unit -> Graph.t * (string * Sym.dim) list }
+(* A generated program is explicit data — h plus the step-code list —
+   so the shrinker can drop/simplify steps and rebuild. [pick_seed]
+   fixes the operand choices made while building. *)
+type program = { h : int; pick_seed : int; steps : int list }
+
+let program_of_seed seed =
+  let st = Random.State.make [| seed |] in
+  let h = 4 * (1 + Random.State.int st 3) in
+  let steps = List.init (4 + Random.State.int st 8) (fun _ -> Random.State.int st 100) in
+  { h; pick_seed = seed; steps }
 
 (* Random structured graph over [b, s, h] with h static. Operations are
    chosen to exercise every fusion-relevant op class while keeping
    shapes trackable: values live on F=[b,s,h], O=[b,s] or M=[m,h]
    (m = b*s via reshape). *)
-let random_model (st : Random.State.t) : gen_model =
-  let h = 4 * (1 + Random.State.int st 3) in
-  let steps =
-    List.init (4 + Random.State.int st 8) (fun _ -> Random.State.int st 100)
-  in
-  let build () =
-    let g = Graph.create () in
-    let tab = Graph.symtab g in
-    let b = Table.fresh ~name:"b" ~lb:1 ~ub:64 tab in
-    let s = Table.fresh ~name:"s" ~lb:1 ~ub:64 tab in
-    let x = B.param g ~name:"x" [| b; s; Sym.Static h |] Dtype.F32 in
-    let f_shape = [| b; s; Sym.Static h |] in
-    (* pools of values per domain *)
-    let fs = ref [ x ] in
-    let pick st pool = List.nth !pool (Random.State.int st (List.length !pool)) in
-    let st = Random.State.copy st in
-    List.iter
-      (fun choice ->
-        let v =
-          match choice mod 10 with
-          | 0 -> B.add g (pick st fs) (pick st fs)
-          | 1 -> B.mul g (pick st fs) (pick st fs)
-          | 2 -> B.tanh g (pick st fs)
-          | 3 -> B.gelu g (pick st fs)
-          | 4 ->
-              (* reduce last axis, broadcast back: a stitch pattern *)
-              B.reduce_lastdim_keep g
-                (if choice mod 3 = 0 then Op.R_max else Op.R_sum)
-                (pick st fs)
-          | 5 -> B.softmax g (pick st fs)
-          | 6 ->
-              (* round-trip through the merged [m, h] view *)
-              let m = Table.fresh tab in
-              let flat = B.reshape g (pick st fs) [| m; Sym.Static h |] in
-              let act = B.logistic g flat in
-              B.reshape g act f_shape
-          | 7 ->
-              (* transpose sandwich *)
-              let t = B.transpose g (pick st fs) [| 1; 0; 2 |] in
-              B.transpose g (B.abs g t) [| 1; 0; 2 |]
-          | 8 ->
-              (* a library op: project through a static dense layer *)
-              let w =
-                B.const g
-                  (Nd.init [| h; h |] (fun i ->
-                       Float.sin (float_of_int ((i.(0) * h) + i.(1)))))
-              in
-              B.dot g (pick st fs) w
-          | _ ->
-              (* broadcast a row constant and combine *)
-              let c = B.const g (Nd.init [| h |] (fun i -> 0.1 *. float_of_int i.(0))) in
-              B.add g (pick st fs) (B.broadcast_trailing g c ~out:f_shape)
-        in
-        fs := v :: !fs)
-      steps;
-    Graph.set_outputs g [ List.hd !fs ];
-    (g, [ ("b", b); ("s", s) ])
-  in
-  { build }
+let build_program (p : program) : Graph.t * (string * Sym.dim) list =
+  let h = p.h in
+  let g = Graph.create () in
+  let tab = Graph.symtab g in
+  let b = Table.fresh ~name:"b" ~lb:1 ~ub:64 tab in
+  let s = Table.fresh ~name:"s" ~lb:1 ~ub:64 tab in
+  let x = B.param g ~name:"x" [| b; s; Sym.Static h |] Dtype.F32 in
+  let f_shape = [| b; s; Sym.Static h |] in
+  (* pools of values per domain *)
+  let fs = ref [ x ] in
+  let pick st pool = List.nth !pool (Random.State.int st (List.length !pool)) in
+  let st = Random.State.make [| p.pick_seed |] in
+  List.iter
+    (fun choice ->
+      let v =
+        match choice mod 10 with
+        | 0 -> B.add g (pick st fs) (pick st fs)
+        | 1 -> B.mul g (pick st fs) (pick st fs)
+        | 2 -> B.tanh g (pick st fs)
+        | 3 -> B.gelu g (pick st fs)
+        | 4 ->
+            (* reduce last axis, broadcast back: a stitch pattern *)
+            B.reduce_lastdim_keep g
+              (if choice mod 3 = 0 then Op.R_max else Op.R_sum)
+              (pick st fs)
+        | 5 -> B.softmax g (pick st fs)
+        | 6 ->
+            (* round-trip through the merged [m, h] view *)
+            let m = Table.fresh tab in
+            let flat = B.reshape g (pick st fs) [| m; Sym.Static h |] in
+            let act = B.logistic g flat in
+            B.reshape g act f_shape
+        | 7 ->
+            (* transpose sandwich *)
+            let t = B.transpose g (pick st fs) [| 1; 0; 2 |] in
+            B.transpose g (B.abs g t) [| 1; 0; 2 |]
+        | 8 ->
+            (* a library op: project through a static dense layer *)
+            let w =
+              B.const g
+                (Nd.init [| h; h |] (fun i ->
+                     Float.sin (float_of_int ((i.(0) * h) + i.(1)))))
+            in
+            B.dot g (pick st fs) w
+        | _ ->
+            (* broadcast a row constant and combine *)
+            let c = B.const g (Nd.init [| h |] (fun i -> 0.1 *. float_of_int i.(0))) in
+            B.add g (pick st fs) (B.broadcast_trailing g c ~out:f_shape)
+      in
+      fs := v :: !fs)
+    p.steps;
+  Graph.set_outputs g [ List.hd !fs ];
+  (g, [ ("b", b); ("s", s) ])
 
 let input_for (g : Graph.t) (bv, sv) seed =
   match Graph.parameters g with
@@ -102,35 +109,96 @@ let pipeline_variants =
     ("horizontal", Planner.horizontal_config);
   ]
 
+(* --- greedy shrinker ------------------------------------------------------
+
+   Given a failing program and a [fails] predicate that re-runs the
+   check, minimize by (1) dropping each step if the failure persists,
+   (2) replacing each step by the cheapest one (tanh) if it persists,
+   repeating both passes to a fixed point. Every candidate is actually
+   re-tested, so the result is a true minimal-by-this-grammar failure. *)
+
+let cheapest_step = 2 (* code 2 mod 10 = tanh *)
+
+let rec drop_steps fails (p : program) i =
+  if i >= List.length p.steps then p
+  else
+    let cand = { p with steps = List.filteri (fun j _ -> j <> i) p.steps } in
+    if fails cand then drop_steps fails cand i else drop_steps fails p (i + 1)
+
+let rec simplify_steps fails (p : program) i =
+  if i >= List.length p.steps then p
+  else if List.nth p.steps i mod 10 = cheapest_step mod 10 then
+    simplify_steps fails p (i + 1)
+  else
+    let cand =
+      { p with steps = List.mapi (fun j c -> if j = i then cheapest_step else c) p.steps }
+    in
+    if fails cand then simplify_steps fails cand (i + 1) else simplify_steps fails p (i + 1)
+
+let shrink ~fails (p : program) : program =
+  let rec fix p =
+    let p' = simplify_steps fails (drop_steps fails p 0) 0 in
+    if p' = p then p else fix p'
+  in
+  fix p
+
+let reproducer_file = "shrinker_reproducer.disc"
+
+let report_reproducer ~seed (p : program) =
+  let g, _ = build_program p in
+  let text = Ir.Printer.to_string ~with_symbols:true g in
+  (try
+     let oc = open_out reproducer_file in
+     output_string oc text;
+     close_out oc
+   with Sys_error _ -> ());
+  Printf.printf
+    "\nMINIMAL REPRODUCER (seed=%d, h=%d, steps=[%s], %d steps; also written to %s):\n%s\n"
+    seed p.h
+    (String.concat ";" (List.map string_of_int p.steps))
+    (List.length p.steps) reproducer_file text
+
+(* --- differential property, shrinking on failure -------------------------- *)
+
+(* True when any pipeline variant disagrees with the interpreter (or
+   anything crashes): the condition the shrinker preserves. *)
+let differential_fails ~input_dims ~seed (p : program) : bool =
+  match
+    let g_ref, _ = build_program p in
+    let input = input_for g_ref input_dims seed in
+    let expected = Ir.Interp.run g_ref [ input ] in
+    List.for_all
+      (fun (_, planner) ->
+        let g, _ = build_program p in
+        let c =
+          Disc.Compiler.compile ~options:{ Disc.Compiler.default_options with planner } g
+        in
+        let got, _ = Disc.Compiler.run c [ input ] in
+        List.for_all2 (Nd.equal_approx ~eps:1e-5) expected got)
+      pipeline_variants
+  with
+  | ok -> not ok
+  | exception _ -> true
+
 let prop_all_pipelines_match_interp =
   QCheck.Test.make ~name:"structured graphs: all pipelines = interp at random shapes"
     ~count:60
     QCheck.(pair (int_bound 1_000_000) (pair (int_range 1 5) (int_range 1 9)))
     (fun (seed, (bv, sv)) ->
-      let st = Random.State.make [| seed |] in
-      let model = random_model st in
-      let g_ref, _ = model.build () in
-      let input = input_for g_ref (bv, sv) seed in
-      let expected = Ir.Interp.run g_ref [ input ] in
-      List.for_all
-        (fun (_, planner) ->
-          let g, _ = model.build () in
-          let c =
-            Disc.Compiler.compile
-              ~options:{ Disc.Compiler.default_options with planner }
-              g
-          in
-          let got, _ = Disc.Compiler.run c [ input ] in
-          List.for_all2 (Nd.equal_approx ~eps:1e-5) expected got)
-        pipeline_variants)
+      let p = program_of_seed seed in
+      let fails = differential_fails ~input_dims:(bv, sv) ~seed in
+      if not (fails p) then true
+      else begin
+        report_reproducer ~seed (shrink ~fails p);
+        false
+      end)
 
 let prop_plan_invariants =
   QCheck.Test.make ~name:"structured graphs: plan invariants" ~count:60
     QCheck.(int_bound 1_000_000)
     (fun seed ->
-      let st = Random.State.make [| seed |] in
-      let model = random_model st in
-      let g, _ = model.build () in
+      let p = program_of_seed seed in
+      let g, _ = build_program p in
       ignore (Ir.Passes.run_all g);
       let plan = Planner.plan g in
       (* 1. partition: every live non-param/const inst in exactly one cluster *)
@@ -180,10 +248,9 @@ let prop_fusion_never_increases_traffic =
     ~count:40
     QCheck.(int_bound 1_000_000)
     (fun seed ->
-      let st = Random.State.make [| seed |] in
-      let model = random_model st in
+      let p = program_of_seed seed in
       let measure planner =
-        let g, dims = model.build () in
+        let g, dims = build_program p in
         ignore (Ir.Passes.run_all g);
         let plan = Planner.plan ~config:planner g in
         let exe = Runtime.Executable.compile g plan in
@@ -201,13 +268,61 @@ let prop_roundtrip_structured =
   QCheck.Test.make ~name:"structured graphs: print/parse round trip" ~count:30
     QCheck.(int_bound 1_000_000)
     (fun seed ->
-      let st = Random.State.make [| seed |] in
-      let model = random_model st in
-      let g1, _ = model.build () in
+      let p = program_of_seed seed in
+      let g1, _ = build_program p in
       let g2 = Ir.Parser.parse (Ir.Printer.to_string ~with_symbols:true g1) in
       let input = input_for g1 (2, 3) seed in
       let a = Ir.Interp.run g1 [ input ] and b = Ir.Interp.run g2 [ input ] in
       List.for_all2 (Nd.equal_approx ~eps:1e-6) a b)
+
+(* --- shrinker self-tests --------------------------------------------------
+
+   Inject a failure we control — "the built graph contains a Dot op" —
+   into a 12-step program and check the shrinker reduces it to a
+   program whose graph has at most 4 non-param/const ops. This is the
+   harness's own regression test: if shrinking regresses, real
+   differential failures would come back as un-debuggable 12-step
+   graphs. *)
+
+let count_ops g =
+  Graph.fold g
+    (fun n i ->
+      match i.Graph.op with Op.Parameter _ | Op.Constant _ -> n | _ -> n + 1)
+    0
+
+let contains_dot (p : program) =
+  let g, _ = build_program p in
+  Graph.fold g
+    (fun found i -> found || match i.Graph.op with Op.Dot -> true | _ -> false)
+    false
+
+let test_shrinker_injected () =
+  let p = { h = 8; pick_seed = 42; steps = [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9; 5; 3 ] } in
+  Alcotest.(check bool) "injected failure fires on the seed program" true (contains_dot p);
+  let minimal = shrink ~fails:contains_dot p in
+  Alcotest.(check bool) "shrunk program still fails" true (contains_dot minimal);
+  let g, _ = build_program minimal in
+  let ops = count_ops g in
+  if ops > 4 then
+    Alcotest.failf "shrinker left %d ops (steps=[%s]); expected <= 4" ops
+      (String.concat ";" (List.map string_of_int minimal.steps))
+
+let test_shrinker_keeps_failure_monotone () =
+  (* dropping to an empty program must be reachable when everything is
+     droppable: a predicate true of every program shrinks to no steps *)
+  let p = program_of_seed 7 in
+  let minimal = shrink ~fails:(fun _ -> true) p in
+  Alcotest.(check int) "always-failing program shrinks to zero steps" 0
+    (List.length minimal.steps)
+
+let test_shrinker_writes_reproducer () =
+  let p = { h = 4; pick_seed = 3; steps = [ 5 ] } in
+  report_reproducer ~seed:3 p;
+  let text = In_channel.with_open_text reproducer_file In_channel.input_all in
+  let g = Ir.Parser.parse text in
+  Alcotest.(check bool) "reproducer file parses back into a graph" true
+    (Graph.num_insts g > 0);
+  Sys.remove reproducer_file
 
 let () =
   Alcotest.run "pipeline-random"
@@ -220,4 +335,13 @@ let () =
             prop_fusion_never_increases_traffic;
             prop_roundtrip_structured;
           ] );
+      ( "shrinker",
+        [
+          Alcotest.test_case "injected failure reduces to <= 4 ops" `Quick
+            test_shrinker_injected;
+          Alcotest.test_case "always-failing shrinks to empty" `Quick
+            test_shrinker_keeps_failure_monotone;
+          Alcotest.test_case "reproducer file round-trips" `Quick
+            test_shrinker_writes_reproducer;
+        ] );
     ]
