@@ -660,6 +660,96 @@ let cache_experiment ?json () =
       Printf.printf "cache numbers -> %s\n" path
 
 (* ----------------------------------------------------------------------
+   E16 (extension): the multi-replica serving pool — single replica vs
+   a pooled deployment at equal offered load, round-robin vs
+   warmth-aware routing. The pool halves queueing delay by adding a
+   replica; warmth-aware routing then keeps each shape signature's
+   warmup on one replica instead of paying it everywhere. *)
+
+let pool_serving ?json () =
+  header "E16 (extension): serving pool — replicas, routing, padding (A10)";
+  let module Pool = Serving.Pool in
+  let module Bucket = Serving.Bucket in
+  let module Router = Serving.Router in
+  let traces =
+    [
+      ("dien", 800.0, [ ("hist", Workloads.Trace.Skewed (5, 100)) ]);
+      ("bert", 400.0, [ ("seq", Workloads.Trace.Bimodal (24, 160)) ]);
+    ]
+  in
+  let configs =
+    [
+      ("single", [ Gpusim.Device.a10 ], Router.Warmth_aware);
+      ("pool-rr", [ Gpusim.Device.a10; Gpusim.Device.a10 ], Router.Round_robin);
+      ("pool-warmth", [ Gpusim.Device.a10; Gpusim.Device.a10 ], Router.Warmth_aware);
+    ]
+  in
+  Printf.printf "%-6s %-12s %8s %9s %5s %7s %6s %7s %8s %9s\n" "model" "config" "served"
+    "fell-back" "shed" "expired" "cold" "waste%" "p50(ms)" "p99(ms)";
+  let rows = ref [] in
+  List.iter
+    (fun (model, qps, dims) ->
+      let entry = Suite.find model in
+      let reqs =
+        Workloads.Queueing.generate_arrivals ~seed:13 ~qps ~n:400 ~dims
+        |> Pool.of_arrivals
+        |> Pool.with_class_mix ~seed:13
+             [ (Serving.Slo.Interactive, 0.25); (Serving.Slo.Standard, 0.5);
+               (Serving.Slo.Best_effort, 0.25) ]
+      in
+      let bucket = List.map (fun (n, _) -> (n, Bucket.Pow2)) dims in
+      List.iter
+        (fun (cname, devices, router) ->
+          let cfg =
+            { (Pool.default_config ~devices ~batch_dim:"batch" ~bucket) with
+              Pool.router }
+          in
+          let pool = Pool.create cfg (fun () -> entry.Suite.build ()) in
+          let r = Pool.run pool reqs in
+          let lats = Pool.completed_latencies r in
+          let p50 = Pool.percentile lats 0.5 and p99 = Pool.percentile lats 0.99 in
+          Printf.printf "%-6s %-12s %8d %9d %5d %7d %6d %7.1f %8.1f %9.1f\n" model cname
+            r.Pool.served r.Pool.fell_back r.Pool.shed r.Pool.expired
+            r.Pool.cold_dispatches
+            (100.0 *. Pool.padding_waste r)
+            (p50 /. 1000.0) (p99 /. 1000.0);
+          rows :=
+            Obs.Json.Obj
+              [
+                ("model", Obs.Json.Str model);
+                ("config", Obs.Json.Str cname);
+                ("replicas", Obs.Json.Int (List.length devices));
+                ("router", Obs.Json.Str (Router.policy_to_string router));
+                ("qps", Obs.Json.Float qps);
+                ("served", Obs.Json.Int r.Pool.served);
+                ("fell_back", Obs.Json.Int r.Pool.fell_back);
+                ("shed", Obs.Json.Int r.Pool.shed);
+                ("expired", Obs.Json.Int r.Pool.expired);
+                ("cold_dispatches", Obs.Json.Int r.Pool.cold_dispatches);
+                ("padding_waste", Obs.Json.Float (Pool.padding_waste r));
+                ("p50_us", Obs.Json.Float p50);
+                ("p99_us", Obs.Json.Float p99);
+              ]
+            :: !rows)
+        configs)
+    traces;
+  Printf.printf
+    "(same offered load per model; pooling removes queueing delay, warmth-aware\n\
+    \ routing then avoids re-paying each signature's warmup on every replica)\n";
+  match json with
+  | None -> ()
+  | Some path ->
+      let doc =
+        Obs.Json.Obj
+          [
+            ("experiment", Obs.Json.Str "E16-serving-pool");
+            ("rows", Obs.Json.List (List.rev !rows));
+          ]
+      in
+      Obs.Json.write_file path doc;
+      Printf.printf "pool numbers -> %s\n" path
+
+(* ----------------------------------------------------------------------
    Bechamel microbenchmarks of the compiler itself. *)
 
 let micro () =
@@ -770,7 +860,8 @@ let all ?json () =
   serving ();
   specialization ();
   resilience ();
-  cache_experiment ()
+  cache_experiment ();
+  pool_serving ()
 
 let () =
   (* main.exe [--] [EXPERIMENT] [--json OUT.json] [--trace OUT.json]
@@ -805,6 +896,7 @@ let () =
   | "specialization" -> specialization ()
   | "resilience" -> resilience ()
   | "cache" -> cache_experiment ?json ()
+  | "pool" -> pool_serving ?json ()
   | "micro" -> micro ()
   | "all" -> all ?json ()
   | other ->

@@ -336,6 +336,124 @@ let explain_cmd =
     (Cmd.info "explain" ~doc:"Explain why two instructions did (not) fuse")
     Term.(const run $ model_arg $ tiny_arg $ planner_arg $ a_arg $ b_arg)
 
+(* --- serve ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let replicas_arg =
+    let doc = "Replica count (one session per replica, all on --device)." in
+    Arg.(value & opt int 2 & info [ "replicas" ] ~docv:"N" ~doc)
+  in
+  let devices_arg =
+    let doc = "Explicit per-replica device list, e.g. A10,A10,T4 (overrides --replicas)." in
+    Arg.(value & opt (some string) None & info [ "devices" ] ~docv:"D1,D2" ~doc)
+  in
+  let qps_arg =
+    let doc = "Offered load: Poisson arrival rate, queries per second." in
+    Arg.(value & opt float 100.0 & info [ "qps" ] ~docv:"QPS" ~doc)
+  in
+  let requests_arg =
+    let doc = "Number of requests in the synthetic trace." in
+    Arg.(value & opt int 200 & info [ "requests"; "n" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "Trace seed (arrivals, shapes, class mix)." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let router_arg =
+    let doc = "Routing policy: warmth (default), least, rr." in
+    Arg.(value & opt string "warmth" & info [ "router" ] ~docv:"POLICY" ~doc)
+  in
+  let max_batch_arg =
+    let doc = "Max requests per formed batch." in
+    Arg.(value & opt int 8 & info [ "max-batch" ] ~docv:"N" ~doc)
+  in
+  let fail_arg =
+    let doc = "Inject a replica failure: TIME_US,REPLICA (repeatable)." in
+    Arg.(value & opt_all string [] & info [ "fail" ] ~docv:"T,ID" ~doc)
+  in
+  let run model tiny replicas devices qps requests seed router max_batch fails trace
+      metrics =
+    with_obs ~trace ~metrics @@ fun () ->
+    let entry = Suite.find model in
+    let devices =
+      match devices with
+      | Some s -> List.map device_of_string (String.split_on_char ',' s)
+      | None ->
+          if replicas < 1 then raise (Usage "serve: --replicas must be >= 1");
+          List.init replicas (fun _ -> Gpusim.Device.a10)
+    in
+    let router =
+      match Serving.Router.policy_of_string router with
+      | Some p -> p
+      | None -> raise (Usage (Printf.sprintf "unknown router %S (warmth, least, rr)" router))
+    in
+    let failures =
+      List.map
+        (fun s ->
+          match String.split_on_char ',' s with
+          | [ t; id ] -> (
+              match (float_of_string_opt t, int_of_string_opt id) with
+              | Some t, Some id -> (t, id)
+              | _ -> raise (Usage (Printf.sprintf "bad --fail %S (want TIME_US,REPLICA)" s)))
+          | _ -> raise (Usage (Printf.sprintf "bad --fail %S (want TIME_US,REPLICA)" s)))
+        fails
+    in
+    let mix = Workloads.Trace.serving_mix entry in
+    let req_dims = List.filter (fun (n, _) -> n <> "batch") mix in
+    if req_dims = [] then raise (Usage (Printf.sprintf "serve: %s has no non-batch dims" model));
+    let bucket = List.map (fun (n, _) -> (n, Serving.Bucket.Pow2)) req_dims in
+    let cfg =
+      {
+        (Serving.Pool.default_config ~devices ~batch_dim:"batch" ~bucket) with
+        Serving.Pool.router;
+        max_batch;
+      }
+    in
+    let pool = Serving.Pool.create cfg (fun () -> build_model model tiny) in
+    let reqs =
+      Workloads.Queueing.generate_arrivals ~seed ~qps ~n:requests ~dims:req_dims
+      |> Serving.Pool.of_arrivals
+      |> Serving.Pool.with_class_mix ~seed
+           [
+             (Serving.Slo.Interactive, 0.25);
+             (Serving.Slo.Standard, 0.5);
+             (Serving.Slo.Best_effort, 0.25);
+           ]
+    in
+    let r = Serving.Pool.run ~failures pool reqs in
+    Printf.printf "serve %s (%s): %d replicas [%s], router=%s, %.0f qps, %d requests\n" model
+      (if tiny then "tiny" else "paper scale")
+      (List.length devices)
+      (String.concat "," (List.map (fun d -> d.Gpusim.Device.name) devices))
+      (Serving.Router.policy_to_string router)
+      qps requests;
+    Printf.printf "  %s\n" (Serving.Pool.report_to_string r);
+    List.iter
+      (fun (c : Serving.Pool.class_report) ->
+        Printf.printf "  class %-12s arrivals=%d completed=%d slo_met=%d shed=%d expired=%d\n"
+          (Serving.Slo.cls_to_string c.Serving.Pool.cr_class)
+          c.Serving.Pool.cr_arrivals c.Serving.Pool.cr_completed c.Serving.Pool.cr_slo_met
+          c.Serving.Pool.cr_shed c.Serving.Pool.cr_expired)
+      r.Serving.Pool.classes;
+    List.iter
+      (fun (rep : Serving.Pool.replica_report) ->
+        Printf.printf
+          "  replica %d (%s): %s, batches=%d requests=%d cold=%d busy=%.0fus\n"
+          rep.Serving.Pool.rr_id rep.Serving.Pool.rr_device rep.Serving.Pool.rr_health
+          rep.Serving.Pool.rr_batches rep.Serving.Pool.rr_requests
+          rep.Serving.Pool.rr_cold_dispatches rep.Serving.Pool.rr_busy_us)
+      r.Serving.Pool.replicas;
+    let cs = Disc.Compile_cache.stats (Serving.Pool.cache pool) in
+    Printf.printf "  cache: %s\n" (Disc.Compile_cache.stats_to_string cs)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Simulate a multi-replica serving pool on a synthetic arrival trace")
+    Term.(
+      const run $ model_arg $ tiny_arg $ replicas_arg $ devices_arg $ qps_arg
+      $ requests_arg $ seed_arg $ router_arg $ max_batch_arg $ fail_arg $ trace_arg
+      $ metrics_arg)
+
 (* --- compare --------------------------------------------------------------- *)
 
 let compare_cmd =
@@ -361,6 +479,29 @@ let compare_cmd =
     (Cmd.info "compare" ~doc:"Compare all systems at one shape")
     Term.(const run $ model_arg $ device_arg $ dims_arg)
 
+(* invoked with no subcommand: print the table and exit 1 (usage error) *)
+let no_subcommand_term =
+  let table =
+    [
+      ("list", "List the model suite");
+      ("compile", "Compile a model and inspect the pipeline");
+      ("compile-file", "Parse and compile a textual .disc graph");
+      ("run", "Simulate one inference at given dynamic-dim values");
+      ("exec", "Execute the tiny model on real data and print outputs");
+      ("serve", "Simulate a multi-replica serving pool on an arrival trace");
+      ("explain", "Explain why two instructions did (not) fuse");
+      ("compare", "Compare all systems at one shape");
+      ("fingerprint", "Print compile-cache identities of suite models");
+    ]
+  in
+  Term.(
+    const (fun () ->
+        Printf.eprintf "discc: missing subcommand\n\nsubcommands:\n";
+        List.iter (fun (n, d) -> Printf.eprintf "  %-14s %s\n" n d) table;
+        Printf.eprintf "\nSee 'discc COMMAND --help' for options. Exit codes: 0 ok, 1 usage error, 2 compile/runtime error.\n";
+        Stdlib.exit 1)
+    $ const ())
+
 let () =
   let info =
     Cmd.info "discc" ~version:"1.0"
@@ -371,10 +512,10 @@ let () =
     exit code
   in
   match
-    Cmd.eval ~catch:false (Cmd.group info
+    Cmd.eval ~catch:false (Cmd.group ~default:no_subcommand_term info
       [
-        list_cmd; compile_cmd; compile_file_cmd; run_cmd; exec_cmd; explain_cmd;
-        compare_cmd; fingerprint_cmd;
+        list_cmd; compile_cmd; compile_file_cmd; run_cmd; exec_cmd; serve_cmd;
+        explain_cmd; compare_cmd; fingerprint_cmd;
       ])
   with
   | code -> exit code

@@ -75,6 +75,7 @@ let create ?(capacity = default_capacity) () =
 
 let capacity t = t.capacity
 let length t = Hashtbl.length t.table
+let mem t key = Hashtbl.mem t.table key
 
 let stats t =
   {

@@ -40,6 +40,12 @@ val create : ?capacity:int -> unit -> t
 
 val capacity : t -> int
 val length : t -> int
+
+val mem : t -> string -> bool
+(** Whether a key (from {!key_of}) is resident in memory: the next
+    {!find_or_compile} for it is a guaranteed [Hit]. Does not consult
+    the warm (persisted) set and does not touch LRU order. *)
+
 val stats : t -> stats
 val stats_to_string : stats -> string
 

@@ -150,6 +150,8 @@ let create ?(options = Compiler.default_options) ?(device = Gpusim.Device.a10)
 
 let metrics t = t.metrics
 let cache_hit (t : t) = t.cache_hit
+let device (t : t) = t.device
+let model_name (t : t) = t.built.Common.name
 let in_warmup t = t.warmup_remaining_us > 0.0
 let warmup_remaining_us t = t.warmup_remaining_us
 

@@ -84,6 +84,12 @@ val metrics : t -> Obs.Metrics.t
 
 val cache_hit : t -> bool
 
+val device : t -> Gpusim.Device.t
+(** The simulated device this session serves on. *)
+
+val model_name : t -> string
+(** Name of the built model this session was created from. *)
+
 val in_warmup : t -> bool
 (** Still inside the async-compile window (next request falls back). *)
 

@@ -1,0 +1,73 @@
+(* Shape bucketing for the serving batcher.
+
+   Serving traffic creates dynamic shapes (batch = queue depth, other
+   dims = intra-batch max); bucketing trades a bounded amount of
+   padding waste for repeating shape signatures, which is what makes
+   kernels warm and memory plans reusable across batches. *)
+
+type scheme = Exact | Pow2 | Linear of int
+
+type spec = (string * scheme) list
+
+let scheme_to_string = function
+  | Exact -> "exact"
+  | Pow2 -> "pow2"
+  | Linear s -> Printf.sprintf "linear%d" s
+
+let round_up scheme v =
+  if v < 1 then invalid_arg "Bucket.round_up: dim value must be >= 1";
+  match scheme with
+  | Exact -> v
+  | Pow2 ->
+      let rec go p = if p >= v then p else go (p * 2) in
+      go 1
+  | Linear step ->
+      if step < 1 then invalid_arg "Bucket.round_up: linear step must be >= 1";
+      (v + step - 1) / step * step
+
+let scheme_of spec name =
+  match List.assoc_opt name spec with Some s -> s | None -> Exact
+
+let canonical dims = List.sort (fun (a, _) (b, _) -> compare a b) dims
+
+let bucket_dims spec dims =
+  canonical (List.map (fun (n, v) -> (n, round_up (scheme_of spec n) v)) dims)
+
+let env_key dims =
+  String.concat ","
+    (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) (canonical dims))
+
+let key_of spec dims = env_key (bucket_dims spec dims)
+
+let elements dims = List.fold_left (fun acc (_, v) -> acc * v) 1 dims
+
+(* Batch env at the intra-batch max — the same union-of-dims rule as
+   [Workloads.Queueing.batch_env], over raw dim lists. *)
+let exact_env ~batch_dim (members : (string * int) list list) =
+  if members = [] then invalid_arg "Bucket.exact_env: empty batch";
+  let names =
+    List.fold_left
+      (fun acc dims ->
+        List.fold_left
+          (fun acc (name, _) -> if List.mem name acc then acc else name :: acc)
+          acc dims)
+      [] members
+    |> List.rev
+  in
+  (batch_dim, List.length members)
+  :: List.map
+       (fun name ->
+         ( name,
+           List.fold_left
+             (fun acc dims ->
+               match List.assoc_opt name dims with Some v -> max acc v | None -> acc)
+             1 members ))
+       names
+
+let padded_env spec ~batch_dim members =
+  List.map
+    (fun (n, v) -> (n, round_up (scheme_of spec n) v))
+    (exact_env ~batch_dim members)
+
+let waste ~actual ~padded =
+  if padded = 0 then 0.0 else float_of_int (padded - actual) /. float_of_int padded

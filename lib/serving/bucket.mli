@@ -1,0 +1,51 @@
+(** Shape buckets: quantize per-request dynamic dims so that requests
+    with nearby shapes share a batch — and, when padded to the bucket
+    ceiling, share a shape signature across batches (warm kernels,
+    reusable memory plans).
+
+    A {!spec} names a rounding scheme per dim; unlisted dims stay
+    exact. The batcher ({!Pool}) forms batches per bucket key and then
+    decides {e pad-to-bucket} (dims rounded to the bucket ceiling — a
+    repeating signature) versus {e exact-shape} dispatch (dims at the
+    intra-batch max — minimal padding, but a signature that rarely
+    repeats) from a measured padding-waste cost model. *)
+
+type scheme =
+  | Exact  (** no rounding: every distinct value is its own bucket *)
+  | Pow2  (** round up to the next power of two *)
+  | Linear of int  (** round up to the next multiple of the step *)
+
+type spec = (string * scheme) list
+(** Rounding scheme per dim name; dims not listed are [Exact]. *)
+
+val scheme_to_string : scheme -> string
+
+val round_up : scheme -> int -> int
+(** Round a dim value (>= 1) up to its bucket ceiling. *)
+
+val bucket_dims : spec -> (string * int) list -> (string * int) list
+(** Each dim rounded per the spec, name-sorted (canonical order). *)
+
+val key_of : spec -> (string * int) list -> string
+(** Canonical bucket key of one request's dims, e.g. ["hist=64,seq=128"]. *)
+
+val env_key : (string * int) list -> string
+(** Canonical key of a full shape environment (name-sorted, no
+    rounding) — the warmth identity of a dispatched batch. *)
+
+val elements : (string * int) list -> int
+(** Product of the dim values (1 for the empty list). *)
+
+val exact_env :
+  batch_dim:string -> (string * int) list list -> (string * int) list
+(** Batch env at the intra-batch max: batch dim = member count, every
+    other dim = max over members (missing dims contribute 1).
+    @raise Invalid_argument on an empty batch. *)
+
+val padded_env :
+  spec -> batch_dim:string -> (string * int) list list -> (string * int) list
+(** {!exact_env} with every dim — including the batch dim, when listed
+    in the spec — rounded up to its bucket ceiling. *)
+
+val waste : actual:int -> padded:int -> float
+(** [(padded - actual) / padded], 0 when [padded] is 0. *)

@@ -1,0 +1,530 @@
+(* Multi-replica serving pool: discrete-event simulation over virtual
+   time. The pool owns the layers above a single session — admission,
+   bucketed batching, pad-vs-exact decision, routing, failure drain —
+   and accounts for every request exactly once.
+
+   The event loop is chronological: at each event time it delivers
+   faults, admits arrivals, expires stale queue entries, then
+   dispatches batches while any (free replica, launchable bucket) pair
+   exists. The next event is the earliest of: next arrival, a busy
+   replica freeing, a waiting bucket's batching window closing, or a
+   scheduled fault. *)
+
+module Q = Workloads.Queueing
+module Session = Disc.Session
+module Profile = Runtime.Profile
+
+type config = {
+  devices : Gpusim.Device.t list;
+  batch_dim : string;
+  max_batch : int;
+  max_wait_us : float;
+  bucket : Bucket.spec;
+  slo : Slo.policy;
+  router : Router.policy;
+  max_pad_waste : float;
+  cold_warmup_us : float;
+}
+
+let default_config ~devices ~batch_dim ~bucket =
+  {
+    devices;
+    batch_dim;
+    max_batch = 8;
+    max_wait_us = 2000.0;
+    bucket;
+    slo = Slo.default_policy;
+    router = Router.Warmth_aware;
+    max_pad_waste = 0.5;
+    cold_warmup_us = 1500.0;
+  }
+
+type request = { arrival_us : float; dims : (string * int) list; cls : Slo.cls }
+
+let of_arrivals ?(cls = Slo.Standard) (arrivals : Q.request list) =
+  List.map (fun (r : Q.request) -> { arrival_us = r.Q.arrival_us; dims = r.Q.dims; cls }) arrivals
+
+let with_class_mix ~seed (mix : (Slo.cls * float) list) reqs =
+  if mix = [] then invalid_arg "Pool.with_class_mix: empty mix";
+  let total = List.fold_left (fun a (_, w) -> a +. w) 0.0 mix in
+  let rng = Workloads.Trace.create_rng seed in
+  List.map
+    (fun r ->
+      let x = Workloads.Trace.float01 rng *. total in
+      let rec choose acc = function
+        | [ (c, _) ] -> c
+        | (c, w) :: rest -> if x < acc +. w then c else choose (acc +. w) rest
+        | [] -> assert false
+      in
+      { r with cls = choose 0.0 mix })
+    reqs
+
+type disposition = Served | Fell_back | Shed | Expired | Rejected | Failed
+
+let disposition_to_string = function
+  | Served -> "served"
+  | Fell_back -> "fell_back"
+  | Shed -> "shed"
+  | Expired -> "expired"
+  | Rejected -> "rejected"
+  | Failed -> "failed"
+
+type class_report = {
+  cr_class : Slo.cls;
+  cr_arrivals : int;
+  cr_completed : int;
+  cr_slo_met : int;
+  cr_shed : int;
+  cr_expired : int;
+}
+
+type replica_report = {
+  rr_id : int;
+  rr_device : string;
+  rr_health : string;
+  rr_batches : int;
+  rr_requests : int;
+  rr_cold_dispatches : int;
+  rr_busy_us : float;
+}
+
+type report = {
+  dispositions : disposition array;
+  latencies_us : float array;
+  served : int;
+  fell_back : int;
+  shed : int;
+  expired : int;
+  rejected : int;
+  failed : int;
+  lost : int;
+  batches : int;
+  mean_batch : float;
+  padded_batches : int;
+  exact_batches : int;
+  cold_dispatches : int;
+  actual_elements : int;
+  padded_elements : int;
+  makespan_us : float;
+  classes : class_report list;
+  replicas : replica_report list;
+}
+
+let padding_waste (r : report) =
+  Bucket.waste ~actual:r.actual_elements ~padded:r.padded_elements
+
+let completed_latencies (r : report) =
+  Array.of_list
+    (List.filter (fun l -> not (Float.is_nan l)) (Array.to_list r.latencies_us))
+
+let percentile = Q.percentile
+
+let report_to_string (r : report) =
+  let lats = completed_latencies r in
+  Printf.sprintf
+    "served=%d fell_back=%d shed=%d expired=%d rejected=%d failed=%d lost=%d \
+     batches=%d mean_batch=%.1f (padded=%d exact=%d cold=%d) pad_waste=%.1f%% \
+     p50=%.0fus p99=%.0fus makespan=%.0fus"
+    r.served r.fell_back r.shed r.expired r.rejected r.failed r.lost r.batches r.mean_batch
+    r.padded_batches r.exact_batches r.cold_dispatches
+    (100.0 *. padding_waste r)
+    (percentile lats 0.5) (percentile lats 0.99) r.makespan_us
+
+type t = {
+  cfg : config;
+  pool_replicas : Replica.t array;
+  router : Router.t;
+  pool_cache : Disc.Compile_cache.t;
+  expected : string list; (* dim names a request must bind (model dims minus batch) *)
+  mutable us_per_element : float; (* measured service rate for the pad-vs-exact model *)
+}
+
+let replicas t = t.pool_replicas
+let cache t = t.pool_cache
+let config t = t.cfg
+
+let create ?options ?session_policy ?fault_config ?cache cfg build =
+  if cfg.devices = [] then invalid_arg "Pool.create: empty device list";
+  let shared = match cache with Some c -> c | None -> Disc.Compile_cache.create () in
+  let surface = build () in
+  let dim_names = List.map fst surface.Models.Common.dims in
+  if not (List.mem cfg.batch_dim dim_names) then
+    invalid_arg
+      (Printf.sprintf "Pool.create: model %s has no batch dim %s"
+         surface.Models.Common.name cfg.batch_dim);
+  let pool_replicas =
+    List.mapi
+      (fun i device ->
+        let fault_config =
+          Option.map (fun fc -> { fc with Gpusim.Fault.seed = fc.Gpusim.Fault.seed + (31 * i) })
+            fault_config
+        in
+        let session =
+          Session.create ?options ?policy:session_policy ?fault_config ~device ~cache:shared
+            (build ())
+        in
+        Replica.create ~id:i session)
+      cfg.devices
+    |> Array.of_list
+  in
+  {
+    cfg;
+    pool_replicas;
+    router = Router.create cfg.router;
+    pool_cache = shared;
+    expected = List.filter (fun n -> n <> cfg.batch_dim) dim_names;
+    us_per_element = 0.0;
+  }
+
+(* --- the event loop ------------------------------------------------------- *)
+
+let ewma_alpha = 0.3
+
+let note_rate t ~service_us ~elements =
+  if elements > 0 then begin
+    let rate = service_us /. float_of_int elements in
+    t.us_per_element <-
+      (if t.us_per_element <= 0.0 then rate
+       else (ewma_alpha *. rate) +. ((1.0 -. ewma_alpha) *. t.us_per_element))
+  end
+
+let run ?(failures = []) t (reqs : request list) : report =
+  let cfg = t.cfg in
+  let reqs = List.sort (fun a b -> compare a.arrival_us b.arrival_us) reqs in
+  let arr = Array.of_list reqs in
+  let n = Array.length arr in
+  let disp : disposition option array = Array.make n None in
+  let lats = Array.make n Float.nan in
+  let slo = Slo.create cfg.slo in
+  let obs = Obs.Scope.on () in
+  (* per-bucket FIFO queues, in first-seen key order for determinism *)
+  let queues : (string, (int * request) Queue.t) Hashtbl.t = Hashtbl.create 16 in
+  let order : string list ref = ref [] in
+  let queue_of key =
+    match Hashtbl.find_opt queues key with
+    | Some q -> q
+    | None ->
+        let q = Queue.create () in
+        Hashtbl.replace queues key q;
+        order := !order @ [ key ];
+        q
+  in
+  let total_queued () =
+    Hashtbl.fold (fun _ q acc -> acc + Queue.length q) queues 0
+  in
+  let upcoming = ref (List.mapi (fun i r -> (i, r)) reqs) in
+  let pending_failures =
+    ref (List.sort (fun (a, _) (b, _) -> compare a b) failures)
+  in
+  let now = ref 0.0 in
+  let last_done = ref 0.0 in
+  let batches = ref 0 and batched_total = ref 0 in
+  let padded_batches = ref 0 and exact_batches = ref 0 and cold_total = ref 0 in
+  let actual_elems = ref 0 and padded_elems = ref 0 in
+
+  let admit (i : int) (r : request) =
+    let qreq = { Q.arrival_us = r.arrival_us; Q.dims = r.dims } in
+    match Q.validate_request ~expected:t.expected qreq with
+    | Error _ ->
+        disp.(i) <- Some Rejected;
+        if obs then Obs.Scope.count "pool.rejected"
+    | Ok () ->
+        if not (Slo.admit slo r.cls) then disp.(i) <- Some Shed
+        else begin
+          Queue.add (i, r) (queue_of (Bucket.key_of cfg.bucket r.dims));
+          if obs then Obs.Scope.gauge "pool.queue_depth" (float_of_int (total_queued ()))
+        end
+  in
+  let admit_arrivals_up_to time =
+    let rec go () =
+      match !upcoming with
+      | (i, r) :: rest when r.arrival_us <= time ->
+          upcoming := rest;
+          admit i r;
+          go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  let process_failures time =
+    let rec go () =
+      match !pending_failures with
+      | (ft, id) :: rest when ft <= time ->
+          pending_failures := rest;
+          if id >= 0 && id < Array.length t.pool_replicas then
+            Replica.begin_drain t.pool_replicas.(id) ~now:time;
+          go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  let finish_drains time =
+    Array.iter (fun r -> Replica.finish_drain_if_due r ~now:time) t.pool_replicas
+  in
+  let expire_queues time =
+    Hashtbl.iter
+      (fun _ q ->
+        let keep = Queue.create () in
+        Queue.iter
+          (fun (i, r) ->
+            if Slo.deadline_of cfg.slo r.cls ~arrival_us:r.arrival_us < time then begin
+              disp.(i) <- Some Expired;
+              Slo.dequeue slo r.cls;
+              Slo.note_expired slo r.cls
+            end
+            else Queue.add (i, r) keep)
+          q;
+        Queue.clear q;
+        Queue.transfer keep q)
+      queues
+  in
+  let any_free time =
+    Array.exists (fun r -> Replica.is_free r ~now:time) t.pool_replicas
+  in
+  let launchable time q =
+    match Queue.peek_opt q with
+    | None -> false
+    | Some (_, oldest) ->
+        Queue.length q >= cfg.max_batch
+        || oldest.arrival_us +. cfg.max_wait_us <= time
+        || !upcoming = []
+  in
+  (* bucket selection: class priority of the oldest request, then
+     earliest absolute deadline, then earliest arrival, then key *)
+  let pick_bucket time =
+    List.fold_left
+      (fun best key ->
+        let q = Hashtbl.find queues key in
+        if not (launchable time q) then best
+        else
+          let _, oldest = Queue.peek q in
+          let cand =
+            ( -(Slo.target_of cfg.slo oldest.cls).Slo.priority,
+              Slo.deadline_of cfg.slo oldest.cls ~arrival_us:oldest.arrival_us,
+              oldest.arrival_us,
+              key )
+          in
+          match best with
+          | Some (b, _) when b <= cand -> best
+          | _ -> Some (cand, (key, q)))
+      None !order
+    |> Option.map snd
+  in
+  let pop_batch q =
+    let rec go acc k =
+      if k >= cfg.max_batch || Queue.is_empty q then List.rev acc
+      else
+        let (i, r) = Queue.pop q in
+        Slo.dequeue slo r.cls;
+        go ((i, r) :: acc) (k + 1)
+    in
+    go [] 0
+  in
+  let dispatch_batch time (members : (int * request) list) =
+    let member_dims = List.map (fun (_, r) -> r.dims) members in
+    let exact = Bucket.exact_env ~batch_dim:cfg.batch_dim member_dims in
+    let padded = Bucket.padded_env cfg.bucket ~batch_dim:cfg.batch_dim member_dims in
+    let e_actual =
+      List.fold_left (fun acc d -> acc + Bucket.elements d) 0 member_dims
+    in
+    let e_exact = Bucket.elements exact and e_padded = Bucket.elements padded in
+    (* pad-vs-exact: hard waste cap, then the measured cost model —
+       padded repeats across batches (likely warm somewhere in the
+       pool), exact executes fewer elements but is usually cold *)
+    let use_padded =
+      if Bucket.waste ~actual:e_actual ~padded:e_padded > cfg.max_pad_waste then false
+      else if t.us_per_element <= 0.0 then true
+      else begin
+        let warm_somewhere key =
+          Array.exists
+            (fun rep -> Replica.alive rep && Replica.is_warm rep key)
+            t.pool_replicas
+        in
+        let cost elems key =
+          (t.us_per_element *. float_of_int elems)
+          +. (if warm_somewhere key then 0.0 else cfg.cold_warmup_us)
+        in
+        cost e_padded (Bucket.env_key padded) <= cost e_exact (Bucket.env_key exact)
+      end
+    in
+    let env = if use_padded then padded else exact in
+    let key = Bucket.env_key env in
+    match Router.pick t.router ~now:time ~key t.pool_replicas with
+    | None -> assert false (* only called when a replica is free *)
+    | Some rep -> (
+        let count = List.length members in
+        match Session.serve_result rep.Replica.session env with
+        | Error _ ->
+            List.iter (fun (i, _) -> disp.(i) <- Some Failed) members;
+            if obs then Obs.Scope.count ~by:count "pool.failed"
+        | Ok (profile, path) ->
+            let cold = not (Replica.is_warm rep key) in
+            let base_us = Profile.total_us profile in
+            let service_us = base_us +. (if cold then cfg.cold_warmup_us else 0.0) in
+            let done_at = time +. service_us in
+            rep.Replica.free_at <- done_at;
+            if done_at > !last_done then last_done := done_at;
+            note_rate t ~service_us:base_us ~elements:(Bucket.elements env);
+            Replica.note_batch rep ~key ~elements:(Bucket.elements env)
+              ~service_us ~requests:count ~cold;
+            incr batches;
+            batched_total := !batched_total + count;
+            if use_padded then incr padded_batches else incr exact_batches;
+            if cold then incr cold_total;
+            actual_elems := !actual_elems + e_actual;
+            padded_elems := !padded_elems + Bucket.elements env;
+            let d = match path with `Compiled -> Served | `Fallback -> Fell_back in
+            List.iter
+              (fun (i, r) ->
+                disp.(i) <- Some d;
+                lats.(i) <- done_at -. r.arrival_us)
+              members;
+            if obs then begin
+              Obs.Scope.count ~by:count
+                (Printf.sprintf "pool.%s" (disposition_to_string d));
+              Obs.Trace.set_track_name Obs.Trace.global (2 + rep.Replica.id)
+                (Printf.sprintf "replica%d" rep.Replica.id);
+              Obs.Scope.span ~track:(2 + rep.Replica.id) ~cat:"batch" ~ts:time
+                ~dur_us:service_us
+                ~args:
+                  [
+                    ("env", key);
+                    ("n", string_of_int count);
+                    ("padded", string_of_bool use_padded);
+                    ("cold", string_of_bool cold);
+                    ("path", disposition_to_string d);
+                  ]
+                (Printf.sprintf "batch@%s" key)
+            end)
+  in
+  let try_dispatch time =
+    if not (any_free time) then false
+    else
+      match pick_bucket time with
+      | None -> false
+      | Some (_, q) ->
+          dispatch_batch time (pop_batch q);
+          true
+  in
+  let fail_everything_left () =
+    Hashtbl.iter
+      (fun _ q ->
+        Queue.iter
+          (fun (i, r) ->
+            disp.(i) <- Some Failed;
+            Slo.dequeue slo r.cls)
+          q;
+        Queue.clear q)
+      queues;
+    List.iter (fun (i, _) -> disp.(i) <- Some Failed) !upcoming;
+    upcoming := []
+  in
+  let next_event () =
+    let t_arr = match !upcoming with [] -> infinity | (_, r) :: _ -> r.arrival_us in
+    let t_free =
+      Array.fold_left
+        (fun acc r ->
+          if r.Replica.health <> Replica.Dead && r.Replica.free_at > !now then
+            Float.min acc r.Replica.free_at
+          else acc)
+        infinity t.pool_replicas
+    in
+    let t_window =
+      if not (any_free !now) then infinity
+      else
+        Hashtbl.fold
+          (fun _ q acc ->
+            match Queue.peek_opt q with
+            | None -> acc
+            | Some (_, oldest) -> Float.min acc (oldest.arrival_us +. cfg.max_wait_us))
+          queues infinity
+    in
+    let t_fail = match !pending_failures with [] -> infinity | (ft, _) :: _ -> ft in
+    Float.min (Float.min t_arr t_free) (Float.min t_window t_fail)
+  in
+  let rec loop () =
+    process_failures !now;
+    finish_drains !now;
+    admit_arrivals_up_to !now;
+    expire_queues !now;
+    while try_dispatch !now do () done;
+    if !upcoming = [] && total_queued () = 0 then ()
+    else if not (Array.exists (fun r -> r.Replica.health <> Replica.Dead) t.pool_replicas)
+    then fail_everything_left ()
+    else
+      let next = next_event () in
+      if next = infinity then fail_everything_left ()
+      else begin
+        now := Float.max !now next;
+        loop ()
+      end
+  in
+  loop ();
+  let final =
+    Array.map (function Some d -> d | None -> Failed) disp
+  in
+  let lost = Array.fold_left (fun a d -> if d = None then a + 1 else a) 0 disp in
+  let count d = Array.fold_left (fun a x -> if x = d then a + 1 else a) 0 final in
+  let classes =
+    List.map
+      (fun c ->
+        let idxs = ref [] in
+        Array.iteri (fun i r -> if r.cls = c then idxs := i :: !idxs) arr;
+        let deadline = (Slo.target_of cfg.slo c).Slo.deadline_us in
+        let completed, met, shed_c, exp_c =
+          List.fold_left
+            (fun (co, me, sh, ex) i ->
+              match final.(i) with
+              | Served | Fell_back ->
+                  (co + 1, (if lats.(i) <= deadline then me + 1 else me), sh, ex)
+              | Shed -> (co, me, sh + 1, ex)
+              | Expired -> (co, me, sh, ex + 1)
+              | _ -> (co, me, sh, ex))
+            (0, 0, 0, 0) !idxs
+        in
+        {
+          cr_class = c;
+          cr_arrivals = List.length !idxs;
+          cr_completed = completed;
+          cr_slo_met = met;
+          cr_shed = shed_c;
+          cr_expired = exp_c;
+        })
+      Slo.all_classes
+  in
+  {
+    dispositions = final;
+    latencies_us = lats;
+    served = count Served;
+    fell_back = count Fell_back;
+    shed = count Shed;
+    expired = count Expired;
+    rejected = count Rejected;
+    failed = count Failed;
+    lost;
+    batches = !batches;
+    mean_batch =
+      (if !batches = 0 then 0.0
+       else float_of_int !batched_total /. float_of_int !batches);
+    padded_batches = !padded_batches;
+    exact_batches = !exact_batches;
+    cold_dispatches = !cold_total;
+    actual_elements = !actual_elems;
+    padded_elements = !padded_elems;
+    makespan_us = !last_done;
+    classes;
+    replicas =
+      Array.to_list
+        (Array.map
+           (fun (r : Replica.t) ->
+             {
+               rr_id = r.Replica.id;
+               rr_device = r.Replica.device.Gpusim.Device.name;
+               rr_health = Replica.health_to_string r.Replica.health;
+               rr_batches = r.Replica.batches;
+               rr_requests = r.Replica.requests;
+               rr_cold_dispatches = r.Replica.cold_dispatches;
+               rr_busy_us = r.Replica.busy_us;
+             })
+           t.pool_replicas);
+  }

@@ -1,0 +1,135 @@
+(** The multi-replica serving pool: a discrete-event simulation (virtual
+    time, µs) of N {!Disc.Session} replicas over heterogeneous devices,
+    sharing one {!Disc.Compile_cache}, behind a shape-aware batcher, an
+    SLO-aware admission controller, and a warmth-aware router.
+
+    Request flow: {e admission} (malformed dims rejected; a class at its
+    queue bound sheds) → {e bucket queues} ({!Bucket.key_of} of the
+    request dims) → {e batching} (a bucket launches when full, when its
+    oldest request has waited [max_wait_us], or when the trace is
+    drained; expired requests are dropped at dispatch) → {e pad-vs-exact}
+    (measured cost model: the padded env repeats across batches and so
+    runs warm, the exact env wastes fewer elements but rarely repeats)
+    → {e routing} ({!Router}) → {e service} ({!Disc.Session.serve_result},
+    plus a one-off warmup the first time a replica sees a signature).
+
+    Replica failure ([~failures]) drains: the in-flight batch completes,
+    the replica takes no further work, queued traffic re-routes to the
+    survivors. Every request ends in exactly one disposition
+    ([lost = 0] is an invariant the tests pin). *)
+
+type config = {
+  devices : Gpusim.Device.t list;  (** one replica per device *)
+  batch_dim : string;
+  max_batch : int;
+  max_wait_us : float;  (** max delay past a bucket's oldest request *)
+  bucket : Bucket.spec;
+  slo : Slo.policy;
+  router : Router.policy;
+  max_pad_waste : float;
+      (** hard cap: above this padding fraction, dispatch exact-shape *)
+  cold_warmup_us : float;
+      (** one-off cost the first time a replica executes a signature *)
+}
+
+val default_config :
+  devices:Gpusim.Device.t list -> batch_dim:string -> bucket:Bucket.spec -> config
+(** max_batch 8, max_wait 2 ms, default SLO policy, warmth-aware
+    routing, 50 % padding cap, 1.5 ms cold warmup. *)
+
+type request = {
+  arrival_us : float;
+  dims : (string * int) list;  (** per-request dims, excluding the batch dim *)
+  cls : Slo.cls;
+}
+
+val of_arrivals : ?cls:Slo.cls -> Workloads.Queueing.request list -> request list
+(** Tag queueing arrivals with a class (default [Standard]). *)
+
+val with_class_mix :
+  seed:int -> (Slo.cls * float) list -> request list -> request list
+(** Re-tag each request by sampling the weighted class mix. *)
+
+type disposition =
+  | Served  (** completed on the compiled path *)
+  | Fell_back  (** completed on the session's reference fallback *)
+  | Shed  (** refused at admission: class queue at its bound *)
+  | Expired  (** dropped at dispatch: deadline already passed *)
+  | Rejected  (** refused at admission: malformed dim set *)
+  | Failed  (** the session returned a structured error, or the pool died *)
+
+val disposition_to_string : disposition -> string
+
+type class_report = {
+  cr_class : Slo.cls;
+  cr_arrivals : int;
+  cr_completed : int;
+  cr_slo_met : int;  (** completed within the class deadline *)
+  cr_shed : int;
+  cr_expired : int;
+}
+
+type replica_report = {
+  rr_id : int;
+  rr_device : string;
+  rr_health : string;
+  rr_batches : int;
+  rr_requests : int;
+  rr_cold_dispatches : int;
+  rr_busy_us : float;
+}
+
+type report = {
+  dispositions : disposition array;  (** per request, arrival order *)
+  latencies_us : float array;  (** [nan] for requests that never completed *)
+  served : int;
+  fell_back : int;
+  shed : int;
+  expired : int;
+  rejected : int;
+  failed : int;
+  lost : int;  (** requests with no disposition — always 0 *)
+  batches : int;
+  mean_batch : float;
+  padded_batches : int;  (** dispatched at the bucket ceiling *)
+  exact_batches : int;  (** dispatched at the intra-batch max *)
+  cold_dispatches : int;  (** batches that paid the signature warmup *)
+  actual_elements : int;  (** sum of per-request element counts *)
+  padded_elements : int;  (** element counts actually executed *)
+  makespan_us : float;
+  classes : class_report list;
+  replicas : replica_report list;
+}
+
+val padding_waste : report -> float
+val completed_latencies : report -> float array
+val percentile : float array -> float -> float
+val report_to_string : report -> string
+
+type t
+
+val create :
+  ?options:Disc.Compiler.options ->
+  ?session_policy:Disc.Session.policy ->
+  ?fault_config:Gpusim.Fault.config ->
+  ?cache:Disc.Compile_cache.t ->
+  config ->
+  (unit -> Models.Common.built) ->
+  t
+(** Builds one session per configured device, all sharing [cache]
+    (default: a fresh private cache) — the first replica compiles, the
+    rest hit. [fault_config]'s seed is offset per replica so fault
+    streams are independent. [build] is called once per replica plus
+    once for the binding surface.
+    @raise Invalid_argument on an empty device list or a [batch_dim]
+    the model does not declare. *)
+
+val replicas : t -> Replica.t array
+val cache : t -> Disc.Compile_cache.t
+val config : t -> config
+
+val run : ?failures:(float * int) list -> t -> request list -> report
+(** Simulate the trace. [failures] is a list of [(time_us, replica_id)]
+    fault deliveries: at that virtual time the replica begins draining.
+    Replica warmth and stats persist across calls (a pool is normally
+    run once); the report's counters cover this run only. *)

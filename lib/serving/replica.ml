@@ -1,0 +1,71 @@
+(* Replica state the pool schedules over. *)
+
+type health = Healthy | Draining | Dead
+
+let health_to_string = function
+  | Healthy -> "healthy"
+  | Draining -> "draining"
+  | Dead -> "dead"
+
+type t = {
+  id : int;
+  session : Disc.Session.t;
+  device : Gpusim.Device.t;
+  mutable free_at : float;
+  mutable health : health;
+  warmth : (string, int) Hashtbl.t;
+  mutable us_per_element : float;
+  mutable batches : int;
+  mutable requests : int;
+  mutable cold_dispatches : int;
+  mutable busy_us : float;
+}
+
+let create ~id session =
+  {
+    id;
+    session;
+    device = Disc.Session.device session;
+    free_at = 0.0;
+    health = Healthy;
+    warmth = Hashtbl.create 32;
+    us_per_element = 0.0;
+    batches = 0;
+    requests = 0;
+    cold_dispatches = 0;
+    busy_us = 0.0;
+  }
+
+let alive t = t.health = Healthy
+let is_free t ~now = t.health = Healthy && t.free_at <= now
+let is_warm t key = Hashtbl.mem t.warmth key
+
+let estimate_us t ~elements =
+  if t.us_per_element <= 0.0 then None
+  else Some (t.us_per_element *. float_of_int elements)
+
+let ewma_alpha = 0.3
+
+let note_batch t ~key ~elements ~service_us ~requests ~cold =
+  Hashtbl.replace t.warmth key (1 + Option.value (Hashtbl.find_opt t.warmth key) ~default:0);
+  t.batches <- t.batches + 1;
+  t.requests <- t.requests + requests;
+  if cold then t.cold_dispatches <- t.cold_dispatches + 1;
+  t.busy_us <- t.busy_us +. service_us;
+  if elements > 0 then begin
+    let rate = service_us /. float_of_int elements in
+    t.us_per_element <-
+      (if t.us_per_element <= 0.0 then rate
+       else (ewma_alpha *. rate) +. ((1.0 -. ewma_alpha) *. t.us_per_element))
+  end
+
+let begin_drain t ~now =
+  match t.health with
+  | Dead -> ()
+  | Healthy | Draining ->
+      t.health <- (if t.free_at <= now then Dead else Draining);
+      if Obs.Scope.on () then
+        Obs.Scope.count (Printf.sprintf "pool.replica%d.drain" t.id)
+
+let finish_drain_if_due t ~now =
+  if t.health = Draining && t.free_at <= now then t.health <- Dead

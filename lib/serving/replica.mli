@@ -1,0 +1,59 @@
+(** One serving replica: a {!Disc.Session} pinned to a simulated device,
+    plus the pool-visible state the router scores — health, backlog,
+    shape warmth, and a measured per-element service rate.
+
+    Warmth is per shape signature ({!Bucket.env_key} of the dispatched
+    batch env): the first time a replica executes a signature it pays a
+    one-off warmup (memory re-planning, allocator first-touch, kernel
+    selection); later batches at the same signature are warm. The
+    rate EWMA feeds the batcher's pad-vs-exact cost model. *)
+
+type health =
+  | Healthy  (** taking traffic *)
+  | Draining  (** failing: finishes its in-flight batch, takes no new work *)
+  | Dead  (** drained; never dispatched to again *)
+
+val health_to_string : health -> string
+
+type t = {
+  id : int;
+  session : Disc.Session.t;
+  device : Gpusim.Device.t;
+  mutable free_at : float;  (** virtual time the in-flight batch completes *)
+  mutable health : health;
+  warmth : (string, int) Hashtbl.t;  (** env key -> batches served *)
+  mutable us_per_element : float;  (** EWMA service rate; 0 = unmeasured *)
+  mutable batches : int;
+  mutable requests : int;
+  mutable cold_dispatches : int;
+  mutable busy_us : float;  (** total service time accumulated *)
+}
+
+val create : id:int -> Disc.Session.t -> t
+(** The device is taken from the session. *)
+
+val alive : t -> bool
+(** [Healthy] — dispatchable. *)
+
+val is_free : t -> now:float -> bool
+(** Healthy and idle at [now]. *)
+
+val is_warm : t -> string -> bool
+(** Has this replica served the shape signature before? *)
+
+val estimate_us : t -> elements:int -> float option
+(** Predicted service time from the measured rate ([None] before the
+    first batch). *)
+
+val note_batch :
+  t -> key:string -> elements:int -> service_us:float -> requests:int -> cold:bool -> unit
+(** Record a completed batch: warmth, EWMA rate (over the warm portion
+    of the service time), and dispatch counters. *)
+
+val begin_drain : t -> now:float -> unit
+(** Fault delivery: stop taking work. If idle, the replica dies
+    immediately; if busy, it dies when the in-flight batch completes
+    (nothing in flight is lost). *)
+
+val finish_drain_if_due : t -> now:float -> unit
+(** Transition [Draining] -> [Dead] once the in-flight batch is done. *)

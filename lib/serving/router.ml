@@ -1,0 +1,72 @@
+(* Routing policies over free replicas. *)
+
+type policy = Round_robin | Least_loaded | Warmth_aware
+
+let policy_to_string = function
+  | Round_robin -> "round_robin"
+  | Least_loaded -> "least_loaded"
+  | Warmth_aware -> "warmth"
+
+let policy_of_string = function
+  | "round_robin" | "round-robin" | "rr" -> Some Round_robin
+  | "least_loaded" | "least-loaded" | "least" -> Some Least_loaded
+  | "warmth" | "warmth_aware" | "warmth-aware" -> Some Warmth_aware
+  | _ -> None
+
+type t = { p : policy; mutable rr : int }
+
+let create p = { p; rr = 0 }
+let policy t = t.p
+
+(* Warmth dominates (a warm signature skips the cold-dispatch warmup
+   entirely); a tripped breaker marks the replica as degraded at this
+   model; device throughput breaks ties between equally-warm replicas;
+   accumulated busy time spreads cold signatures across the pool. The
+   magnitudes are strictly tiered so no lower term can outvote a higher
+   one at simulation scale. *)
+let score ~now:_ ~key (r : Replica.t) =
+  let warm = if Replica.is_warm r key then 1e12 else 0.0 in
+  let breaker =
+    -1e8 *. float_of_int (List.length (Disc.Session.despeculated_kernels r.Replica.session))
+  in
+  let speed = 1e3 *. r.Replica.device.Gpusim.Device.fp32_tflops in
+  warm +. breaker +. speed -. r.Replica.busy_us
+
+let note_decision t ~key (r : Replica.t) =
+  if Obs.Scope.on () then
+    Obs.Scope.span ~cat:"route" ~dur_us:0.0
+      ~args:
+        [
+          ("policy", policy_to_string t.p);
+          ("replica", string_of_int r.Replica.id);
+          ("key", key);
+          ("warm", string_of_bool (Replica.is_warm r key));
+        ]
+      "route"
+
+let pick t ~now ~key (replicas : Replica.t array) =
+  let free =
+    Array.to_list replicas |> List.filter (fun r -> Replica.is_free r ~now)
+  in
+  match free with
+  | [] -> None
+  | _ ->
+      let chosen =
+        match t.p with
+        | Round_robin ->
+            let r = List.nth free (t.rr mod List.length free) in
+            t.rr <- t.rr + 1;
+            r
+        | Least_loaded ->
+            List.fold_left
+              (fun best r ->
+                if r.Replica.busy_us < best.Replica.busy_us then r else best)
+              (List.hd free) (List.tl free)
+        | Warmth_aware ->
+            List.fold_left
+              (fun best r ->
+                if score ~now ~key r > score ~now ~key best then r else best)
+              (List.hd free) (List.tl free)
+      in
+      note_decision t ~key chosen;
+      Some chosen

@@ -1,0 +1,74 @@
+(* SLO classes + per-class admission control. *)
+
+type cls = Interactive | Standard | Best_effort
+
+let cls_to_string = function
+  | Interactive -> "interactive"
+  | Standard -> "standard"
+  | Best_effort -> "best_effort"
+
+let cls_of_string = function
+  | "interactive" -> Some Interactive
+  | "standard" -> Some Standard
+  | "best_effort" | "best-effort" -> Some Best_effort
+  | _ -> None
+
+let all_classes = [ Interactive; Standard; Best_effort ]
+
+type target = { deadline_us : float; priority : int; queue_bound : int }
+
+type policy = (cls * target) list
+
+let default_policy =
+  [
+    (Interactive, { deadline_us = 50_000.0; priority = 2; queue_bound = 64 });
+    (Standard, { deadline_us = 200_000.0; priority = 1; queue_bound = 256 });
+    (Best_effort, { deadline_us = Float.infinity; priority = 0; queue_bound = 1024 });
+  ]
+
+let target_of policy cls =
+  match List.assoc_opt cls policy with
+  | Some t -> t
+  | None -> List.assoc cls default_policy
+
+let deadline_of policy cls ~arrival_us = arrival_us +. (target_of policy cls).deadline_us
+
+(* Controller state: one backlog counter and shed/expired tallies per
+   class. Index by a fixed class order so state is flat arrays. *)
+let idx = function Interactive -> 0 | Standard -> 1 | Best_effort -> 2
+
+type t = {
+  p : policy;
+  queued_a : int array;
+  shed_a : int array;
+  expired_a : int array;
+}
+
+let create p = { p; queued_a = Array.make 3 0; shed_a = Array.make 3 0; expired_a = Array.make 3 0 }
+
+let policy t = t.p
+
+let admit t cls =
+  let i = idx cls in
+  if t.queued_a.(i) >= (target_of t.p cls).queue_bound then begin
+    t.shed_a.(i) <- t.shed_a.(i) + 1;
+    if Obs.Scope.on () then Obs.Scope.count (Printf.sprintf "pool.shed.%s" (cls_to_string cls));
+    false
+  end
+  else begin
+    t.queued_a.(i) <- t.queued_a.(i) + 1;
+    true
+  end
+
+let dequeue t cls =
+  let i = idx cls in
+  t.queued_a.(i) <- max 0 (t.queued_a.(i) - 1)
+
+let note_expired t cls =
+  let i = idx cls in
+  t.expired_a.(i) <- t.expired_a.(i) + 1;
+  if Obs.Scope.on () then Obs.Scope.count (Printf.sprintf "pool.expired.%s" (cls_to_string cls))
+
+let queued t cls = t.queued_a.(idx cls)
+let shed t cls = t.shed_a.(idx cls)
+let expired t cls = t.expired_a.(idx cls)

@@ -24,7 +24,24 @@ type outcome = {
   makespan_us : float;
   batches : int;
   mean_batch : float;
+  actual_elements : int; (* sum over requests of the product of their dims *)
+  padded_elements : int; (* sum over batches of the batch-env element count *)
 }
+
+(* Padding-waste accounting: a batch executes at the batch env (batch
+   dim x per-dim max), so every member shorter than the max computes
+   wasted elements. [actual] is each request at its own dims; [padded]
+   is what the device actually ran. *)
+let request_elements (r : request) =
+  List.fold_left (fun acc (_, v) -> acc * v) 1 r.dims
+
+let env_elements (env : (string * int) list) =
+  List.fold_left (fun acc (_, v) -> acc * v) 1 env
+
+let padding_waste (o : outcome) =
+  if o.padded_elements = 0 then 0.0
+  else
+    float_of_int (o.padded_elements - o.actual_elements) /. float_of_int o.padded_elements
 
 (* Shape environment of one batch: batch dim = size; others = max.
    Total over heterogeneous batches: the dim set is the union over all
@@ -60,12 +77,14 @@ let simulate ~(arrivals : request list) ~(policy : policy) ~(batch_dim : string)
     List.sort (fun a b -> compare a.arrival_us b.arrival_us) arrivals
   in
   let latencies = Array.make (List.length arrivals) 0.0 in
+  let actual_elems = ref 0 and padded_elems = ref 0 in
   let rec loop pending idx t_free batches batched_total =
     match pending with
     | [] ->
         { latencies_us = latencies; makespan_us = t_free; batches;
           mean_batch =
-            (if batches = 0 then 0.0 else float_of_int batched_total /. float_of_int batches) }
+            (if batches = 0 then 0.0 else float_of_int batched_total /. float_of_int batches);
+          actual_elements = !actual_elems; padded_elements = !padded_elems }
     | first :: _ ->
         (* the server starts forming a batch when it is free and at
            least one request is queued *)
@@ -89,6 +108,8 @@ let simulate ~(arrivals : request list) ~(policy : policy) ~(batch_dim : string)
           else Float.max form_start (Float.min deadline (Float.max last_arrival form_start))
         in
         let env = batch_env ~batch_dim batch in
+        actual_elems := !actual_elems + List.fold_left (fun a r -> a + request_elements r) 0 batch;
+        padded_elems := !padded_elems + env_elements env;
         let service_us = service env in
         let done_at = launch +. service_us in
         List.iteri

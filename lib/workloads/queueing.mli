@@ -17,7 +17,19 @@ type outcome = {
   makespan_us : float;
   batches : int;
   mean_batch : float;
+  actual_elements : int;  (** sum over requests of the product of their dims *)
+  padded_elements : int;  (** sum over batches of the batch-env element count *)
 }
+
+val request_elements : request -> int
+(** Product of the request's dim values (1 for an empty dim list). *)
+
+val env_elements : (string * int) list -> int
+(** Product of a shape environment's dim values. *)
+
+val padding_waste : outcome -> float
+(** Fraction of executed elements that were intra-batch padding:
+    [(padded - actual) / padded], 0 with no batches. *)
 
 val batch_env : batch_dim:string -> request list -> (string * int) list
 (** Shape of one formed batch: batch dim = size, others = max over

@@ -92,6 +92,49 @@ let test_replan_per_shape () =
     (p_big.Memplan.arena_bytes > p_small.Memplan.arena_bytes);
   check_bool "both valid" true (Memplan.validate p_small && Memplan.validate p_big)
 
+(* --- degenerate bindings ---------------------------------------------------- *)
+
+let test_zero_sized_dim () =
+  (* a dim bound to 0 (empty batch): every buffer is zero bytes — the
+     plan must still validate, with an empty arena *)
+  let g = Graph.create () in
+  let tab = Graph.symtab g in
+  let s = Table.fresh ~lb:0 tab in
+  let x = B.param g ~name:"x" [| s |] Dtype.F32 in
+  Graph.set_outputs g [ B.tanh g (B.exp g x) ];
+  let exe, p = plan_for g [ (s, 0) ] in
+  check_bool "valid at size zero" true (Memplan.validate p);
+  check_int "empty arena" 0 p.Memplan.arena_bytes;
+  check_int "naive also empty" 0 p.Memplan.naive_bytes;
+  List.iter (fun a -> check_int "zero-size assignment" 0 a.Memplan.size) p.Memplan.assignments;
+  (match Memplan.plan_result exe (bind g [ (s, 0) ]) with
+  | Ok p2 -> check_bool "plan_result agrees" true (Memplan.validate p2)
+  | Error e -> Alcotest.failf "plan_result failed: %s" (Runtime.Error.to_string e))
+
+let test_single_op_graph () =
+  let g = Graph.create () in
+  let tab = Graph.symtab g in
+  let s = Table.fresh tab in
+  let x = B.param g ~name:"x" [| s |] Dtype.F32 in
+  Graph.set_outputs g [ B.tanh g x ];
+  let exe, p = plan_for g [ (s, 17) ] in
+  check_bool "valid" true (Memplan.validate p);
+  check_int "one buffer" 1 (List.length p.Memplan.assignments);
+  check_bool "nothing to reuse: arena = naive" true
+    (p.Memplan.arena_bytes = p.Memplan.naive_bytes);
+  (match Memplan.plan_result exe (bind g [ (s, 17) ]) with
+  | Ok p2 -> check_int "plan_result matches plan" p.Memplan.arena_bytes p2.Memplan.arena_bytes
+  | Error e -> Alcotest.failf "plan_result failed: %s" (Runtime.Error.to_string e))
+
+let test_unbound_dim_is_structured () =
+  let g, _s = chain_graph 2 in
+  let plan = Planner.plan ~config:Planner.no_fusion_config g in
+  let exe = Executable.compile g plan in
+  match Memplan.plan_result exe (bind g []) with
+  | Ok _ -> Alcotest.fail "unbound dim should not plan"
+  | Error (Runtime.Error.Unbound_dim _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Runtime.Error.to_string e)
+
 let prop_random_models_plan_validly =
   QCheck.Test.make ~name:"memory plans are valid on suite models" ~count:8
     (QCheck.make (QCheck.Gen.oneofl [ "dien"; "crnn"; "t5"; "fastspeech" ]))
@@ -115,6 +158,12 @@ let () =
           Alcotest.test_case "alignment" `Quick test_alignment;
           Alcotest.test_case "vs simulator peak" `Quick test_agrees_with_simulator_peak;
           Alcotest.test_case "replan per shape" `Quick test_replan_per_shape;
+        ] );
+      ( "degenerate",
+        [
+          Alcotest.test_case "zero-sized dim" `Quick test_zero_sized_dim;
+          Alcotest.test_case "single-op graph" `Quick test_single_op_graph;
+          Alcotest.test_case "unbound dim" `Quick test_unbound_dim_is_structured;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest [ prop_random_models_plan_validly ]);
     ]

@@ -1,0 +1,363 @@
+(* Tests for the multi-replica serving subsystem. *)
+
+module Bucket = Serving.Bucket
+module Slo = Serving.Slo
+module Replica = Serving.Replica
+module Router = Serving.Router
+module Pool = Serving.Pool
+module Suite = Models.Suite
+module Device = Gpusim.Device
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let dien () = (Suite.find "dien").Suite.build ()
+
+let pow2_hist = [ ("hist", Bucket.Pow2) ]
+
+let base_config ?(devices = [ Device.a10; Device.a10 ]) () =
+  Pool.default_config ~devices ~batch_dim:"batch" ~bucket:pow2_hist
+
+let req ?(cls = Slo.Standard) arrival_us hist =
+  { Pool.arrival_us; Pool.dims = [ ("hist", hist) ]; Pool.cls }
+
+(* --- buckets -------------------------------------------------------------- *)
+
+let test_round_up () =
+  check_int "pow2 5" 8 (Bucket.round_up Bucket.Pow2 5);
+  check_int "pow2 exact power" 64 (Bucket.round_up Bucket.Pow2 64);
+  check_int "pow2 1" 1 (Bucket.round_up Bucket.Pow2 1);
+  check_int "linear 33/32" 64 (Bucket.round_up (Bucket.Linear 32) 33);
+  check_int "linear 32/32" 32 (Bucket.round_up (Bucket.Linear 32) 32);
+  check_int "exact" 17 (Bucket.round_up Bucket.Exact 17);
+  check_bool "nonpositive rejected" true
+    (try
+       ignore (Bucket.round_up Bucket.Pow2 0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_bucket_keys () =
+  let spec = [ ("seq", Bucket.Pow2); ("hist", Bucket.Linear 16) ] in
+  check_string "rounded, name-sorted" "hist=32,seq=128"
+    (Bucket.key_of spec [ ("seq", 100); ("hist", 20) ]);
+  check_string "unlisted dims exact" "other=7"
+    (Bucket.key_of spec [ ("other", 7) ]);
+  check_string "env key is canonical" "a=1,b=2"
+    (Bucket.env_key [ ("b", 2); ("a", 1) ]);
+  (* same bucket <-> same key *)
+  check_string "nearby shapes share a bucket"
+    (Bucket.key_of spec [ ("seq", 65) ])
+    (Bucket.key_of spec [ ("seq", 128) ])
+
+let test_batch_envs () =
+  let members = [ [ ("seq", 5) ]; [ ("seq", 9) ]; [ ("seq", 7); ("extra", 3) ] ] in
+  let exact = Bucket.exact_env ~batch_dim:"batch" members in
+  check_int "batch dim = member count" 3 (List.assoc "batch" exact);
+  check_int "other dims = intra-batch max" 9 (List.assoc "seq" exact);
+  check_int "missing dims contribute their max" 3 (List.assoc "extra" exact);
+  let padded = Bucket.padded_env [ ("seq", Bucket.Pow2) ] ~batch_dim:"batch" members in
+  check_int "padded dim at bucket ceiling" 16 (List.assoc "seq" padded);
+  check_int "unlisted batch dim stays exact" 3 (List.assoc "batch" padded);
+  let padded_b =
+    Bucket.padded_env
+      [ ("seq", Bucket.Pow2); ("batch", Bucket.Pow2) ]
+      ~batch_dim:"batch" members
+  in
+  check_int "listed batch dim rounds too" 4 (List.assoc "batch" padded_b);
+  check_bool "empty batch rejected" true
+    (try
+       ignore (Bucket.exact_env ~batch_dim:"batch" []);
+       false
+     with Invalid_argument _ -> true)
+
+let test_waste () =
+  Alcotest.(check (float 1e-9)) "waste fraction" 0.25 (Bucket.waste ~actual:96 ~padded:128);
+  Alcotest.(check (float 1e-9)) "zero padded" 0.0 (Bucket.waste ~actual:0 ~padded:0)
+
+(* --- SLO admission -------------------------------------------------------- *)
+
+let test_slo_admission () =
+  let policy =
+    [ (Slo.Standard, { Slo.deadline_us = 100.0; priority = 1; queue_bound = 2 }) ]
+  in
+  let c = Slo.create policy in
+  check_bool "first admitted" true (Slo.admit c Slo.Standard);
+  check_bool "second admitted" true (Slo.admit c Slo.Standard);
+  check_bool "at bound: shed" false (Slo.admit c Slo.Standard);
+  check_int "shed counted" 1 (Slo.shed c Slo.Standard);
+  check_int "queued" 2 (Slo.queued c Slo.Standard);
+  Slo.dequeue c Slo.Standard;
+  check_bool "slot freed" true (Slo.admit c Slo.Standard);
+  (* classes missing from the policy fall back to the defaults *)
+  check_bool "unlisted class admitted" true (Slo.admit c Slo.Interactive);
+  check_bool "best-effort has no deadline" true
+    (Slo.deadline_of policy Slo.Best_effort ~arrival_us:5.0 = Float.infinity);
+  Alcotest.(check (float 1e-9)) "deadline is absolute" 105.0
+    (Slo.deadline_of policy Slo.Standard ~arrival_us:5.0)
+
+(* --- routing -------------------------------------------------------------- *)
+
+let with_pool ?(cfg = base_config ()) f =
+  let pool = Pool.create cfg dien in
+  f pool
+
+let test_warmth_score_orders_replicas () =
+  with_pool (fun pool ->
+      let reps = Pool.replicas pool in
+      let key = "batch=1,hist=8" in
+      Replica.note_batch reps.(0) ~key ~elements:8 ~service_us:100.0 ~requests:1
+        ~cold:true;
+      check_bool "warm replica outscores cold" true
+        (Router.score ~now:0.0 ~key reps.(0) > Router.score ~now:0.0 ~key reps.(1));
+      check_bool "warmth is per signature" true
+        (Router.score ~now:0.0 ~key:"batch=1,hist=64" reps.(0)
+        <= Router.score ~now:0.0 ~key:"batch=1,hist=64" reps.(1)))
+
+let test_round_robin_rotates () =
+  with_pool (fun pool ->
+      let reps = Pool.replicas pool in
+      let r = Router.create Router.Round_robin in
+      let pick () =
+        match Router.pick r ~now:0.0 ~key:"k" reps with
+        | Some x -> x.Replica.id
+        | None -> -1
+      in
+      check_int "first" 0 (pick ());
+      check_int "second" 1 (pick ());
+      check_int "wraps" 0 (pick ()))
+
+let test_policy_of_string () =
+  check_bool "rr alias" true (Router.policy_of_string "rr" = Some Router.Round_robin);
+  check_bool "warmth alias" true
+    (Router.policy_of_string "warmth-aware" = Some Router.Warmth_aware);
+  check_bool "unknown" true (Router.policy_of_string "bogus" = None)
+
+(* --- pool: cache sharing and validation ----------------------------------- *)
+
+let test_pool_shares_cache () =
+  let cfg = base_config ~devices:[ Device.a10; Device.a10; Device.a10 ] () in
+  let pool = Pool.create cfg dien in
+  let s = Disc.Compile_cache.stats (Pool.cache pool) in
+  check_int "one compile for the pool" 1 s.Disc.Compile_cache.misses;
+  check_int "remaining replicas hit" 2 s.Disc.Compile_cache.hits
+
+let test_pool_create_validation () =
+  check_bool "empty devices rejected" true
+    (try
+       ignore (Pool.create (base_config ~devices:[] ()) dien);
+       false
+     with Invalid_argument _ -> true);
+  let cfg = { (base_config ()) with Pool.batch_dim = "bogus" } in
+  check_bool "unknown batch dim rejected" true
+    (try
+       ignore (Pool.create cfg dien);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- pool: bucket formation and padding accounting ------------------------- *)
+
+let test_bucketed_batching_and_padding () =
+  (* eight near-identical shapes arriving together: one padded batch *)
+  let cfg = { (base_config ~devices:[ Device.a10 ] ()) with Pool.max_batch = 8 } in
+  let pool = Pool.create cfg dien in
+  let reqs = List.init 8 (fun i -> req (float_of_int i) (120 + i)) in
+  let r = Pool.run pool reqs in
+  check_int "one batch" 1 r.Pool.batches;
+  check_int "padded dispatch" 1 r.Pool.padded_batches;
+  check_int "all served" 8 (r.Pool.served + r.Pool.fell_back);
+  check_int "no losses" 0 r.Pool.lost;
+  (* members pad to hist=128: executed elements exceed requested ones *)
+  check_int "actual elements" (List.init 8 (fun i -> 120 + i) |> List.fold_left ( + ) 0)
+    r.Pool.actual_elements;
+  check_int "padded elements" (8 * 128) r.Pool.padded_elements;
+  check_bool "padding waste in (0,1)" true
+    (Pool.padding_waste r > 0.0 && Pool.padding_waste r < 1.0)
+
+let test_pad_waste_cap_forces_exact () =
+  (* a 0% padding budget forces exact-shape dispatch *)
+  let cfg =
+    { (base_config ~devices:[ Device.a10 ] ()) with Pool.max_pad_waste = 0.0 }
+  in
+  let pool = Pool.create cfg dien in
+  let reqs = List.init 8 (fun i -> req (float_of_int i) (120 + i)) in
+  let r = Pool.run pool reqs in
+  check_int "no padded batches" 0 r.Pool.padded_batches;
+  check_bool "exact batches" true (r.Pool.exact_batches >= 1);
+  (* exact dispatch still pads to the intra-batch max, never below actual *)
+  check_bool "padded >= actual" true (r.Pool.padded_elements >= r.Pool.actual_elements)
+
+let test_distinct_buckets_do_not_mix () =
+  let cfg = { (base_config ~devices:[ Device.a10 ] ()) with Pool.max_batch = 16 } in
+  let pool = Pool.create cfg dien in
+  (* hist 5 -> bucket 8; hist 50 -> bucket 64: two buckets, two batches *)
+  let reqs = List.init 8 (fun i -> req (float_of_int i) (if i mod 2 = 0 then 5 else 50)) in
+  let r = Pool.run pool reqs in
+  check_bool "at least two batches" true (r.Pool.batches >= 2);
+  check_int "all served" 8 (r.Pool.served + r.Pool.fell_back);
+  check_int "no losses" 0 r.Pool.lost
+
+(* --- pool: shed and expiry -------------------------------------------------- *)
+
+let test_shed_and_expiry () =
+  let slo =
+    [ (Slo.Standard, { Slo.deadline_us = 1.0; priority = 1; queue_bound = 2 }) ]
+  in
+  let cfg =
+    { (base_config ~devices:[ Device.a10 ] ()) with Pool.slo; Pool.max_batch = 1 }
+  in
+  let pool = Pool.create cfg dien in
+  (* ten simultaneous arrivals, bound 2: eight shed at admission; the
+     single replica serves one, the other queued request outlives its
+     1 us deadline while the first is in flight *)
+  let reqs = List.init 10 (fun _ -> req 0.0 20) in
+  let r = Pool.run pool reqs in
+  check_int "shed at admission" 8 r.Pool.shed;
+  check_int "expired at dispatch" 1 r.Pool.expired;
+  check_int "one completed" 1 (r.Pool.served + r.Pool.fell_back);
+  check_int "no losses" 0 r.Pool.lost;
+  let std =
+    List.find (fun c -> c.Pool.cr_class = Slo.Standard) r.Pool.classes
+  in
+  check_int "class report: arrivals" 10 std.Pool.cr_arrivals;
+  check_int "class report: shed" 8 std.Pool.cr_shed;
+  check_int "class report: expired" 1 std.Pool.cr_expired
+
+let test_malformed_requests_rejected () =
+  let pool = Pool.create (base_config ~devices:[ Device.a10 ] ()) dien in
+  let reqs =
+    [
+      { Pool.arrival_us = 0.0; dims = [ ("bogus", 4) ]; cls = Slo.Standard };
+      { Pool.arrival_us = 1.0; dims = [ ("hist", 0) ]; cls = Slo.Standard };
+      req 2.0 20;
+    ]
+  in
+  let r = Pool.run pool reqs in
+  check_int "two rejected" 2 r.Pool.rejected;
+  check_int "good one completed" 1 (r.Pool.served + r.Pool.fell_back);
+  check_int "no losses" 0 r.Pool.lost
+
+let test_class_mix_is_deterministic () =
+  let arrivals =
+    Workloads.Queueing.generate_arrivals ~seed:7 ~qps:100.0 ~n:60
+      ~dims:[ ("hist", Workloads.Trace.Uniform (5, 50)) ]
+  in
+  let mix = [ (Slo.Interactive, 0.3); (Slo.Standard, 0.5); (Slo.Best_effort, 0.2) ] in
+  let a = Pool.with_class_mix ~seed:3 mix (Pool.of_arrivals arrivals) in
+  let b = Pool.with_class_mix ~seed:3 mix (Pool.of_arrivals arrivals) in
+  check_bool "same seed, same tags" true
+    (List.for_all2 (fun (x : Pool.request) y -> x.Pool.cls = y.Pool.cls) a b);
+  let has c = List.exists (fun (r : Pool.request) -> r.Pool.cls = c) a in
+  check_bool "all classes present" true
+    (has Slo.Interactive && has Slo.Standard && has Slo.Best_effort)
+
+(* --- pool: warmth-aware routing beats round-robin --------------------------- *)
+
+let warm_trace () =
+  (* three repeating shape signatures, arrivals spaced so batches stay
+     singleton and replicas are idle at dispatch: routing alone decides
+     who pays the per-replica signature warmup *)
+  List.init 30 (fun i ->
+      req (float_of_int i *. 20_000.0) (List.nth [ 5; 20; 50 ] (i mod 3)))
+
+let run_with_router policy =
+  let cfg = { (base_config ()) with Pool.router = policy } in
+  let pool = Pool.create cfg dien in
+  Pool.run pool (warm_trace ())
+
+let test_warmth_beats_round_robin () =
+  let rr = run_with_router Router.Round_robin in
+  let warm = run_with_router Router.Warmth_aware in
+  check_int "rr: all completed" 30 (rr.Pool.served + rr.Pool.fell_back);
+  check_int "warm: all completed" 30 (warm.Pool.served + warm.Pool.fell_back);
+  check_bool "warmth-aware pays fewer signature warmups" true
+    (warm.Pool.cold_dispatches < rr.Pool.cold_dispatches);
+  let mean r =
+    let l = Pool.completed_latencies r in
+    Array.fold_left ( +. ) 0.0 l /. float_of_int (Array.length l)
+  in
+  check_bool "warmth-aware mean latency lower" true (mean warm < mean rr);
+  check_bool "warmth-aware p99 no worse" true
+    (Pool.percentile (Pool.completed_latencies warm) 0.99
+    <= Pool.percentile (Pool.completed_latencies rr) 0.99)
+
+(* --- pool: replica failure and draining ------------------------------------- *)
+
+let test_replica_failure_drains_cleanly () =
+  let pool = Pool.create (base_config ()) dien in
+  let reqs = List.init 40 (fun i -> req (float_of_int i *. 5_000.0) 20) in
+  let r = Pool.run ~failures:[ (90_000.0, 0) ] pool reqs in
+  check_int "no losses across the failure" 0 r.Pool.lost;
+  check_int "every request completed" 40 (r.Pool.served + r.Pool.fell_back);
+  let rep id = List.find (fun x -> x.Pool.rr_id = id) r.Pool.replicas in
+  check_string "failed replica is dead" "dead" (rep 0).Pool.rr_health;
+  check_string "survivor stays healthy" "healthy" (rep 1).Pool.rr_health;
+  check_bool "failed replica had served first" true ((rep 0).Pool.rr_batches > 0);
+  check_bool "traffic re-routed to the survivor" true ((rep 1).Pool.rr_batches > 0)
+
+let test_whole_pool_death_fails_remainder () =
+  let pool = Pool.create (base_config ~devices:[ Device.a10 ] ()) dien in
+  let reqs = List.init 10 (fun i -> req (float_of_int i *. 5_000.0) 20) in
+  let r = Pool.run ~failures:[ (12_000.0, 0) ] pool reqs in
+  check_int "no losses even when the pool dies" 0 r.Pool.lost;
+  check_bool "some requests completed before the failure" true
+    (r.Pool.served + r.Pool.fell_back >= 1);
+  check_bool "the rest failed rather than vanished" true (r.Pool.failed >= 1);
+  check_int "accounted exactly once" 10
+    (r.Pool.served + r.Pool.fell_back + r.Pool.shed + r.Pool.expired
+   + r.Pool.rejected + r.Pool.failed)
+
+(* --- pool: heterogeneous devices and report text ----------------------------- *)
+
+let test_heterogeneous_pool_runs () =
+  let cfg = base_config ~devices:[ Device.a10; Device.t4 ] () in
+  let pool = Pool.create cfg dien in
+  let reqs = List.init 20 (fun i -> req (float_of_int i *. 3_000.0) 20) in
+  let r = Pool.run pool reqs in
+  check_int "all completed" 20 (r.Pool.served + r.Pool.fell_back);
+  check_int "no losses" 0 r.Pool.lost;
+  let devices = List.map (fun x -> x.Pool.rr_device) r.Pool.replicas in
+  check_bool "report names both devices" true
+    (List.mem Device.a10.Device.name devices && List.mem Device.t4.Device.name devices);
+  let s = Pool.report_to_string r in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "summary mentions served" true (contains s "served=20")
+
+let () =
+  Alcotest.run "serving"
+    [
+      ( "bucket",
+        [
+          Alcotest.test_case "round_up" `Quick test_round_up;
+          Alcotest.test_case "keys" `Quick test_bucket_keys;
+          Alcotest.test_case "batch envs" `Quick test_batch_envs;
+          Alcotest.test_case "waste" `Quick test_waste;
+        ] );
+      ( "slo",
+        [ Alcotest.test_case "admission" `Quick test_slo_admission ] );
+      ( "router",
+        [
+          Alcotest.test_case "warmth score" `Quick test_warmth_score_orders_replicas;
+          Alcotest.test_case "round robin" `Quick test_round_robin_rotates;
+          Alcotest.test_case "policy names" `Quick test_policy_of_string;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "shares cache" `Quick test_pool_shares_cache;
+          Alcotest.test_case "create validation" `Quick test_pool_create_validation;
+          Alcotest.test_case "bucketed batching" `Quick test_bucketed_batching_and_padding;
+          Alcotest.test_case "pad waste cap" `Quick test_pad_waste_cap_forces_exact;
+          Alcotest.test_case "distinct buckets" `Quick test_distinct_buckets_do_not_mix;
+          Alcotest.test_case "shed and expiry" `Quick test_shed_and_expiry;
+          Alcotest.test_case "rejects malformed" `Quick test_malformed_requests_rejected;
+          Alcotest.test_case "class mix" `Quick test_class_mix_is_deterministic;
+          Alcotest.test_case "warmth beats rr" `Quick test_warmth_beats_round_robin;
+          Alcotest.test_case "failure drains" `Quick test_replica_failure_drains_cleanly;
+          Alcotest.test_case "pool death" `Quick test_whole_pool_death_fails_remainder;
+          Alcotest.test_case "heterogeneous" `Quick test_heterogeneous_pool_runs;
+        ] );
+    ]

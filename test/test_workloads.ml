@@ -113,6 +113,20 @@ let test_service_sees_padded_shape () =
       Alcotest.(check int) "batch 2" 2 (List.assoc "batch" env)
   | _ -> Alcotest.fail "one batch expected"
 
+let test_padding_accounting () =
+  (* seq 10 + seq 90 pad to one 2x90 batch: 180 executed for 100 asked *)
+  let arrivals = [ mk_req 0.0 [ ("seq", 10) ]; mk_req 1.0 [ ("seq", 90) ] ] in
+  let policy = { Q.max_batch = 2; max_wait_us = 1000.0 } in
+  let o = Q.simulate ~arrivals ~policy ~batch_dim:"batch" ~service:(fun _ -> 1.0) in
+  Alcotest.(check int) "actual elements" 100 o.Q.actual_elements;
+  Alcotest.(check int) "padded elements" 180 o.Q.padded_elements;
+  check_bool "waste = 80/180" true (Float.abs (Q.padding_waste o -. (80.0 /. 180.0)) < 1e-9);
+  (* homogeneous shapes: no intra-batch padding at all *)
+  let arrivals = List.init 4 (fun k -> mk_req (float_of_int k) [ ("seq", 7) ]) in
+  let o = Q.simulate ~arrivals ~policy:{ Q.max_batch = 4; max_wait_us = 1000.0 }
+      ~batch_dim:"batch" ~service:(fun _ -> 1.0) in
+  check_bool "no waste when shapes agree" true (Q.padding_waste o = 0.0)
+
 let test_generate_arrivals_sorted_and_positive () =
   let reqs = Q.generate_arrivals ~seed:3 ~qps:100.0 ~n:50 ~dims:[ ("seq", T.Uniform (1, 64)) ] in
   Alcotest.(check int) "count" 50 (List.length reqs);
@@ -166,6 +180,7 @@ let () =
           Alcotest.test_case "queue wait" `Quick test_latency_includes_queueing;
           Alcotest.test_case "wait window" `Quick test_wait_window_batches_close_arrivals;
           Alcotest.test_case "padded shape" `Quick test_service_sees_padded_shape;
+          Alcotest.test_case "padding accounting" `Quick test_padding_accounting;
           Alcotest.test_case "arrival gen" `Quick test_generate_arrivals_sorted_and_positive;
         ] );
       ( "properties",
