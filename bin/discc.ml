@@ -371,8 +371,16 @@ let serve_cmd =
     let doc = "Inject a replica failure: TIME_US,REPLICA (repeatable)." in
     Arg.(value & opt_all string [] & info [ "fail" ] ~docv:"T,ID" ~doc)
   in
-  let run model tiny replicas devices qps requests seed router max_batch fails trace
-      metrics =
+  let adaptive_arg =
+    let doc =
+      "Adaptive serving: observe the live shape distribution, re-derive bucket \
+       boundaries at traffic quantiles, feed likely-value hints back into the \
+       sessions, and autoscale replicas against SLO attainment."
+    in
+    Arg.(value & flag & info [ "adaptive" ] ~doc)
+  in
+  let run model tiny replicas devices qps requests seed router max_batch fails adaptive
+      trace metrics =
     with_obs ~trace ~metrics @@ fun () ->
     let entry = Suite.find model in
     let devices =
@@ -420,14 +428,29 @@ let serve_cmd =
              (Serving.Slo.Best_effort, 0.25);
            ]
     in
-    let r = Serving.Pool.run ~failures pool reqs in
-    Printf.printf "serve %s (%s): %d replicas [%s], router=%s, %.0f qps, %d requests\n" model
+    let adaptive_cfg =
+      if not adaptive then None
+      else
+        Some
+          {
+            Serving.Pool.default_adaptive with
+            Serving.Pool.autoscale = Some Serving.Autoscaler.default_config;
+          }
+    in
+    let r = Serving.Pool.run ~failures ?adaptive:adaptive_cfg pool reqs in
+    Printf.printf "serve %s (%s): %d replicas [%s], router=%s, %.0f qps, %d requests%s\n" model
       (if tiny then "tiny" else "paper scale")
       (List.length devices)
       (String.concat "," (List.map (fun d -> d.Gpusim.Device.name) devices))
       (Serving.Router.policy_to_string router)
-      qps requests;
+      qps requests
+      (if adaptive then ", adaptive" else "");
     Printf.printf "  %s\n" (Serving.Pool.report_to_string r);
+    (match r.Serving.Pool.adaptive with
+    | None -> ()
+    | Some a ->
+        String.split_on_char '\n' (Serving.Pool.adaptive_summary_to_string a)
+        |> List.iter (Printf.printf "  %s\n"));
     List.iter
       (fun (c : Serving.Pool.class_report) ->
         Printf.printf "  class %-12s arrivals=%d completed=%d slo_met=%d shed=%d expired=%d\n"
@@ -451,8 +474,8 @@ let serve_cmd =
        ~doc:"Simulate a multi-replica serving pool on a synthetic arrival trace")
     Term.(
       const run $ model_arg $ tiny_arg $ replicas_arg $ devices_arg $ qps_arg
-      $ requests_arg $ seed_arg $ router_arg $ max_batch_arg $ fail_arg $ trace_arg
-      $ metrics_arg)
+      $ requests_arg $ seed_arg $ router_arg $ max_batch_arg $ fail_arg $ adaptive_arg
+      $ trace_arg $ metrics_arg)
 
 (* --- compare --------------------------------------------------------------- *)
 

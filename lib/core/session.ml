@@ -78,6 +78,7 @@ type t = {
   retries_c : Obs.Metrics.counter;
   faults_c : Obs.Metrics.counter; (* kernel faults + OOMs observed *)
   warmup_c : Obs.Metrics.counter; (* served during the async-compile window *)
+  hints_c : Obs.Metrics.counter; (* likely-value hints ingested from feedback *)
   latency_h : Obs.Metrics.histogram; (* all recorded request latencies, µs *)
 }
 
@@ -145,6 +146,7 @@ let create ?(options = Compiler.default_options) ?(device = Gpusim.Device.a10)
     retries_c = Obs.Metrics.counter m "session.retries";
     faults_c = Obs.Metrics.counter m "session.faults";
     warmup_c = Obs.Metrics.counter m "session.warmup_served";
+    hints_c = Obs.Metrics.counter m "session.shape_hints";
     latency_h = Obs.Metrics.histogram m "session.latency_us";
   }
 
@@ -160,6 +162,26 @@ let warmup_remaining_us t = t.warmup_remaining_us
    at absolute times) calls this when its clock passes the compile
    window. Idempotent. *)
 let finish_warmup t = t.warmup_remaining_us <- 0.0
+
+(* Online distribution feedback: replace the likely-value hints on the
+   compiled graph's dynamic dims. The hints land in the symbol table the
+   executable (and anything minted from it — [Specialize.default_hot_envs],
+   a recompile through the cache surface) actually reads; on a cache hit
+   [serve_dims] points into the original session's graph, so hints reach
+   every session sharing the artifact. Advisory only: serving behavior
+   at any shape is unchanged, bounds are never tightened. *)
+let ingest_hints t (hints : (string * int list) list) =
+  let tab = Graph.symtab t.compiled.Compiler.exe.Runtime.Executable.g in
+  List.iter
+    (fun (name, vs) ->
+      match List.assoc_opt name t.serve_dims with
+      | None -> ()
+      | Some d ->
+          Table.set_likely tab d vs;
+          Obs.Metrics.inc ~by:(List.length vs) t.hints_c)
+    hints
+
+let shape_hints t = Obs.Metrics.counter_value t.hints_c
 
 let record t lat =
   ring_push t.latencies lat;

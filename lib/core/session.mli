@@ -133,5 +133,17 @@ val serve_data : t -> Tensor.Nd.t list -> Tensor.Nd.t list * Runtime.Profile.t
 val despeculated_kernels : t -> string list
 (** Kernels the circuit breaker has pinned to their generic version. *)
 
+val ingest_hints : t -> (string * int list) list -> unit
+(** Online distribution feedback: replace the likely-value hints on the
+    named dynamic dims of the compiled graph's symbol table (via
+    {!Symshape.Table.set_likely} — replace semantics, so stale hints
+    age out). Advisory only: no bound is tightened and serving at any
+    shape is unchanged; the hints steer what {!Specialize} mints and
+    what a recompile would speculate on. Unknown dim names are ignored.
+    Counted in the registry as [session.shape_hints]. *)
+
+val shape_hints : t -> int
+(** Total likely values ingested through {!ingest_hints}. *)
+
 val stats : t -> stats
 val stats_to_string : stats -> string

@@ -119,6 +119,42 @@ let stats (t : t) : stats =
 
 let despecialized_envs (t : t) = t.despecialized
 
+let max_hot = 16
+
+(* Mint one hot variant at runtime — the online analogue of the hot set
+   chosen at [create] time. Refuses signatures that are already hot,
+   were de-specialized by the breaker (the evidence against them stands),
+   or would push past the hot-variant cap. *)
+let add_hot_env ?(options = Compiler.default_options) (t : t) (env : (string * int) list) :
+    bool =
+  let key = norm env in
+  if List.mem_assoc key t.hot || List.mem key t.despecialized || List.length t.hot >= max_hot
+  then false
+  else begin
+    let bind = List.map (fun (name, v) -> (Common.dim_exn t.built name, v)) env in
+    let static_g = Ir.Clone.clone ~bind t.built.Common.graph in
+    t.hot <- t.hot @ [ (key, Compiler.compile ~options static_g) ];
+    Obs.Metrics.inc (Obs.Metrics.counter t.metrics "specialize.minted");
+    true
+  end
+
+(* Distribution-constraint ingestion: write the likely-value hints into
+   the model's symbol table (replace semantics), then mint whatever the
+   refreshed default hot set now contains. A hint arriving through this
+   path mints exactly the specializations an explicit likely-value
+   constraint at build time would have. *)
+let ingest_hints ?options (t : t) (hints : (string * int list) list) : int =
+  let tab = Graph.symtab t.built.Common.graph in
+  List.iter
+    (fun (name, vs) ->
+      match Common.dim_opt t.built name with
+      | Some d -> Table.set_likely tab d vs
+      | None -> ())
+    hints;
+  List.fold_left
+    (fun minted env -> if add_hot_env ?options t env then minted + 1 else minted)
+    0 (default_hot_envs t.built)
+
 let observe_latency (t : t) env (p : Runtime.Profile.t) =
   Obs.Metrics.observe
     (Obs.Metrics.histogram t.metrics

@@ -60,6 +60,24 @@ val total_compile_ms : t -> float
 val despecialized_envs : t -> (string * int) list list
 (** Hot signatures evicted by the circuit breaker (normalized order). *)
 
+val add_hot_env :
+  ?options:Compiler.options -> t -> (string * int) list -> bool
+(** Mint one hot variant at runtime (online speculative specialization).
+    [false] — and no compile — if the signature is already hot, was
+    de-specialized by the breaker, or the live hot set is at its cap
+    (16). Counted in the registry as [specialize.minted].
+    @raise Invalid_argument on an unknown dim name. *)
+
+val ingest_hints :
+  ?options:Compiler.options -> t -> (string * int list) list -> int
+(** Distribution-constraint ingestion, the online feedback path: write
+    likely-value hints into the model's symbol table
+    ({!Symshape.Table.set_likely}, replace semantics; unknown dims
+    ignored), then mint the refreshed {!default_hot_envs} via
+    {!add_hot_env}. Returns how many variants were newly minted — a
+    hint ingested here yields exactly the specializations an explicit
+    likely-value constraint at build time would have. *)
+
 val serve_result :
   ?device:Gpusim.Device.t ->
   t ->

@@ -76,6 +76,15 @@ let bucket_mid (i : int) : float =
     let hi = base *. (1.0 +. (float_of_int (slice + 1) /. float_of_int sub_buckets)) in
     (lo +. hi) /. 2.0
 
+(* Exclusive upper edge: the smallest value guaranteed to cover every
+   sample that landed in the bucket. *)
+let bucket_hi (i : int) : float =
+  if i = 0 then 1.0
+  else
+    let e = (i - 1) / sub_buckets and slice = (i - 1) mod sub_buckets in
+    let base = Float.pow 2.0 (float_of_int e) in
+    base *. (1.0 +. (float_of_int (slice + 1) /. float_of_int sub_buckets))
+
 let observe h v =
   let v = Float.max 0.0 v in
   let i = bucket_of v in

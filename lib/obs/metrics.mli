@@ -41,6 +41,20 @@ val gauge_value : gauge -> float
 val sub_buckets : int
 (** Linear subdivisions per power of two (16 → ≤ 6.25 % relative error). *)
 
+val bucket_of : float -> int
+(** Index of the log-linear bucket holding a value: bucket 0 is [[0,1)];
+    past that, each power of two splits into [sub_buckets] linear
+    slices. Exposed so other online estimators (e.g. the serving
+    layer's shape-distribution statistics) share one bucket geometry. *)
+
+val bucket_mid : int -> float
+(** Midpoint of a bucket — the estimate returned for samples in it. *)
+
+val bucket_hi : int -> float
+(** Exclusive upper edge of a bucket ([1.0] for bucket 0). Quantile
+    estimates that must {e cover} the observed mass (e.g. bucket
+    boundaries placed at traffic quantiles) round up to this edge. *)
+
 val histogram : t -> string -> histogram
 val observe : histogram -> float -> unit
 (** Record a sample (negative values clamp to 0). Count, sum, exact min

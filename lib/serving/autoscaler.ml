@@ -1,0 +1,77 @@
+(* Replica autoscaling against SLO attainment and queue depth.
+
+   The decision rule is deliberately small: scale up when the pool is
+   missing its attainment target or the backlog per alive replica is
+   past a bound, scale down when attainment is comfortable and the
+   backlog is (near) empty, and hold inside a cooldown window so one
+   burst cannot thrash the pool through add/drain cycles. The *pool*
+   owns the mechanics (minting a pre-warmed replica from the shared
+   compile cache, draining the youngest one); the autoscaler only
+   answers "which direction, now?". *)
+
+type config = {
+  min_replicas : int;
+  max_replicas : int;
+  target_attainment : float; (* scale up below this SLO-met fraction *)
+  scale_up_queue : int; (* .. or when backlog per alive replica exceeds this *)
+  scale_down_queue : int; (* scale down only at/below this total backlog *)
+  cooldown_us : float;
+}
+
+let default_config =
+  {
+    min_replicas = 1;
+    max_replicas = 4;
+    target_attainment = 0.95;
+    scale_up_queue = 8;
+    scale_down_queue = 0;
+    cooldown_us = 50_000.0;
+  }
+
+type action = Hold | Scale_up | Scale_down
+
+let action_to_string = function
+  | Hold -> "hold"
+  | Scale_up -> "scale_up"
+  | Scale_down -> "scale_down"
+
+type t = {
+  cfg : config;
+  mutable last_scale_us : float; (* last non-Hold decision; -inf = never *)
+  mutable ups : int;
+  mutable downs : int;
+}
+
+let create cfg =
+  if cfg.min_replicas < 1 then invalid_arg "Autoscaler: min_replicas must be >= 1";
+  if cfg.max_replicas < cfg.min_replicas then
+    invalid_arg "Autoscaler: max_replicas must be >= min_replicas";
+  { cfg; last_scale_us = neg_infinity; ups = 0; downs = 0 }
+
+let config t = t.cfg
+let ups t = t.ups
+let downs t = t.downs
+
+let note t ~now action =
+  t.last_scale_us <- now;
+  (match action with
+  | Scale_up -> t.ups <- t.ups + 1
+  | Scale_down -> t.downs <- t.downs + 1
+  | Hold -> ());
+  if Obs.Scope.on () then Obs.Scope.count (Printf.sprintf "pool.%s" (action_to_string action));
+  action
+
+let decide t ~now ~alive ~queue_depth ~attainment =
+  let c = t.cfg in
+  if alive < c.min_replicas then note t ~now Scale_up (* repair below the floor, cooldown or not *)
+  else if now -. t.last_scale_us < c.cooldown_us then Hold
+  else if
+    alive < c.max_replicas
+    && (attainment < c.target_attainment || queue_depth > c.scale_up_queue * max 1 alive)
+  then note t ~now Scale_up
+  else if
+    alive > c.min_replicas
+    && attainment >= c.target_attainment
+    && queue_depth <= c.scale_down_queue
+  then note t ~now Scale_down
+  else Hold

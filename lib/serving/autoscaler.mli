@@ -1,0 +1,56 @@
+(** Replica autoscaling policy: add or drain replicas from the pool
+    based on per-tick SLO attainment and queue depth.
+
+    State machine per control tick (cooldown-gated, floor repair
+    excepted):
+
+    {v
+        alive < min ──────────────────────────────► Scale_up (always)
+        in cooldown ──────────────────────────────► Hold
+        alive < max  ∧ (attainment < target
+                        ∨ backlog/alive > up_q) ──► Scale_up
+        alive > min  ∧ attainment ≥ target
+                     ∧ backlog ≤ down_q ──────────► Scale_down
+        otherwise ────────────────────────────────► Hold
+    v}
+
+    The pool executes the decision: [Scale_up] mints a replica whose
+    session compiles through the shared {!Disc.Compile_cache} (a hit —
+    the pool already compiled this model) and pre-warms it on the hot
+    signatures before it takes traffic; [Scale_down] begins draining
+    the youngest alive replica ({!Replica.begin_drain}), so its
+    in-flight batch completes and nothing is lost. *)
+
+type config = {
+  min_replicas : int;
+  max_replicas : int;
+  target_attainment : float;
+      (** scale up while the SLO-met fraction of the last window is below this *)
+  scale_up_queue : int;  (** .. or backlog per alive replica exceeds this *)
+  scale_down_queue : int;  (** scale down only at/below this total backlog *)
+  cooldown_us : float;  (** minimum virtual time between scale decisions *)
+}
+
+val default_config : config
+(** 1..4 replicas, 95 % attainment target, up at backlog > 8/replica,
+    down only when drained, 50 ms cooldown. *)
+
+type action = Hold | Scale_up | Scale_down
+
+val action_to_string : action -> string
+
+type t
+
+val create : config -> t
+(** @raise Invalid_argument unless [1 <= min_replicas <= max_replicas]. *)
+
+val config : t -> config
+
+val decide : t -> now:float -> alive:int -> queue_depth:int -> attainment:float -> action
+(** One control-tick decision. [attainment] is the fraction of requests
+    completed within their class deadline since the previous tick (1.0
+    when nothing completed — an idle pool is not failing its SLO). A
+    non-[Hold] decision starts the cooldown window. *)
+
+val ups : t -> int
+val downs : t -> int

@@ -5,7 +5,7 @@
    padding waste for repeating shape signatures, which is what makes
    kernels warm and memory plans reusable across batches. *)
 
-type scheme = Exact | Pow2 | Linear of int
+type scheme = Exact | Pow2 | Linear of int | Edges of int list
 
 type spec = (string * scheme) list
 
@@ -13,6 +13,20 @@ let scheme_to_string = function
   | Exact -> "exact"
   | Pow2 -> "pow2"
   | Linear s -> Printf.sprintf "linear%d" s
+  | Edges es -> "edges" ^ String.concat "-" (List.map string_of_int es)
+
+let spec_to_string (spec : spec) =
+  String.concat ","
+    (List.map (fun (n, s) -> Printf.sprintf "%s:%s" n (scheme_to_string s)) spec)
+
+let validate_edges es =
+  let rec go prev = function
+    | [] -> ()
+    | e :: rest ->
+        if e <= prev then invalid_arg "Bucket.Edges: boundaries must be ascending and >= 1";
+        go e rest
+  in
+  go 0 es
 
 let round_up scheme v =
   if v < 1 then invalid_arg "Bucket.round_up: dim value must be >= 1";
@@ -24,6 +38,12 @@ let round_up scheme v =
   | Linear step ->
       if step < 1 then invalid_arg "Bucket.round_up: linear step must be >= 1";
       (v + step - 1) / step * step
+  | Edges es -> (
+      validate_edges es;
+      (* first boundary covering v; a value past the last boundary stays
+         exact — the spec was derived from observed traffic, and an
+         outlier beyond it should not be rounded to a made-up ceiling *)
+      match List.find_opt (fun e -> e >= v) es with Some e -> e | None -> v)
 
 let scheme_of spec name =
   match List.assoc_opt name spec with Some s -> s | None -> Exact

@@ -14,11 +14,19 @@ type scheme =
   | Exact  (** no rounding: every distinct value is its own bucket *)
   | Pow2  (** round up to the next power of two *)
   | Linear of int  (** round up to the next multiple of the step *)
+  | Edges of int list
+      (** round up to the first of an explicit ascending boundary list —
+          the scheme the adaptive feedback loop derives by placing
+          boundaries at observed traffic quantiles ({!Shape_stats}).
+          Values past the last boundary stay exact. *)
 
 type spec = (string * scheme) list
 (** Rounding scheme per dim name; dims not listed are [Exact]. *)
 
 val scheme_to_string : scheme -> string
+
+val spec_to_string : spec -> string
+(** e.g. ["batch:pow2,hist:edges34-66-100"]. *)
 
 val round_up : scheme -> int -> int
 (** Round a dim value (>= 1) up to its bucket ceiling. *)

@@ -59,6 +59,35 @@ let with_class_mix ~seed (mix : (Slo.cls * float) list) reqs =
       { r with cls = choose 0.0 mix })
     reqs
 
+(* Adaptive control loop: every [control_interval_us] of virtual time
+   the pool decays its shape statistics, re-derives the bucket policy
+   from observed mass, pushes likely-value hints into the replica
+   sessions, cross-pollinates hot-signature warmth (the artifacts are in
+   the shared cache — only the first replica paid the cold dispatch),
+   and lets the autoscaler add or drain replicas. *)
+type adaptive = {
+  control_interval_us : float;
+  rebucket : bool; (* re-derive Bucket.Edges from observed traffic *)
+  max_edges : int; (* quantile-placed boundaries per dim *)
+  edge_quantum : int; (* snap derived boundaries up to a multiple *)
+  decay : float; (* per-tick multiplicative decay of shape stats *)
+  hint_k : int; (* likely values per dim / hot signatures to pre-warm *)
+  autoscale : Autoscaler.config option;
+  prewarm_us : float; (* spin-up delay before a minted replica takes traffic *)
+}
+
+let default_adaptive =
+  {
+    control_interval_us = 20_000.0;
+    rebucket = true;
+    max_edges = 4;
+    edge_quantum = 4;
+    decay = 0.9;
+    hint_k = 4;
+    autoscale = None;
+    prewarm_us = 5_000.0;
+  }
+
 type disposition = Served | Fell_back | Shed | Expired | Rejected | Failed
 
 let disposition_to_string = function
@@ -88,6 +117,33 @@ type replica_report = {
   rr_busy_us : float;
 }
 
+type adaptive_report = {
+  ar_ticks : int;
+  ar_rebuckets : int;
+  ar_minted : int; (* hot signatures pre-warmed across replicas *)
+  ar_hints : int; (* likely values ingested into replica sessions *)
+  ar_scale_ups : int;
+  ar_scale_downs : int;
+  ar_final_replicas : int; (* alive when the trace drained *)
+  ar_final_spec : string; (* Bucket.spec_to_string of the final policy *)
+  ar_likely : (string * int list) list; (* last hint set pushed *)
+}
+
+let adaptive_summary_to_string (a : adaptive_report) =
+  Printf.sprintf
+    "adaptive: ticks=%d rebuckets=%d minted=%d hints=%d scale_ups=%d scale_downs=%d \
+     alive=%d\nbucket: %s\nlikely: %s"
+    a.ar_ticks a.ar_rebuckets a.ar_minted a.ar_hints a.ar_scale_ups a.ar_scale_downs
+    a.ar_final_replicas
+    (if a.ar_final_spec = "" then "(none)" else a.ar_final_spec)
+    (if a.ar_likely = [] then "(none)"
+     else
+       String.concat " "
+         (List.map
+            (fun (n, vs) ->
+              Printf.sprintf "%s=%s" n (String.concat "," (List.map string_of_int vs)))
+            a.ar_likely))
+
 type report = {
   dispositions : disposition array;
   latencies_us : float array;
@@ -108,6 +164,7 @@ type report = {
   makespan_us : float;
   classes : class_report list;
   replicas : replica_report list;
+  adaptive : adaptive_report option; (* Some iff run with ~adaptive *)
 }
 
 let padding_waste (r : report) =
@@ -132,16 +189,21 @@ let report_to_string (r : report) =
 
 type t = {
   cfg : config;
-  pool_replicas : Replica.t array;
+  mutable pool_replicas : Replica.t array; (* grows on adaptive scale-up *)
   router : Router.t;
   pool_cache : Disc.Compile_cache.t;
   expected : string list; (* dim names a request must bind (model dims minus batch) *)
   mutable us_per_element : float; (* measured service rate for the pad-vs-exact model *)
+  mint : id:int -> Replica.t; (* scale-up: new session through the shared cache *)
+  stats : Shape_stats.t; (* observed shape distribution (adaptive runs) *)
+  mutable cur_bucket : Bucket.spec; (* live policy; starts as cfg.bucket *)
 }
 
 let replicas t = t.pool_replicas
 let cache t = t.pool_cache
 let config t = t.cfg
+let shape_stats t = t.stats
+let current_bucket t = t.cur_bucket
 
 let create ?options ?session_policy ?fault_config ?cache cfg build =
   if cfg.devices = [] then invalid_arg "Pool.create: empty device list";
@@ -152,28 +214,28 @@ let create ?options ?session_policy ?fault_config ?cache cfg build =
     invalid_arg
       (Printf.sprintf "Pool.create: model %s has no batch dim %s"
          surface.Models.Common.name cfg.batch_dim);
-  let pool_replicas =
-    List.mapi
-      (fun i device ->
-        let fault_config =
-          Option.map (fun fc -> { fc with Gpusim.Fault.seed = fc.Gpusim.Fault.seed + (31 * i) })
-            fault_config
-        in
-        let session =
-          Session.create ?options ?policy:session_policy ?fault_config ~device ~cache:shared
-            (build ())
-        in
-        Replica.create ~id:i session)
-      cfg.devices
-    |> Array.of_list
+  let mint ~id =
+    let device = List.nth cfg.devices (id mod List.length cfg.devices) in
+    let fault_config =
+      Option.map (fun fc -> { fc with Gpusim.Fault.seed = fc.Gpusim.Fault.seed + (31 * id) })
+        fault_config
+    in
+    let session =
+      Session.create ?options ?policy:session_policy ?fault_config ~device ~cache:shared
+        (build ())
+    in
+    Replica.create ~id session
   in
   {
     cfg;
-    pool_replicas;
+    pool_replicas = Array.init (List.length cfg.devices) (fun i -> mint ~id:i);
     router = Router.create cfg.router;
     pool_cache = shared;
     expected = List.filter (fun n -> n <> cfg.batch_dim) dim_names;
     us_per_element = 0.0;
+    mint;
+    stats = Shape_stats.create ();
+    cur_bucket = cfg.bucket;
   }
 
 (* --- the event loop ------------------------------------------------------- *)
@@ -188,7 +250,7 @@ let note_rate t ~service_us ~elements =
        else (ewma_alpha *. rate) +. ((1.0 -. ewma_alpha) *. t.us_per_element))
   end
 
-let run ?(failures = []) t (reqs : request list) : report =
+let run ?(failures = []) ?adaptive t (reqs : request list) : report =
   let cfg = t.cfg in
   let reqs = List.sort (fun a b -> compare a.arrival_us b.arrival_us) reqs in
   let arr = Array.of_list reqs in
@@ -221,6 +283,17 @@ let run ?(failures = []) t (reqs : request list) : report =
   let batches = ref 0 and batched_total = ref 0 in
   let padded_batches = ref 0 and exact_batches = ref 0 and cold_total = ref 0 in
   let actual_elems = ref 0 and padded_elems = ref 0 in
+  (* adaptive-control state (inert on non-adaptive runs) *)
+  let scaler = Option.bind adaptive (fun a -> Option.map Autoscaler.create a.autoscale) in
+  let next_tick =
+    ref (match adaptive with Some a -> a.control_interval_us | None -> infinity)
+  in
+  let ticks = ref 0 and rebuckets = ref 0 and minted = ref 0 and hints_total = ref 0 in
+  let last_hints = ref [] in
+  let win_total = ref 0 and win_met = ref 0 in
+  let alive_count () =
+    Array.fold_left (fun n r -> if Replica.alive r then n + 1 else n) 0 t.pool_replicas
+  in
 
   let admit (i : int) (r : request) =
     let qreq = { Q.arrival_us = r.arrival_us; Q.dims = r.dims } in
@@ -229,9 +302,12 @@ let run ?(failures = []) t (reqs : request list) : report =
         disp.(i) <- Some Rejected;
         if obs then Obs.Scope.count "pool.rejected"
     | Ok () ->
+        (* well-formed traffic feeds the distribution estimator even when
+           shed: offered load is what the bucket policy must fit *)
+        if adaptive <> None then Shape_stats.observe t.stats r.dims;
         if not (Slo.admit slo r.cls) then disp.(i) <- Some Shed
         else begin
-          Queue.add (i, r) (queue_of (Bucket.key_of cfg.bucket r.dims));
+          Queue.add (i, r) (queue_of (Bucket.key_of t.cur_bucket r.dims));
           if obs then Obs.Scope.gauge "pool.queue_depth" (float_of_int (total_queued ()))
         end
   in
@@ -323,7 +399,7 @@ let run ?(failures = []) t (reqs : request list) : report =
   let dispatch_batch time (members : (int * request) list) =
     let member_dims = List.map (fun (_, r) -> r.dims) members in
     let exact = Bucket.exact_env ~batch_dim:cfg.batch_dim member_dims in
-    let padded = Bucket.padded_env cfg.bucket ~batch_dim:cfg.batch_dim member_dims in
+    let padded = Bucket.padded_env t.cur_bucket ~batch_dim:cfg.batch_dim member_dims in
     let e_actual =
       List.fold_left (fun acc d -> acc + Bucket.elements d) 0 member_dims
     in
@@ -377,7 +453,10 @@ let run ?(failures = []) t (reqs : request list) : report =
             List.iter
               (fun (i, r) ->
                 disp.(i) <- Some d;
-                lats.(i) <- done_at -. r.arrival_us)
+                lats.(i) <- done_at -. r.arrival_us;
+                incr win_total;
+                if lats.(i) <= (Slo.target_of cfg.slo r.cls).Slo.deadline_us then
+                  incr win_met)
               members;
             if obs then begin
               Obs.Scope.count ~by:count
@@ -419,6 +498,122 @@ let run ?(failures = []) t (reqs : request list) : report =
     List.iter (fun (i, _) -> disp.(i) <- Some Failed) !upcoming;
     upcoming := []
   in
+  (* --- adaptive control tick ---------------------------------------------- *)
+  (* Re-key queued work after a policy change, preserving arrival order.
+     SLO queue counters are untouched: the requests stay queued, only
+     their bucket membership moves. *)
+  let rekey_queues () =
+    let entries = ref [] in
+    List.iter
+      (fun key ->
+        match Hashtbl.find_opt queues key with
+        | Some q -> Queue.iter (fun e -> entries := e :: !entries) q
+        | None -> ())
+      !order;
+    let entries = List.sort (fun (i, _) (j, _) -> compare i j) !entries in
+    Hashtbl.reset queues;
+    order := [];
+    List.iter (fun (i, r) -> Queue.add (i, r) (queue_of (Bucket.key_of t.cur_bucket r.dims))) entries
+  in
+  (* The pool's hottest shape signatures: warmth mass summed across
+     alive replicas, heaviest first (ties toward the smaller key). *)
+  let pool_hot_keys k =
+    let acc = Hashtbl.create 16 in
+    Array.iter
+      (fun r ->
+        if Replica.alive r then
+          Hashtbl.iter
+            (fun key n ->
+              Hashtbl.replace acc key (n + Option.value (Hashtbl.find_opt acc key) ~default:0))
+            r.Replica.warmth)
+      t.pool_replicas;
+    Hashtbl.fold (fun key n l -> (key, n) :: l) acc []
+    |> List.sort (fun (ka, na) (kb, nb) ->
+           match compare nb na with 0 -> compare ka kb | c -> c)
+    |> List.filteri (fun i _ -> i < k)
+    |> List.map fst
+  in
+  let do_tick (a : adaptive) time =
+    incr ticks;
+    Shape_stats.decay t.stats ~factor:a.decay;
+    (* 1. re-derive the bucket policy from observed mass *)
+    if a.rebucket && Shape_stats.observations t.stats > 0 then begin
+      let spec' =
+        Shape_stats.spec ~quantum:a.edge_quantum t.stats ~max_edges:a.max_edges
+          ~dims:cfg.bucket
+      in
+      if spec' <> t.cur_bucket then begin
+        t.cur_bucket <- spec';
+        incr rebuckets;
+        rekey_queues ();
+        if obs then Obs.Scope.count "pool.rebucket"
+      end
+    end;
+    (* 2. distribution-constraint ingestion: likely values -> sessions *)
+    let hs = Shape_stats.hints ~k:a.hint_k t.stats in
+    if hs <> [] then begin
+      last_hints := hs;
+      let nvals = List.fold_left (fun acc (_, vs) -> acc + List.length vs) 0 hs in
+      Array.iter
+        (fun r ->
+          if Replica.alive r then begin
+            Session.ingest_hints r.Replica.session hs;
+            hints_total := !hints_total + nvals
+          end)
+        t.pool_replicas
+    end;
+    (* 3. mint speculative warmth: every alive replica pre-warms on the
+       pool's hottest signatures (the artifacts are in the shared cache) *)
+    let hot_keys = pool_hot_keys a.hint_k in
+    Array.iter
+      (fun r -> if Replica.alive r then minted := !minted + Replica.prewarm r hot_keys)
+      t.pool_replicas;
+    (* 4. autoscale against windowed attainment + backlog *)
+    (match scaler with
+    | None -> ()
+    | Some asc ->
+        let attainment =
+          if !win_total = 0 then 1.0
+          else float_of_int !win_met /. float_of_int !win_total
+        in
+        win_total := 0;
+        win_met := 0;
+        (match
+           Autoscaler.decide asc ~now:time ~alive:(alive_count ())
+             ~queue_depth:(total_queued ()) ~attainment
+         with
+        | Autoscaler.Hold -> ()
+        | Autoscaler.Scale_up ->
+            let rep = t.mint ~id:(Array.length t.pool_replicas) in
+            rep.Replica.free_at <- time +. a.prewarm_us;
+            ignore (Replica.prewarm rep hot_keys);
+            t.pool_replicas <- Array.append t.pool_replicas [| rep |]
+        | Autoscaler.Scale_down ->
+            (* drain the youngest alive replica: warmth seniority stays *)
+            let victim = ref None in
+            Array.iter (fun r -> if Replica.alive r then victim := Some r) t.pool_replicas;
+            Option.iter (fun r -> Replica.begin_drain r ~now:time) !victim);
+        if obs then Obs.Scope.gauge "pool.alive_replicas" (float_of_int (alive_count ())));
+    if obs then
+      Obs.Scope.span ~cat:"control" ~ts:time ~dur_us:0.0
+        ~args:
+          [
+            ("tick", string_of_int !ticks);
+            ("bucket", Bucket.spec_to_string t.cur_bucket);
+            ("alive", string_of_int (alive_count ()));
+          ]
+        "adaptive_tick"
+  in
+  let run_ticks () =
+    match adaptive with
+    | None -> ()
+    | Some a ->
+        while !now >= !next_tick -. 1e-9 do
+          do_tick a !next_tick;
+          next_tick := !next_tick +. a.control_interval_us
+        done
+  in
+
   let next_event () =
     let t_arr = match !upcoming with [] -> infinity | (_, r) :: _ -> r.arrival_us in
     let t_free =
@@ -440,11 +635,16 @@ let run ?(failures = []) t (reqs : request list) : report =
           queues infinity
     in
     let t_fail = match !pending_failures with [] -> infinity | (ft, _) :: _ -> ft in
-    Float.min (Float.min t_arr t_free) (Float.min t_window t_fail)
+    let t_tick =
+      if adaptive <> None && (!upcoming <> [] || total_queued () > 0) then !next_tick
+      else infinity
+    in
+    Float.min (Float.min (Float.min t_arr t_free) (Float.min t_window t_fail)) t_tick
   in
   let rec loop () =
     process_failures !now;
     finish_drains !now;
+    run_ticks ();
     admit_arrivals_up_to !now;
     expire_queues !now;
     while try_dispatch !now do () done;
@@ -513,6 +713,21 @@ let run ?(failures = []) t (reqs : request list) : report =
     padded_elements = !padded_elems;
     makespan_us = !last_done;
     classes;
+    adaptive =
+      Option.map
+        (fun (_ : adaptive) ->
+          {
+            ar_ticks = !ticks;
+            ar_rebuckets = !rebuckets;
+            ar_minted = !minted;
+            ar_hints = !hints_total;
+            ar_scale_ups = (match scaler with Some s -> Autoscaler.ups s | None -> 0);
+            ar_scale_downs = (match scaler with Some s -> Autoscaler.downs s | None -> 0);
+            ar_final_replicas = alive_count ();
+            ar_final_spec = Bucket.spec_to_string t.cur_bucket;
+            ar_likely = !last_hints;
+          })
+        adaptive;
     replicas =
       Array.to_list
         (Array.map

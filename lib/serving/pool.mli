@@ -37,6 +37,31 @@ val default_config :
 (** max_batch 8, max_wait 2 ms, default SLO policy, warmth-aware
     routing, 50 % padding cap, 1.5 ms cold warmup. *)
 
+type adaptive = {
+  control_interval_us : float;  (** virtual time between control ticks *)
+  rebucket : bool;
+      (** re-derive the bucket policy as {!Bucket.Edges} at observed
+          traffic quantiles ({!Shape_stats.spec}); queued work is
+          re-keyed in arrival order when the policy changes *)
+  max_edges : int;  (** quantile-placed boundaries per dim *)
+  edge_quantum : int;
+      (** derived boundaries snap up to a multiple of this (capped at
+          the observed max): hysteresis so quantile wobble between ticks
+          does not mint fresh cold signatures *)
+  decay : float;  (** per-tick multiplicative decay of the shape stats *)
+  hint_k : int;
+      (** likely values per dim pushed into sessions, and hot
+          signatures pre-warmed across replicas, per tick *)
+  autoscale : Autoscaler.config option;  (** [None]: fixed pool size *)
+  prewarm_us : float;
+      (** spin-up delay before a scaled-up replica takes traffic; it is
+          pre-warmed on the pool's hot signatures during this window *)
+}
+
+val default_adaptive : adaptive
+(** 20 ms ticks, rebucketing on with 4 edges snapped to multiples of 4,
+    0.9 decay, 4 hints/dim, no autoscaling, 5 ms replica spin-up. *)
+
 type request = {
   arrival_us : float;
   dims : (string * int) list;  (** per-request dims, excluding the batch dim *)
@@ -79,6 +104,20 @@ type replica_report = {
   rr_busy_us : float;
 }
 
+type adaptive_report = {
+  ar_ticks : int;
+  ar_rebuckets : int;  (** control ticks that changed the bucket policy *)
+  ar_minted : int;  (** hot signatures pre-warmed across replicas *)
+  ar_hints : int;  (** likely values ingested into replica sessions *)
+  ar_scale_ups : int;
+  ar_scale_downs : int;
+  ar_final_replicas : int;  (** alive when the trace drained *)
+  ar_final_spec : string;  (** {!Bucket.spec_to_string} of the final policy *)
+  ar_likely : (string * int list) list;  (** last hint set pushed *)
+}
+
+val adaptive_summary_to_string : adaptive_report -> string
+
 type report = {
   dispositions : disposition array;  (** per request, arrival order *)
   latencies_us : float array;  (** [nan] for requests that never completed *)
@@ -99,6 +138,7 @@ type report = {
   makespan_us : float;
   classes : class_report list;
   replicas : replica_report list;
+  adaptive : adaptive_report option;  (** [Some] iff run with [~adaptive] *)
 }
 
 val padding_waste : report -> float
@@ -125,11 +165,31 @@ val create :
     the model does not declare. *)
 
 val replicas : t -> Replica.t array
+(** Includes replicas minted by adaptive scale-up. *)
+
 val cache : t -> Disc.Compile_cache.t
 val config : t -> config
 
-val run : ?failures:(float * int) list -> t -> request list -> report
+val shape_stats : t -> Shape_stats.t
+(** The online shape-distribution estimator (fed by adaptive runs). *)
+
+val current_bucket : t -> Bucket.spec
+(** The live bucket policy — [config.bucket] until an adaptive run
+    re-derives it from observed traffic. *)
+
+val run : ?failures:(float * int) list -> ?adaptive:adaptive -> t -> request list -> report
 (** Simulate the trace. [failures] is a list of [(time_us, replica_id)]
     fault deliveries: at that virtual time the replica begins draining.
     Replica warmth and stats persist across calls (a pool is normally
-    run once); the report's counters cover this run only. *)
+    run once); the report's counters cover this run only.
+
+    With [~adaptive], a control tick fires every [control_interval_us]
+    of virtual time: shape stats decay; the bucket policy is re-derived
+    from observed mass (queued work re-keyed, nothing dropped);
+    likely-value hints flow into every alive session
+    ({!Disc.Session.ingest_hints}); replicas pre-warm on the pool's
+    hottest signatures (their artifacts already live in the shared
+    cache); and, when [autoscale] is set, the {!Autoscaler} may mint a
+    pre-warmed replica or begin draining the youngest one. Scale events
+    never lose work: a draining replica finishes its in-flight batch
+    and queued traffic re-routes ([lost = 0] holds throughout). *)

@@ -59,6 +59,20 @@ let note_batch t ~key ~elements ~service_us ~requests ~cold =
        else (ewma_alpha *. rate) +. ((1.0 -. ewma_alpha) *. t.us_per_element))
   end
 
+(* Seed warmth without dispatch counters: the signature's artifact
+   already exists in the shared compile cache, so warming is a cache
+   replay, not a served batch. Count 0 distinguishes minted warmth from
+   earned warmth in the warmth table. *)
+let prewarm t keys =
+  List.fold_left
+    (fun minted key ->
+      if Hashtbl.mem t.warmth key then minted
+      else begin
+        Hashtbl.replace t.warmth key 0;
+        minted + 1
+      end)
+    0 keys
+
 let begin_drain t ~now =
   match t.health with
   | Dead -> ()

@@ -50,6 +50,12 @@ val note_batch :
 (** Record a completed batch: warmth, EWMA rate (over the warm portion
     of the service time), and dispatch counters. *)
 
+val prewarm : t -> string list -> int
+(** Seed warmth for shape signatures whose artifacts already live in
+    the shared compile cache (adaptive minting, scale-up pre-warm).
+    Returns how many signatures were newly warmed; already-warm keys
+    are untouched, so earned dispatch counts survive. *)
+
 val begin_drain : t -> now:float -> unit
 (** Fault delivery: stop taking work. If idle, the replica dies
     immediately; if busy, it dies when the in-flight batch completes

@@ -153,6 +153,21 @@ let add_likely t (d : Sym.dim) vs =
       let i = info t id in
       i.likely <- List.sort_uniq Stdlib.compare (vs @ i.likely)
 
+let max_likely = 16
+
+(* Replace semantics: an online feedback loop re-estimates the likely
+   set from live traffic, so stale hints must be droppable — [add_likely]
+   only ever grows the set. Values outside [lb, ub] are discarded rather
+   than raised: a hint is advisory, never a new constraint. *)
+let set_likely t (d : Sym.dim) vs =
+  match resolve t d with
+  | Sym.Static _ -> ()
+  | Sym.Sym id ->
+      let i = info t id in
+      let ok v = v >= i.lb && match i.ub with Some u -> v <= u | None -> true in
+      let vs = List.sort_uniq Stdlib.compare (List.filter ok vs) in
+      i.likely <- List.filteri (fun idx _ -> idx < max_likely) vs
+
 let shape_upper_bound_numel t (s : Sym.shape) =
   Array.fold_left
     (fun acc d ->

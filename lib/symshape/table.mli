@@ -41,6 +41,13 @@ val likely_values : t -> Sym.dim -> int list
 val set_range : t -> Sym.dim -> ?lb:int -> ?ub:int -> unit -> unit
 val add_likely : t -> Sym.dim -> int list -> unit
 
+val set_likely : t -> Sym.dim -> int list -> unit
+(** Replace the likely-value hint set (sorted, deduplicated, capped at
+    16). Unlike {!add_likely} this {e drops} values no longer present —
+    the ingestion point for online distribution feedback re-estimated
+    from live traffic. Values outside [[lb, ub]] are discarded (hints
+    are advisory, never constraints); no-op on a static dim. *)
+
 val shape_upper_bound_numel : t -> Sym.shape -> int option
 (** Upper bound on element count, if every dim has one (kStitch
     shared-memory feasibility). *)

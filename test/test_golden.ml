@@ -90,6 +90,38 @@ let test_stats_string_golden () =
     "insts=4 symbols=1 classes=1 product_facts=0 dyn_slots=3 equal_pairs=3/3"
     (Disc.Stats.to_string (Disc.Stats.coverage g))
 
+(* The adaptive-serving summary block printed by `discc serve
+   --adaptive` (and by the E17 bench), pinned exactly: both the fully
+   populated shape and the placeholder shape before any policy has been
+   derived. *)
+let test_adaptive_summary_golden () =
+  let a =
+    {
+      Serving.Pool.ar_ticks = 12;
+      ar_rebuckets = 3;
+      ar_minted = 5;
+      ar_hints = 24;
+      ar_scale_ups = 2;
+      ar_scale_downs = 1;
+      ar_final_replicas = 3;
+      ar_final_spec = "hist:edges20-24-40";
+      ar_likely = [ ("hist", [ 20; 24; 40 ]) ];
+    }
+  in
+  check_string "adaptive serve summary"
+    "adaptive: ticks=12 rebuckets=3 minted=5 hints=24 scale_ups=2 scale_downs=1 alive=3\n\
+     bucket: hist:edges20-24-40\n\
+     likely: hist=20,24,40"
+    (Serving.Pool.adaptive_summary_to_string a);
+  let empty =
+    { a with Serving.Pool.ar_final_spec = ""; ar_likely = []; ar_scale_ups = 0 }
+  in
+  check_string "placeholders before a policy is derived"
+    "adaptive: ticks=12 rebuckets=3 minted=5 hints=24 scale_ups=0 scale_downs=1 alive=3\n\
+     bucket: (none)\n\
+     likely: (none)"
+    (Serving.Pool.adaptive_summary_to_string empty)
+
 (* Pinned structural fingerprints of the tiny suite models — the
    identities the compilation cache keys on. A mismatch here means the
    canonical form changed: every persisted cache directory is silently
@@ -135,6 +167,7 @@ let () =
           Alcotest.test_case "cost" `Quick test_cost_golden;
           Alcotest.test_case "profile" `Quick test_profile_string_golden;
           Alcotest.test_case "stats" `Quick test_stats_string_golden;
+          Alcotest.test_case "adaptive summary" `Quick test_adaptive_summary_golden;
         ] );
       ( "fingerprints",
         [ Alcotest.test_case "suite models pinned" `Quick test_fingerprint_golden ] );

@@ -1,0 +1,253 @@
+(* Randomized pool event-loop hardening. A scenario is explicit data —
+   arrivals, fault deliveries, replica count, adaptive/autoscale flags —
+   so a failing case can be greedily shrunk (the test_pipeline_random
+   mold) to a minimal reproducer before it is reported.
+
+   The invariant under test is conservation: across random arrivals,
+   replica failures, online rebucketing and scale events, every admitted
+   request ends in exactly one disposition, lost = 0, the per-class
+   reports partition the trace, and completed latencies are finite and
+   non-negative.
+
+   POOL_FUZZ_ITERS overrides the trial count (default 40; the nightly CI
+   job runs a larger count and uploads pool_fuzz_reproducer.txt on
+   failure). *)
+
+module Pool = Serving.Pool
+module Bucket = Serving.Bucket
+module Slo = Serving.Slo
+module Scaler = Serving.Autoscaler
+module Suite = Models.Suite
+module Device = Gpusim.Device
+
+type scenario = {
+  arrivals : (int * int * int) list; (* arrival_us, hist value, class code *)
+  failures : (int * int) list; (* fault delivery time_us, replica id *)
+  replicas : int; (* initial pool size *)
+  adaptive : bool;
+  autoscale : bool; (* only meaningful with adaptive *)
+}
+
+let cls_of_code = function 0 -> Slo.Interactive | 1 -> Slo.Standard | _ -> Slo.Best_effort
+
+let scenario_of_seed seed =
+  let st = Random.State.make [| seed |] in
+  let n = 1 + Random.State.int st 24 in
+  let arrivals =
+    List.init n (fun _ ->
+        (Random.State.int st 120_000, 1 + Random.State.int st 60, Random.State.int st 3))
+  in
+  let replicas = 1 + Random.State.int st 2 in
+  let failures =
+    List.init (Random.State.int st 3) (fun _ ->
+        (Random.State.int st 100_000, Random.State.int st replicas))
+  in
+  {
+    arrivals;
+    failures;
+    replicas;
+    adaptive = Random.State.bool st;
+    autoscale = Random.State.bool st;
+  }
+
+(* One shared compile cache: the model compiles once for the whole fuzz
+   run; every scenario's replicas (and scale-up mints) hit it. *)
+let cache = Disc.Compile_cache.create ()
+let build = (Suite.find "dien").Suite.build
+
+let run_scenario (s : scenario) =
+  let devices =
+    List.init s.replicas (fun i -> if i mod 2 = 0 then Device.a10 else Device.t4)
+  in
+  let cfg = Pool.default_config ~devices ~batch_dim:"batch" ~bucket:[ ("hist", Bucket.Pow2) ] in
+  let pool = Pool.create ~cache cfg build in
+  let adaptive =
+    if not s.adaptive then None
+    else
+      Some
+        {
+          Pool.default_adaptive with
+          Pool.control_interval_us = 10_000.0;
+          Pool.autoscale =
+            (if s.autoscale then
+               Some
+                 {
+                   Scaler.default_config with
+                   Scaler.max_replicas = s.replicas + 2;
+                   scale_up_queue = 1;
+                   cooldown_us = 10_000.0;
+                 }
+             else None);
+        }
+  in
+  let reqs =
+    List.map
+      (fun (t, h, c) ->
+        { Pool.arrival_us = float_of_int t; dims = [ ("hist", h) ]; cls = cls_of_code c })
+      s.arrivals
+  in
+  let failures = List.map (fun (t, id) -> (float_of_int t, id)) s.failures in
+  Pool.run ~failures ?adaptive pool reqs
+
+(* The conservation predicate the shrinker preserves: true when the
+   scenario violates an invariant (or anything raises). *)
+let violates (s : scenario) =
+  match run_scenario s with
+  | r ->
+      let n = List.length s.arrivals in
+      let total =
+        r.Pool.served + r.Pool.fell_back + r.Pool.shed + r.Pool.expired + r.Pool.rejected
+        + r.Pool.failed
+      in
+      let class_total =
+        List.fold_left (fun acc c -> acc + c.Pool.cr_arrivals) 0 r.Pool.classes
+      in
+      let lats_ok =
+        Array.for_all Float.is_finite (Pool.completed_latencies r)
+        && Array.for_all
+             (fun l -> Float.is_nan l || l >= 0.0)
+             r.Pool.latencies_us
+      in
+      not
+        (r.Pool.lost = 0 && total = n
+        && Array.length r.Pool.dispositions = n
+        && class_total = n && lats_ok)
+  | exception _ -> true
+
+(* --- greedy shrinker ------------------------------------------------------
+   Drop each arrival, then each failure, then clear the flags and shrink
+   the pool, re-testing every candidate; iterate to a fixed point. *)
+
+let drop_nth l i = List.filteri (fun j _ -> j <> i) l
+
+let rec drop_arrivals fails s i =
+  if i >= List.length s.arrivals then s
+  else
+    let cand = { s with arrivals = drop_nth s.arrivals i } in
+    if fails cand then drop_arrivals fails cand i else drop_arrivals fails s (i + 1)
+
+let rec drop_failures fails s i =
+  if i >= List.length s.failures then s
+  else
+    let cand = { s with failures = drop_nth s.failures i } in
+    if fails cand then drop_failures fails cand i else drop_failures fails s (i + 1)
+
+let simplify_config fails s =
+  let try_with cand s = if fails cand then cand else s in
+  let s = try_with { s with autoscale = false } s in
+  let s = try_with { s with adaptive = false } s in
+  try_with { s with replicas = 1; failures = [] } s
+
+let shrink ~fails s =
+  let rec fix s =
+    let s' = simplify_config fails (drop_failures fails (drop_arrivals fails s 0) 0) in
+    if s' = s then s else fix s'
+  in
+  fix s
+
+let reproducer_file = "pool_fuzz_reproducer.txt"
+
+let scenario_to_string s =
+  Printf.sprintf "replicas=%d adaptive=%b autoscale=%b\narrivals=%s\nfailures=%s\n"
+    s.replicas s.adaptive s.autoscale
+    (String.concat ";"
+       (List.map (fun (t, h, c) -> Printf.sprintf "%d,%d,%d" t h c) s.arrivals))
+    (String.concat ";" (List.map (fun (t, id) -> Printf.sprintf "%d,%d" t id) s.failures))
+
+let report_reproducer ~seed s =
+  (try
+     let oc = open_out reproducer_file in
+     output_string oc (scenario_to_string s);
+     close_out oc
+   with Sys_error _ -> ());
+  Printf.printf "\nMINIMAL POOL SCENARIO (seed=%d; also written to %s):\n%s\n" seed
+    reproducer_file (scenario_to_string s)
+
+let fuzz_iters =
+  match Sys.getenv_opt "POOL_FUZZ_ITERS" with
+  | Some v -> ( try max 1 (int_of_string v) with Failure _ -> 40)
+  | None -> 40
+
+let prop_conservation =
+  QCheck.Test.make
+    ~name:"pool scenarios: every request gets exactly one disposition, lost = 0"
+    ~count:fuzz_iters
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let s = scenario_of_seed seed in
+      if not (violates s) then true
+      else begin
+        report_reproducer ~seed (shrink ~fails:violates s);
+        false
+      end)
+
+(* --- shrinker self-tests --------------------------------------------------- *)
+
+let test_shrinker_always_failing_shrinks_to_empty () =
+  let s = scenario_of_seed 11 in
+  let minimal = shrink ~fails:(fun _ -> true) s in
+  Alcotest.(check int) "no arrivals left" 0 (List.length minimal.arrivals);
+  Alcotest.(check int) "no failures left" 0 (List.length minimal.failures);
+  Alcotest.(check bool) "flags cleared" true
+    ((not minimal.adaptive) && (not minimal.autoscale) && minimal.replicas = 1)
+
+let test_shrinker_injected_failure_is_minimal () =
+  (* a predicate we control — "at least 3 arrivals and a failure event" —
+     must shrink to exactly 3 arrivals and 1 failure *)
+  let fails s = List.length s.arrivals >= 3 && s.failures <> [] in
+  let s =
+    {
+      arrivals = List.init 20 (fun i -> (i * 1_000, 5 + i, i mod 3));
+      failures = [ (10_000, 0); (20_000, 1) ];
+      replicas = 2;
+      adaptive = true;
+      autoscale = true;
+    }
+  in
+  let minimal = shrink ~fails s in
+  Alcotest.(check bool) "still failing" true (fails minimal);
+  Alcotest.(check int) "exactly 3 arrivals" 3 (List.length minimal.arrivals);
+  Alcotest.(check int) "exactly 1 failure" 1 (List.length minimal.failures)
+
+let test_reproducer_file_round_trips () =
+  let s = scenario_of_seed 5 in
+  report_reproducer ~seed:5 s;
+  let text = In_channel.with_open_text reproducer_file In_channel.input_all in
+  Alcotest.(check bool) "reproducer lists the arrivals" true
+    (String.length text > 0
+    && String.sub text 0 9 = "replicas="
+    && String.split_on_char '\n' text
+       |> List.exists (fun l ->
+              String.length l >= 9 && String.sub l 0 9 = "arrivals="));
+  Sys.remove reproducer_file
+
+(* A pinned non-trivial scenario stays green even at POOL_FUZZ_ITERS=1:
+   failures + adaptive + autoscale together, conservation by hand. *)
+let test_pinned_scenario_conserves () =
+  let s =
+    {
+      arrivals = List.init 16 (fun i -> (i * 4_000, 30 + (i mod 10), i mod 3));
+      failures = [ (20_000, 0) ];
+      replicas = 2;
+      adaptive = true;
+      autoscale = true;
+    }
+  in
+  Alcotest.(check bool) "pinned scenario holds the invariants" false (violates s)
+
+let () =
+  Alcotest.run "pool-random"
+    [
+      ("properties", [ QCheck_alcotest.to_alcotest prop_conservation ]);
+      ( "shrinker",
+        [
+          Alcotest.test_case "always-failing shrinks to empty" `Quick
+            test_shrinker_always_failing_shrinks_to_empty;
+          Alcotest.test_case "injected failure reduces to minimum" `Quick
+            test_shrinker_injected_failure_is_minimal;
+          Alcotest.test_case "reproducer file round-trips" `Quick
+            test_reproducer_file_round_trips;
+          Alcotest.test_case "pinned scenario conserves" `Quick
+            test_pinned_scenario_conserves;
+        ] );
+    ]

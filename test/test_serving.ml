@@ -5,8 +5,15 @@ module Slo = Serving.Slo
 module Replica = Serving.Replica
 module Router = Serving.Router
 module Pool = Serving.Pool
+module Stats = Serving.Shape_stats
+module Scaler = Serving.Autoscaler
 module Suite = Models.Suite
 module Device = Gpusim.Device
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -74,6 +81,141 @@ let test_batch_envs () =
 let test_waste () =
   Alcotest.(check (float 1e-9)) "waste fraction" 0.25 (Bucket.waste ~actual:96 ~padded:128);
   Alcotest.(check (float 1e-9)) "zero padded" 0.0 (Bucket.waste ~actual:0 ~padded:0)
+
+let test_edges_scheme () =
+  let e = Bucket.Edges [ 20; 24; 40 ] in
+  check_int "rounds up to the first covering edge" 20 (Bucket.round_up e 17);
+  check_int "edge values are fixed points" 24 (Bucket.round_up e 24);
+  check_int "past the last edge stays exact" 55 (Bucket.round_up e 55);
+  check_string "scheme name carries the edges" "edges20-24-40" (Bucket.scheme_to_string e);
+  check_string "spec string" "batch:pow2,hist:edges20-24-40"
+    (Bucket.spec_to_string [ ("batch", Bucket.Pow2); ("hist", e) ]);
+  check_bool "descending edges rejected" true
+    (try
+       ignore (Bucket.round_up (Bucket.Edges [ 8; 4 ]) 5);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- shape-distribution statistics ---------------------------------------- *)
+
+let observe_all st vs = List.iter (fun v -> Stats.observe st [ ("hist", v) ]) vs
+
+let test_stats_quantile_bound () =
+  let st = Stats.create () in
+  observe_all st (List.init 100 (fun i -> i + 1));
+  (* log-linear buckets: <= 1/16 relative error, so the estimated median
+     of uniform 1..100 must land within one bucket (~4) of 50 *)
+  check_bool "p50 within a bucket of the true median" true
+    (abs (Stats.quantile st "hist" 0.5 - 50) <= 4);
+  check_int "p100 is the observed max" 100 (Stats.quantile st "hist" 1.0);
+  check_bool "p0 clamps to the observed min" true (Stats.quantile st "hist" 0.0 >= 1);
+  check_int "requests counted" 100 (Stats.observations st);
+  let c = Stats.create () in
+  observe_all c [ 50; 50; 50 ];
+  check_int "constant traffic: every quantile exact" 50 (Stats.quantile c "hist" 0.5);
+  check_int "unseen dim quantile is 0" 0 (Stats.quantile st "bogus" 0.5)
+
+let test_stats_decay_invariance () =
+  let st = Stats.create () in
+  observe_all st [ 33; 35; 35; 38; 40; 40; 40; 17; 20; 24 ];
+  let edges_before = Stats.edges st ~max_edges:4 "hist" in
+  let p50_before = Stats.quantile st "hist" 0.5 in
+  Stats.decay st ~factor:0.7;
+  Alcotest.(check (list int)) "edges invariant under decay" edges_before
+    (Stats.edges st ~max_edges:4 "hist");
+  check_int "quantiles invariant under decay" p50_before (Stats.quantile st "hist" 0.5);
+  Stats.decay st ~factor:0.0;
+  Alcotest.(check (list int)) "fully decayed mass: no edges" []
+    (Stats.edges st ~max_edges:4 "hist");
+  check_int "fully decayed mass: quantile 0" 0 (Stats.quantile st "hist" 0.5)
+
+let test_stats_likely_topk () =
+  let st = Stats.create () in
+  observe_all st (List.init 20 (fun _ -> 8) @ List.init 10 (fun _ -> 16) @ [ 3 ]);
+  Alcotest.(check (list int)) "top-2 heaviest values, ascending" [ 8; 16 ]
+    (Stats.likely ~k:2 st "hist");
+  Alcotest.(check (list int)) "unseen dim: no likely values" [] (Stats.likely st "bogus");
+  check_bool "hints carry the dim name" true (Stats.hints ~k:2 st = [ ("hist", [ 8; 16 ]) ])
+
+let test_stats_edges_quantum () =
+  let st = Stats.create () in
+  observe_all st (List.init 7 (fun i -> 33 + i));
+  (* vmax = 39: quantized edges snap up to multiples of 4 but never past
+     the observed max, so padding stays within shapes traffic has bound *)
+  let es = Stats.edges ~quantum:4 st ~max_edges:4 "hist" in
+  check_bool "nonempty" true (es <> []);
+  List.iter
+    (fun e ->
+      check_bool "edge is a multiple of the quantum or the observed max" true
+        (e mod 4 = 0 || e = 39))
+    es;
+  check_int "last edge covers the observed max" 39 (List.nth es (List.length es - 1));
+  check_bool "ascending" true (List.sort compare es = es)
+
+let test_stats_spec_keeps_unseen () =
+  let st = Stats.create () in
+  observe_all st [ 10; 20 ];
+  let spec =
+    Stats.spec st ~max_edges:2 ~dims:[ ("hist", Bucket.Pow2); ("other", Bucket.Exact) ]
+  in
+  check_bool "observed dim re-derived as edges" true
+    (match List.assoc "hist" spec with Bucket.Edges _ -> true | _ -> false);
+  check_bool "unseen dim keeps its static scheme" true
+    (List.assoc "other" spec = Bucket.Exact)
+
+let test_stats_rebucket_key_stability () =
+  (* unchanged traffic must re-derive the identical policy: decay is a
+     uniform rescale and repeating the same empirical distribution keeps
+     every quantile, so canonical bucket keys are stable *)
+  let trace = [ 33; 34; 35; 36; 37; 38; 39; 40; 35; 36 ] in
+  let dims = [ ("hist", Bucket.Pow2) ] in
+  let st = Stats.create () in
+  observe_all st trace;
+  let s1 = Bucket.spec_to_string (Stats.spec ~quantum:4 st ~max_edges:4 ~dims) in
+  Stats.decay st ~factor:0.9;
+  observe_all st trace;
+  let s2 = Bucket.spec_to_string (Stats.spec ~quantum:4 st ~max_edges:4 ~dims) in
+  check_string "canonical keys stable on unchanged traffic" s1 s2
+
+(* --- autoscaler ------------------------------------------------------------ *)
+
+let test_autoscaler_state_machine () =
+  let cfg =
+    { Scaler.default_config with
+      Scaler.min_replicas = 2; max_replicas = 4; scale_up_queue = 2;
+      scale_down_queue = 0; cooldown_us = 1_000.0 }
+  in
+  let t = Scaler.create cfg in
+  check_bool "below the floor: repair ignores cooldown" true
+    (Scaler.decide t ~now:0.0 ~alive:1 ~queue_depth:0 ~attainment:1.0 = Scaler.Scale_up);
+  check_bool "inside cooldown: hold even under pressure" true
+    (Scaler.decide t ~now:500.0 ~alive:2 ~queue_depth:100 ~attainment:0.0 = Scaler.Hold);
+  check_bool "backlog past the per-replica bound scales up" true
+    (Scaler.decide t ~now:2_000.0 ~alive:2 ~queue_depth:5 ~attainment:1.0 = Scaler.Scale_up);
+  check_bool "missed attainment scales up" true
+    (Scaler.decide t ~now:4_000.0 ~alive:2 ~queue_depth:0 ~attainment:0.5 = Scaler.Scale_up);
+  check_bool "at the ceiling: hold" true
+    (Scaler.decide t ~now:6_000.0 ~alive:4 ~queue_depth:100 ~attainment:0.0 = Scaler.Hold);
+  check_bool "comfortable and drained: scale down" true
+    (Scaler.decide t ~now:8_000.0 ~alive:3 ~queue_depth:0 ~attainment:1.0 = Scaler.Scale_down);
+  check_bool "at the floor: hold" true
+    (Scaler.decide t ~now:10_000.0 ~alive:2 ~queue_depth:0 ~attainment:1.0 = Scaler.Hold);
+  check_int "ups counted" 3 (Scaler.ups t);
+  check_int "downs counted" 1 (Scaler.downs t)
+
+let test_autoscaler_validation () =
+  check_bool "min_replicas 0 rejected" true
+    (try
+       ignore (Scaler.create { Scaler.default_config with Scaler.min_replicas = 0 });
+       false
+     with Invalid_argument _ -> true);
+  check_bool "max below min rejected" true
+    (try
+       ignore
+         (Scaler.create
+            { Scaler.default_config with Scaler.min_replicas = 3; max_replicas = 2 });
+       false
+     with Invalid_argument _ -> true)
 
 (* --- SLO admission -------------------------------------------------------- *)
 
@@ -320,12 +462,168 @@ let test_heterogeneous_pool_runs () =
   check_bool "report names both devices" true
     (List.mem Device.a10.Device.name devices && List.mem Device.t4.Device.name devices);
   let s = Pool.report_to_string r in
-  let contains hay needle =
-    let nh = String.length hay and nn = String.length needle in
-    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
-    go 0
-  in
   check_bool "summary mentions served" true (contains s "served=20")
+
+(* --- router invariants under random replica states --------------------------
+
+   One pool is built once; each trial overwrites the replicas' mutable
+   pool-visible state (health, busy-until, accumulated load, warmth)
+   from the trial seed, so the properties range over arbitrary mixes of
+   dead, draining, busy, warm and loaded replicas without recompiling. *)
+
+let router_pool =
+  lazy
+    (Pool.create
+       (base_config ~devices:[ Device.a10; Device.t4; Device.a10; Device.t4 ] ())
+       dien)
+
+let hot_key = "batch=1,hist=8"
+let router_now = 50.0
+
+let randomize_replicas st reps =
+  Array.iter
+    (fun (r : Replica.t) ->
+      r.Replica.health <-
+        (match Random.State.int st 5 with
+        | 0 -> Replica.Draining
+        | 1 -> Replica.Dead
+        | _ -> Replica.Healthy);
+      r.Replica.free_at <-
+        (if Random.State.bool st then 0.0
+         else router_now +. 1.0 +. float_of_int (Random.State.int st 1_000));
+      r.Replica.busy_us <- float_of_int (Random.State.int st 10_000);
+      Hashtbl.reset r.Replica.warmth;
+      if Random.State.bool st then Hashtbl.replace r.Replica.warmth hot_key 1)
+    reps
+
+let all_policies = [ Router.Round_robin; Router.Least_loaded; Router.Warmth_aware ]
+
+let prop_router_never_picks_unavailable =
+  QCheck.Test.make ~name:"router: never picks dead, draining or busy replicas"
+    ~count:300
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let reps = Pool.replicas (Lazy.force router_pool) in
+      randomize_replicas (Random.State.make [| seed |]) reps;
+      List.for_all
+        (fun p ->
+          match Router.pick (Router.create p) ~now:router_now ~key:hot_key reps with
+          | Some x -> Replica.is_free x ~now:router_now
+          | None ->
+              (* None exactly when nothing is dispatchable *)
+              not (Array.exists (fun x -> Replica.is_free x ~now:router_now) reps))
+        all_policies)
+
+let prop_router_warmth_tiebreak_deterministic =
+  QCheck.Test.make
+    ~name:"router: warmth pick is the lowest-index score argmax, repeatably" ~count:300
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let reps = Pool.replicas (Lazy.force router_pool) in
+      randomize_replicas (Random.State.make [| seed |]) reps;
+      let pick () =
+        Router.pick (Router.create Router.Warmth_aware) ~now:router_now ~key:hot_key reps
+      in
+      match (pick (), pick ()) with
+      | None, None -> true
+      | Some a, Some b ->
+          a.Replica.id = b.Replica.id
+          && Array.to_list reps
+             |> List.filter (fun r -> Replica.is_free r ~now:router_now)
+             |> List.for_all (fun r ->
+                    let sa = Router.score ~now:router_now ~key:hot_key a
+                    and sr = Router.score ~now:router_now ~key:hot_key r in
+                    sa > sr || (sa = sr && a.Replica.id <= r.Replica.id))
+      | _ -> false)
+
+let prop_router_score_monotone_in_load =
+  QCheck.Test.make ~name:"router: score strictly decreases with accumulated load"
+    ~count:300
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 5_000))
+    (fun (seed, extra) ->
+      let reps = Pool.replicas (Lazy.force router_pool) in
+      let st = Random.State.make [| seed |] in
+      randomize_replicas st reps;
+      let r = reps.(Random.State.int st (Array.length reps)) in
+      let before = Router.score ~now:router_now ~key:hot_key r in
+      r.Replica.busy_us <- r.Replica.busy_us +. float_of_int extra;
+      Router.score ~now:router_now ~key:hot_key r < before)
+
+(* --- pool: adaptive control loop -------------------------------------------- *)
+
+let drift_trace n =
+  (* values just above a power of two: Pow2 pads them nearly 2x, edges
+     derived from the observed mass do not *)
+  List.init n (fun i -> req (float_of_int i *. 2_500.0) (33 + (i mod 8)))
+
+let test_adaptive_rebucket_cuts_waste () =
+  let run_with adaptive =
+    let pool = Pool.create (base_config ~devices:[ Device.a10 ] ()) dien in
+    Pool.run ?adaptive pool (drift_trace 40)
+  in
+  let stat = run_with None in
+  let adap =
+    run_with (Some { Pool.default_adaptive with Pool.control_interval_us = 5_000.0 })
+  in
+  check_int "static: all completed" 40 (stat.Pool.served + stat.Pool.fell_back);
+  check_int "adaptive: all completed" 40 (adap.Pool.served + adap.Pool.fell_back);
+  check_int "adaptive: no losses" 0 adap.Pool.lost;
+  check_bool "static run has no adaptive report" true (stat.Pool.adaptive = None);
+  let a =
+    match adap.Pool.adaptive with
+    | Some a -> a
+    | None -> Alcotest.fail "missing adaptive report"
+  in
+  check_bool "control ticks fired" true (a.Pool.ar_ticks >= 1);
+  check_bool "the bucket policy was re-derived" true (a.Pool.ar_rebuckets >= 1);
+  check_bool "final policy is observed edges" true (contains a.Pool.ar_final_spec "edges");
+  check_bool "likely-value hints were ingested" true (a.Pool.ar_hints > 0);
+  check_bool "last hint set reported" true (a.Pool.ar_likely <> []);
+  check_bool "padding waste strictly reduced" true
+    (Pool.padding_waste adap < Pool.padding_waste stat)
+
+let test_adaptive_scaling_no_loss () =
+  let pool = Pool.create (base_config ~devices:[ Device.a10 ] ()) dien in
+  (* a burst deep enough to outlast the first control ticks, then a
+     sparse tail that keeps ticks firing while the backlog is empty *)
+  let burst = List.init 24 (fun _ -> req 0.0 20) in
+  let tail = List.init 12 (fun i -> req (60_000.0 +. (float_of_int i *. 15_000.0)) 20) in
+  let autoscale =
+    { Scaler.default_config with
+      Scaler.min_replicas = 1; max_replicas = 3; scale_up_queue = 2;
+      cooldown_us = 2_000.0 }
+  in
+  let adaptive =
+    { Pool.default_adaptive with
+      Pool.control_interval_us = 1_000.0; Pool.autoscale = Some autoscale }
+  in
+  let r = Pool.run ~adaptive pool (burst @ tail) in
+  check_int "no losses across scale events" 0 r.Pool.lost;
+  check_int "every request accounted exactly once" 36
+    (r.Pool.served + r.Pool.fell_back + r.Pool.shed + r.Pool.expired + r.Pool.rejected
+   + r.Pool.failed);
+  let a = Option.get r.Pool.adaptive in
+  check_bool "the burst scaled the pool up" true (a.Pool.ar_scale_ups >= 1);
+  check_bool "the quiet tail drained a replica" true (a.Pool.ar_scale_downs >= 1);
+  check_bool "replicas were minted beyond the configured devices" true
+    (Array.length (Pool.replicas pool) > 1);
+  check_bool "the pool ends at or above the floor" true (a.Pool.ar_final_replicas >= 1)
+
+let test_adaptive_prewarm_spreads_warmth () =
+  let pool = Pool.create (base_config ()) dien in
+  (* one hot signature, arrivals spaced so the warmth-aware router keeps
+     replica 0 serving: replica 1 can only get warm through pre-warming *)
+  let reqs = List.init 20 (fun i -> req (float_of_int i *. 4_000.0) 20) in
+  let adaptive = { Pool.default_adaptive with Pool.control_interval_us = 6_000.0 } in
+  let r = Pool.run ~adaptive pool reqs in
+  check_int "all completed" 20 (r.Pool.served + r.Pool.fell_back);
+  let a = Option.get r.Pool.adaptive in
+  check_bool "hot signatures pre-warmed across replicas" true (a.Pool.ar_minted >= 1);
+  let reps = Pool.replicas pool in
+  check_bool "the idle replica is warm without having served" true
+    (Hashtbl.length reps.(1).Replica.warmth >= 1);
+  check_bool "hints reached the replica sessions" true
+    (Disc.Session.shape_hints reps.(0).Replica.session >= 1)
 
 let () =
   Alcotest.run "serving"
@@ -336,6 +634,22 @@ let () =
           Alcotest.test_case "keys" `Quick test_bucket_keys;
           Alcotest.test_case "batch envs" `Quick test_batch_envs;
           Alcotest.test_case "waste" `Quick test_waste;
+          Alcotest.test_case "edges scheme" `Quick test_edges_scheme;
+        ] );
+      ( "shape stats",
+        [
+          Alcotest.test_case "quantile error bound" `Quick test_stats_quantile_bound;
+          Alcotest.test_case "decay invariance" `Quick test_stats_decay_invariance;
+          Alcotest.test_case "likely top-k" `Quick test_stats_likely_topk;
+          Alcotest.test_case "edge quantization" `Quick test_stats_edges_quantum;
+          Alcotest.test_case "unseen dims keep scheme" `Quick test_stats_spec_keeps_unseen;
+          Alcotest.test_case "rebucket key stability" `Quick
+            test_stats_rebucket_key_stability;
+        ] );
+      ( "autoscaler",
+        [
+          Alcotest.test_case "state machine" `Quick test_autoscaler_state_machine;
+          Alcotest.test_case "validation" `Quick test_autoscaler_validation;
         ] );
       ( "slo",
         [ Alcotest.test_case "admission" `Quick test_slo_admission ] );
@@ -345,6 +659,13 @@ let () =
           Alcotest.test_case "round robin" `Quick test_round_robin_rotates;
           Alcotest.test_case "policy names" `Quick test_policy_of_string;
         ] );
+      ( "router properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_router_never_picks_unavailable;
+            prop_router_warmth_tiebreak_deterministic;
+            prop_router_score_monotone_in_load;
+          ] );
       ( "pool",
         [
           Alcotest.test_case "shares cache" `Quick test_pool_shares_cache;
@@ -359,5 +680,12 @@ let () =
           Alcotest.test_case "failure drains" `Quick test_replica_failure_drains_cleanly;
           Alcotest.test_case "pool death" `Quick test_whole_pool_death_fails_remainder;
           Alcotest.test_case "heterogeneous" `Quick test_heterogeneous_pool_runs;
+        ] );
+      ( "adaptive",
+        [
+          Alcotest.test_case "rebucket cuts waste" `Quick test_adaptive_rebucket_cuts_waste;
+          Alcotest.test_case "scaling loses nothing" `Quick test_adaptive_scaling_no_loss;
+          Alcotest.test_case "prewarm spreads warmth" `Quick
+            test_adaptive_prewarm_spreads_warmth;
         ] );
     ]
