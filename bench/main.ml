@@ -884,6 +884,204 @@ let adaptive_serving ?json () =
       Printf.printf "adaptive numbers -> %s\n" path
 
 (* ----------------------------------------------------------------------
+   E18 (extension): availability under chaos. One seeded scenario —
+   a heavy straggler, a hard crash with recovery, and a traffic spike —
+   replayed against the same pool twice: once with every resilience
+   mechanism off (the pre-chaos pool's behaviour) and once with the
+   full stack (watchdog, hedged re-dispatch, crash re-queue, replica
+   recovery, brownout ladder). The resilient config must keep lost=0,
+   complete >=99% of admitted traffic, and wind the brownout ladder
+   back to level 0 before the trace ends; the baseline measurably
+   degrades. The resilient config runs twice to pin bit-reproducibility:
+   chaos is a pure function of (seed, scenario). *)
+
+let chaos_serving ?json () =
+  header "E18 (extension): chaos — availability under crash + straggler + spike (dien, A10)";
+  let module Pool = Serving.Pool in
+  let module Bucket = Serving.Bucket in
+  let module Chaos = Serving.Chaos in
+  let module Slo = Serving.Slo in
+  let entry = Suite.find "dien" in
+  let qps = 2400.0 and n = 900 in
+  let reqs =
+    Workloads.Queueing.generate_arrivals ~seed:29 ~qps ~n
+      ~dims:[ ("hist", Workloads.Trace.Skewed (5, 100)) ]
+    |> Pool.of_arrivals
+    |> Pool.with_class_mix ~seed:29
+         [ (Slo.Interactive, 0.25); (Slo.Standard, 0.5); (Slo.Best_effort, 0.25) ]
+  in
+  let first_fault_us = 40_000.0 in
+  let scenario =
+    {
+      Chaos.seed = 7;
+      events =
+        [
+          { Chaos.at_us = first_fault_us;
+            event = Chaos.Straggle { replica = 1; factor = 10.0; duration_us = 250_000.0 } };
+          { Chaos.at_us = 140_000.0;
+            event = Chaos.Spike
+                { duration_us = 40_000.0; requests = 700; dim = "hist"; lo = 5; hi = 100;
+                  cls = Slo.Standard } };
+          { Chaos.at_us = 155_000.0;
+            event = Chaos.Crash { replica = 0; recover_after_us = Some 80_000.0; spinup_us = 5_000.0 } };
+        ];
+    }
+  in
+  Printf.printf "scenario: %s\n" (Chaos.scenario_to_string scenario);
+  (* reconstruct the pool's merged (organic + spike) arrival order so
+     per-request latencies can be attributed to SLO classes: the pool
+     appends spike arrivals and stable-sorts by arrival time, and
+     Chaos.spike_arrivals is a pure function of the scenario *)
+  let merged_cls =
+    let spike =
+      Chaos.spike_arrivals scenario
+      |> List.map (fun (at, dims, cls) -> { Pool.arrival_us = at; dims; cls })
+    in
+    List.sort
+      (fun a b -> compare a.Pool.arrival_us b.Pool.arrival_us)
+      (reqs @ spike)
+    |> List.map (fun r -> r.Pool.cls)
+    |> Array.of_list
+  in
+  let classes = [ Slo.Interactive; Slo.Standard; Slo.Best_effort ] in
+  let class_p99 r cls =
+    let lats = ref [] in
+    Array.iteri
+      (fun i l ->
+        if i < Array.length merged_cls && merged_cls.(i) = cls && not (Float.is_nan l)
+        then lats := l :: !lats)
+      r.Pool.latencies_us;
+    Pool.percentile (Array.of_list !lats) 0.99
+  in
+  let run_config resilience =
+    let cfg =
+      Pool.default_config
+        ~devices:[ Gpusim.Device.a10; Gpusim.Device.a10; Gpusim.Device.a10 ]
+        ~batch_dim:"batch"
+        ~bucket:[ ("hist", Bucket.Pow2) ]
+    in
+    let pool = Pool.create cfg (fun () -> entry.Suite.build ()) in
+    Pool.run ~chaos:scenario ~resilience pool reqs
+  in
+  let configs =
+    [
+      ("no-resilience", Pool.no_resilience);
+      ("redispatch", { Pool.no_resilience with Pool.redispatch = true; Pool.max_redispatch = 2 });
+      ("no-brownout", { Pool.default_resilience with Pool.brownout = false });
+      ("resilient", Pool.default_resilience);
+    ]
+  in
+  Printf.printf "%-14s %8s %7s %7s %6s %5s %7s %8s %8s %8s %9s %4s\n" "config" "served%"
+    "goodput" "failed" "exp" "lost" "crash" "p99-I" "p99-S" "p99-BE" "ttr(ms)" "bro";
+  let rows = ref [] in
+  let results =
+    List.map
+      (fun (cname, res) ->
+        let r = run_config res in
+        let xr = r.Pool.resilience in
+        let total = Array.length r.Pool.dispositions in
+        let admitted = total - r.Pool.rejected - r.Pool.shed in
+        let completed = r.Pool.served + r.Pool.fell_back in
+        let served_pct =
+          if admitted = 0 then 0.0 else 100.0 *. float_of_int completed /. float_of_int admitted
+        in
+        let goodput = 1.0e6 *. float_of_int completed /. r.Pool.makespan_us in
+        (* time-to-recover: first fault until the brownout ladder last
+           returned to level 0 (0 when it never stepped up) *)
+        let ttr_us =
+          if xr.Pool.xr_last_level0_us > 0.0 then xr.Pool.xr_last_level0_us -. first_fault_us
+          else 0.0
+        in
+        let p99s = List.map (fun cls -> (cls, class_p99 r cls)) classes in
+        let p99 cls = List.assoc cls p99s in
+        Printf.printf "%-14s %8.1f %7.1f %7d %6d %5d %7d %8.1f %8.1f %8.1f %9.1f %4d\n"
+          cname served_pct goodput r.Pool.failed r.Pool.expired r.Pool.lost
+          xr.Pool.xr_crashes
+          (p99 Slo.Interactive /. 1000.0) (p99 Slo.Standard /. 1000.0)
+          (p99 Slo.Best_effort /. 1000.0) (ttr_us /. 1000.0)
+          xr.Pool.xr_brownout_final;
+        Printf.printf "  %s\n"
+          (String.concat "\n  "
+             (String.split_on_char '\n' (Pool.resilience_summary_to_string xr)));
+        rows :=
+          Obs.Json.Obj
+            [
+              ("config", Obs.Json.Str cname);
+              ("requests", Obs.Json.Int total);
+              ("admitted", Obs.Json.Int admitted);
+              ("completed", Obs.Json.Int completed);
+              ("served_pct_of_admitted", Obs.Json.Float served_pct);
+              ("goodput_rps", Obs.Json.Float goodput);
+              ("served", Obs.Json.Int r.Pool.served);
+              ("fell_back", Obs.Json.Int r.Pool.fell_back);
+              ("failed", Obs.Json.Int r.Pool.failed);
+              ("shed", Obs.Json.Int r.Pool.shed);
+              ("expired", Obs.Json.Int r.Pool.expired);
+              ("lost", Obs.Json.Int r.Pool.lost);
+              ( "p99_us_by_class",
+                Obs.Json.Obj
+                  (List.map
+                     (fun (cls, v) -> (Slo.cls_to_string cls, Obs.Json.Float v))
+                     p99s) );
+              ("time_to_recover_us", Obs.Json.Float ttr_us);
+              ("crashes", Obs.Json.Int xr.Pool.xr_crashes);
+              ("recoveries", Obs.Json.Int xr.Pool.xr_recoveries);
+              ("redispatched", Obs.Json.Int xr.Pool.xr_redispatched);
+              ("hedges", Obs.Json.Int xr.Pool.xr_hedges);
+              ("hedge_wins", Obs.Json.Int xr.Pool.xr_hedge_wins);
+              ("degraded_events", Obs.Json.Int xr.Pool.xr_degraded_events);
+              ("brownout_transitions", Obs.Json.Int xr.Pool.xr_brownout_transitions);
+              ("brownout_max", Obs.Json.Int xr.Pool.xr_brownout_max);
+              ("brownout_final", Obs.Json.Int xr.Pool.xr_brownout_final);
+              ("brownout_us", Obs.Json.Float xr.Pool.xr_brownout_us);
+              ("spike_requests", Obs.Json.Int xr.Pool.xr_spike_requests);
+            ]
+          :: !rows;
+        (cname, r, served_pct))
+      configs
+  in
+  (* bit-reproducibility: the whole run is a pure function of (trace,
+     scenario, seeds) — a second resilient run must produce identical
+     per-request dispositions *)
+  let r2 = run_config Pool.default_resilience in
+  let r1 =
+    match List.rev results with (_, r, _) :: _ -> r | [] -> assert false
+  in
+  let reproducible = r1.Pool.dispositions = r2.Pool.dispositions in
+  Printf.printf
+    "(p99 is over completed requests only: the baseline's crash victims are\n\
+    \ Failed — excluded from its p99 — where resilient configs serve them, late;\n\
+    \ availability is the served%% / failed columns, not the tail)\n";
+  Printf.printf "reproducible: %b (two resilient runs, identical dispositions)\n" reproducible;
+  (match (results, List.rev results) with
+  | (_, rb, pb) :: _, (_, rr, pr) :: _ ->
+      let ok =
+        rr.Pool.lost = 0 && pr >= 99.0
+        && rr.Pool.resilience.Pool.xr_brownout_final = 0
+        && reproducible
+        && pb < pr
+      in
+      Printf.printf
+        "resilient vs baseline: served %.1f%% -> %.1f%%, failed %d -> %d%s\n" pb pr
+        rb.Pool.failed rr.Pool.failed
+        (if ok then "" else "  (ACCEPTANCE NOT MET)")
+  | _ -> assert false);
+  match json with
+  | None -> ()
+  | Some path ->
+      let doc =
+        Obs.Json.Obj
+          [
+            ("experiment", Obs.Json.Str "E18-chaos-serving");
+            ("scenario", Chaos.to_json scenario);
+            ("reproducible", Obs.Json.Bool reproducible);
+            ("rows", Obs.Json.List (List.rev !rows));
+          ]
+      in
+      Obs.Json.write_file path doc;
+      Printf.printf "chaos numbers -> %s\n" path
+
+(* ----------------------------------------------------------------------
    Bechamel microbenchmarks of the compiler itself. *)
 
 let micro () =
@@ -996,7 +1194,8 @@ let all ?json () =
   resilience ();
   cache_experiment ();
   pool_serving ();
-  adaptive_serving ()
+  adaptive_serving ();
+  chaos_serving ()
 
 let () =
   (* main.exe [--] [EXPERIMENT] [--json OUT.json] [--trace OUT.json]
@@ -1033,6 +1232,7 @@ let () =
   | "cache" -> cache_experiment ?json ()
   | "pool" -> pool_serving ?json ()
   | "adaptive" -> adaptive_serving ?json ()
+  | "chaos" -> chaos_serving ?json ()
   | "micro" -> micro ()
   | "all" -> all ?json ()
   | other ->

@@ -379,8 +379,16 @@ let serve_cmd =
     in
     Arg.(value & flag & info [ "adaptive" ] ~doc)
   in
+  let chaos_arg =
+    let doc =
+      "Replay a chaos scenario (JSON: seeded crash / straggler / flaky / spike / \
+       cache-corruption events in virtual time) against the fleet, with the full \
+       resilience stack on: crash re-dispatch, hedging, watchdog, brownout."
+    in
+    Arg.(value & opt (some string) None & info [ "chaos" ] ~docv:"FILE" ~doc)
+  in
   let run model tiny replicas devices qps requests seed router max_batch fails adaptive
-      trace metrics =
+      chaos_file trace metrics =
     with_obs ~trace ~metrics @@ fun () ->
     let entry = Suite.find model in
     let devices =
@@ -437,15 +445,36 @@ let serve_cmd =
             Serving.Pool.autoscale = Some Serving.Autoscaler.default_config;
           }
     in
-    let r = Serving.Pool.run ~failures ?adaptive:adaptive_cfg pool reqs in
-    Printf.printf "serve %s (%s): %d replicas [%s], router=%s, %.0f qps, %d requests%s\n" model
+    let chaos =
+      Option.map
+        (fun file ->
+          match Serving.Chaos.load_file file with
+          | Ok sc -> sc
+          | Error m -> raise (Usage (Printf.sprintf "serve: --chaos %s: %s" file m)))
+        chaos_file
+    in
+    let resilience =
+      if chaos = None then None else Some Serving.Pool.default_resilience
+    in
+    let r = Serving.Pool.run ~failures ?adaptive:adaptive_cfg ?chaos ?resilience pool reqs in
+    Printf.printf "serve %s (%s): %d replicas [%s], router=%s, %.0f qps, %d requests%s%s\n"
+      model
       (if tiny then "tiny" else "paper scale")
       (List.length devices)
       (String.concat "," (List.map (fun d -> d.Gpusim.Device.name) devices))
       (Serving.Router.policy_to_string router)
       qps requests
-      (if adaptive then ", adaptive" else "");
+      (if adaptive then ", adaptive" else "")
+      (match chaos with
+      | Some sc ->
+          Printf.sprintf ", chaos (%d events, seed %d)" (List.length sc.Serving.Chaos.events)
+            sc.Serving.Chaos.seed
+      | None -> "");
     Printf.printf "  %s\n" (Serving.Pool.report_to_string r);
+    (if chaos <> None then
+       String.split_on_char '\n'
+         (Serving.Pool.resilience_summary_to_string r.Serving.Pool.resilience)
+       |> List.iter (Printf.printf "  %s\n"));
     (match r.Serving.Pool.adaptive with
     | None -> ()
     | Some a ->
@@ -475,7 +504,7 @@ let serve_cmd =
     Term.(
       const run $ model_arg $ tiny_arg $ replicas_arg $ devices_arg $ qps_arg
       $ requests_arg $ seed_arg $ router_arg $ max_batch_arg $ fail_arg $ adaptive_arg
-      $ trace_arg $ metrics_arg)
+      $ chaos_arg $ trace_arg $ metrics_arg)
 
 (* --- compare --------------------------------------------------------------- *)
 

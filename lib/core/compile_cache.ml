@@ -41,6 +41,7 @@ type stats = {
   evictions : int;
   warm_hits : int;
   invalidations : int;
+  corrupt : int;
   entries : int;
 }
 
@@ -55,6 +56,7 @@ type t = {
   mutable evictions : int;
   mutable warm_hits : int;
   mutable invalidations : int;
+  mutable corrupt : int; (* persisted records quarantined, chaos corruptions *)
 }
 
 let default_capacity = 64
@@ -71,6 +73,7 @@ let create ?(capacity = default_capacity) () =
     evictions = 0;
     warm_hits = 0;
     invalidations = 0;
+    corrupt = 0;
   }
 
 let capacity t = t.capacity
@@ -84,6 +87,7 @@ let stats t =
     evictions = t.evictions;
     warm_hits = t.warm_hits;
     invalidations = t.invalidations;
+    corrupt = t.corrupt;
     entries = Hashtbl.length t.table;
   }
 
@@ -98,17 +102,75 @@ let key_of ?(dims = []) ~(options : Compiler.options) (g : Graph.t) : string =
 
 let record_path dir key = Filename.concat dir (key ^ ".json")
 
+(* The checksum covers every load-bearing field. A persisted record is
+   only trusted when the stored checksum matches this recomputation —
+   a bit flip anywhere in the payload (or in the checksum itself) makes
+   the record quarantine instead of minting a bogus warm hit. *)
+let record_checksum ~key ~fingerprint ~compile_time_ms ~kernels ~dim_names =
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "disc-cache-v2|%s|%s|%g|%d|%s" key fingerprint compile_time_ms
+          kernels
+          (String.concat "," dim_names)))
+
 let write_record dir key (e : entry) =
+  let dim_names = List.map fst e.dims in
+  let kernels = Runtime.Executable.num_kernels e.compiled.Compiler.exe in
+  let checksum =
+    record_checksum ~key ~fingerprint:e.fingerprint
+      ~compile_time_ms:e.compiled.Compiler.compile_time_ms ~kernels ~dim_names
+  in
   let oc = open_out (record_path dir key) in
   Printf.fprintf oc
-    "{\n  \"key\": %S,\n  \"fingerprint\": %S,\n  \"compile_time_ms\": %g,\n  \"kernels\": %d,\n  \"dims\": [%s]\n}\n"
-    key e.fingerprint e.compiled.Compiler.compile_time_ms
-    (Runtime.Executable.num_kernels e.compiled.Compiler.exe)
-    (String.concat ", " (List.map (fun (n, _) -> Printf.sprintf "%S" n) e.dims));
+    "{\n\
+    \  \"key\": %S,\n\
+    \  \"fingerprint\": %S,\n\
+    \  \"compile_time_ms\": %g,\n\
+    \  \"kernels\": %d,\n\
+    \  \"dims\": [%s],\n\
+    \  \"checksum\": %S\n\
+     }\n"
+    key e.fingerprint e.compiled.Compiler.compile_time_ms kernels
+    (String.concat ", " (List.map (fun n -> Printf.sprintf "%S" n) dim_names))
+    checksum;
   close_out oc
 
 let is_key s =
   String.length s = 32 && String.for_all (function 'a' .. 'f' | '0' .. '9' -> true | _ -> false) s
+
+(* Validate one persisted record. [Error reason] means the record is
+   corrupt/truncated/foreign and must be quarantined, not trusted. *)
+let validate_record ~key text =
+  match Obs.Json.parse text with
+  | Error e -> Error (Printf.sprintf "unparseable JSON (%s)" e)
+  | Ok doc -> (
+      let str f = Option.bind (Obs.Json.member f doc) Obs.Json.to_string_opt in
+      let num f = Option.bind (Obs.Json.member f doc) Obs.Json.to_float_opt in
+      let int f = Option.bind (Obs.Json.member f doc) Obs.Json.to_int_opt in
+      let dims =
+        match Obs.Json.member "dims" doc with
+        | Some (Obs.Json.List items) ->
+            let names = List.filter_map Obs.Json.to_string_opt items in
+            if List.length names = List.length items then Some names else None
+        | _ -> None
+      in
+      match (str "key", str "fingerprint", num "compile_time_ms", int "kernels", dims, str "checksum") with
+      | Some k, Some fingerprint, Some compile_time_ms, Some kernels, Some dim_names, Some stored ->
+          if k <> key then Error "key field does not match file name"
+          else if
+            record_checksum ~key ~fingerprint ~compile_time_ms ~kernels ~dim_names <> stored
+          then Error "checksum mismatch"
+          else Ok ()
+      | _ -> Error "missing or mistyped field")
+
+(* Corrupt or truncated records are quarantined: skipped, counted
+   ([cache.corrupt]), and logged — one bad file must never fail the
+   whole directory load or mint a warm hit for a suspect artifact. The
+   file itself is left in place for post-mortem. *)
+let quarantine t ~file ~reason =
+  t.corrupt <- t.corrupt + 1;
+  if Obs.Scope.on () then Obs.Scope.count "cache.corrupt";
+  Printf.eprintf "compile-cache: quarantined %s: %s\n%!" file reason
 
 let attach_dir t dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
@@ -116,12 +178,46 @@ let attach_dir t dir =
     (fun f ->
       if Filename.check_suffix f ".json" then begin
         let key = Filename.chop_suffix f ".json" in
-        if is_key key then Hashtbl.replace t.warm key ()
+        if is_key key then begin
+          let path = Filename.concat dir f in
+          match In_channel.with_open_text path In_channel.input_all with
+          | text -> (
+              match validate_record ~key text with
+              | Ok () -> Hashtbl.replace t.warm key ()
+              | Error reason -> quarantine t ~file:path ~reason)
+          | exception Sys_error reason -> quarantine t ~file:path ~reason
+        end
       end)
-    (Sys.readdir dir);
+    (Array.to_list (Sys.readdir dir) |> List.sort compare |> Array.of_list);
   t.dir <- Some dir
 
 let warm_keys t = Hashtbl.length t.warm
+
+(* Chaos injection: deterministically corrupt a fraction of the cache.
+   Selected entries vanish from both the live table and the warm set (a
+   fresh session or a recovering replica recompiles cold) and are
+   counted as corrupt. Selection hashes (seed, sorted-key index) so two
+   runs of the same scenario corrupt the same entries. Persisted files
+   are untouched — the simulation corrupts the *in-process* view. *)
+let corrupt t ~seed ~fraction =
+  if fraction < 0.0 || fraction > 1.0 then
+    invalid_arg "Compile_cache.corrupt: fraction must be in [0,1]";
+  let keys = Hashtbl.create 16 in
+  Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) t.table;
+  Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) t.warm;
+  let sorted = Hashtbl.fold (fun k () acc -> k :: acc) keys [] |> List.sort compare in
+  let hit = ref 0 in
+  List.iteri
+    (fun i key ->
+      if Gpusim.Fault.stream_uniform ~seed ~counter:i < fraction then begin
+        Hashtbl.remove t.table key;
+        Hashtbl.remove t.warm key;
+        t.corrupt <- t.corrupt + 1;
+        incr hit;
+        if Obs.Scope.on () then Obs.Scope.count "cache.corrupt"
+      end)
+    sorted;
+  !hit
 
 (* --- lookup --------------------------------------------------------------- *)
 
@@ -226,8 +322,9 @@ let invalidate t key =
   | None -> ()
 
 let stats_to_string (s : stats) =
-  Printf.sprintf "hits=%d misses=%d warm_hits=%d evictions=%d invalidations=%d entries=%d"
-    s.hits s.misses s.warm_hits s.evictions s.invalidations s.entries
+  Printf.sprintf
+    "hits=%d misses=%d warm_hits=%d evictions=%d invalidations=%d corrupt=%d entries=%d"
+    s.hits s.misses s.warm_hits s.evictions s.invalidations s.corrupt s.entries
 
 let hit_rate (s : stats) =
   let total = s.hits + s.misses + s.warm_hits in

@@ -29,6 +29,9 @@ type stats = {
   evictions : int;
   warm_hits : int;
   invalidations : int;
+  corrupt : int;
+      (** persisted records quarantined at {!attach_dir} + entries
+          destroyed by chaos {!corrupt} *)
   entries : int;
 }
 
@@ -77,8 +80,22 @@ val invalidate : t -> string -> unit
     faults, so a suspect artifact is never served to a fresh session. *)
 
 val attach_dir : t -> string -> unit
-(** Create/scan a persistence directory: existing records become warm
-    keys, and future misses write records through. *)
+(** Create/scan a persistence directory: valid records become warm keys,
+    and future misses write records through. Every record is verified —
+    parseable JSON, all fields present, [key] matching the file name,
+    and a checksum over the payload recomputing to the stored value. A
+    corrupt, truncated or foreign record is {e quarantined}: skipped,
+    counted in [stats.corrupt] (and the [cache.corrupt] Obs counter),
+    and logged to stderr; the rest of the directory loads normally. The
+    bad file is left in place for post-mortem. *)
 
 val warm_keys : t -> int
 (** Number of warm (persisted, not yet re-materialized) keys known. *)
+
+val corrupt : t -> seed:int -> fraction:float -> int
+(** Chaos injection: deterministically destroy about [fraction] of the
+    cache's keys (live + warm), selected by hashing (seed, sorted-key
+    index) so two runs of one scenario corrupt identically. Destroyed
+    keys recompile cold on next lookup and count in [stats.corrupt].
+    Persisted files are untouched. Returns the number destroyed.
+    @raise Invalid_argument if [fraction] is outside [0,1]. *)

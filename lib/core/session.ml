@@ -66,7 +66,7 @@ type t = {
          "ready"; while positive, requests serve via the reference path *)
   device : Gpusim.Device.t;
   policy : policy;
-  faults : Gpusim.Fault.t option;
+  mutable faults : Gpusim.Fault.t option;
   latencies : ring;
   breakers : (string, int) Hashtbl.t; (* kernel -> consecutive faults *)
   tripped : (string, unit) Hashtbl.t; (* de-speculated kernels *)
@@ -162,6 +162,23 @@ let warmup_remaining_us t = t.warmup_remaining_us
    at absolute times) calls this when its clock passes the compile
    window. Idempotent. *)
 let finish_warmup t = t.warmup_remaining_us <- 0.0
+
+(* Chaos injection: a device turning flaky (or recovering) mid-run. An
+   armed injector keeps its stream position, so the whole run remains a
+   pure function of (seed, rate changes at draw indices); a session that
+   was created without fault injection arms a fresh injector at [seed]. *)
+let set_fault_rates (t : t) ?(seed = 0) ~kernel_fault_rate ~oom_rate () =
+  match t.faults with
+  | Some f -> Gpusim.Fault.set_rates f ~kernel_fault_rate ~oom_rate
+  | None ->
+      if kernel_fault_rate > 0.0 || oom_rate > 0.0 then
+        t.faults <-
+          Some
+            (Gpusim.Fault.make
+               (Gpusim.Fault.create ~seed ~kernel_fault_rate ~oom_rate ()))
+
+let fault_rates (t : t) =
+  match t.faults with Some f -> Gpusim.Fault.rates f | None -> (0.0, 0.0)
 
 (* Online distribution feedback: replace the likely-value hints on the
    compiled graph's dynamic dims. The hints land in the symbol table the

@@ -103,6 +103,17 @@ val finish_warmup : t -> unit
     {!Workloads.Queueing.simulate_server} with [~warmup]) calls this
     once its clock passes the compile window. Idempotent. *)
 
+val set_fault_rates :
+  t -> ?seed:int -> kernel_fault_rate:float -> oom_rate:float -> unit -> unit
+(** Retune this session's deterministic fault injection mid-run (chaos:
+    a device turning flaky, then recovering). An armed injector keeps
+    its stream position; a session created without [fault_config] arms a
+    fresh injector at [seed] (default 0) if either rate is positive.
+    @raise Invalid_argument if a rate is outside [0,1]. *)
+
+val fault_rates : t -> float * float
+(** Current [(kernel_fault_rate, oom_rate)] — [(0., 0.)] when unarmed. *)
+
 val serve_result :
   ?deadline_us:float ->
   t ->

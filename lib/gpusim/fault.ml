@@ -25,13 +25,26 @@ let create ?(seed = 0) ?(kernel_fault_rate = 0.0) ?(oom_rate = 0.0) () =
   { seed; kernel_fault_rate; oom_rate }
 
 type t = {
-  config : config;
+  mutable config : config;
   mutable draws : int; (* counter: position in the fault stream *)
   mutable kernel_faults : int;
   mutable ooms : int;
 }
 
 let make config = { config; draws = 0; kernel_faults = 0; ooms = 0 }
+
+(* Chaos events (a device turning flaky mid-run) retune the rates of a
+   live injector. The stream position is kept: the schedule stays a pure
+   function of (seed, draw index, rate at that draw), so a run replaying
+   the same rate changes at the same draws is bit-identical. *)
+let set_rates t ~kernel_fault_rate ~oom_rate =
+  if kernel_fault_rate < 0.0 || kernel_fault_rate > 1.0 then
+    invalid_arg "Fault.set_rates: kernel_fault_rate must be in [0,1]";
+  if oom_rate < 0.0 || oom_rate > 1.0 then
+    invalid_arg "Fault.set_rates: oom_rate must be in [0,1]";
+  t.config <- { t.config with kernel_fault_rate; oom_rate }
+
+let rates t = (t.config.kernel_fault_rate, t.config.oom_rate)
 
 (* SplitMix64 finalizer over (seed, counter): a high-quality stateless
    hash, so each draw is an independent-looking uniform in [0,1). *)
@@ -64,3 +77,4 @@ let request_oom t =
 let kernel_faults_injected t = t.kernel_faults
 let ooms_injected t = t.ooms
 let draws t = t.draws
+let stream_uniform ~seed ~counter = uniform seed counter

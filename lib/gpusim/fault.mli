@@ -29,6 +29,21 @@ val request_oom : t -> bool
 (** Advance the stream one draw; [true] means this request's allocation
     fails (memplan / arena OOM). *)
 
+val set_rates : t -> kernel_fault_rate:float -> oom_rate:float -> unit
+(** Retune a live injector (a device turning flaky mid-run under chaos
+    injection). The stream position is preserved, so a run replaying the
+    same rate changes at the same draws is bit-identical.
+    @raise Invalid_argument if a rate is outside [0,1]. *)
+
+val rates : t -> float * float
+(** Current [(kernel_fault_rate, oom_rate)]. *)
+
 val kernel_faults_injected : t -> int
 val ooms_injected : t -> int
 val draws : t -> int
+
+val stream_uniform : seed:int -> counter:int -> float
+(** The raw counter-hash stream: an independent-looking uniform in
+    [0,1) for every (seed, counter) pair. Exposed so other deterministic
+    schedulers (e.g. {!Serving.Chaos}) share the same high-quality
+    stateless generator. *)

@@ -23,3 +23,20 @@ val to_string : ?pretty:bool -> t -> string
 
 val write_file : string -> t -> unit
 (** Serialize pretty-printed to [path] with a trailing newline. *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON document. Strict: rejects trailing garbage,
+    unterminated literals and raw control characters; [\u] escapes
+    decode to UTF-8 (BMP only). Numbers that fit OCaml's [int] syntax
+    parse as {!Int}, everything else as {!Float}. Errors carry the byte
+    offset. Used for chaos scenario files and persisted cache-record
+    validation — not a general-purpose JSON library. *)
+
+val member : string -> t -> t option
+(** Field lookup on an {!Obj} ([None] on any other constructor). *)
+
+val to_float_opt : t -> float option
+(** {!Float} or {!Int} (widened); [None] otherwise. *)
+
+val to_int_opt : t -> int option
+val to_string_opt : t -> string option

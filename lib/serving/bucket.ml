@@ -48,6 +48,21 @@ let round_up scheme v =
 let scheme_of spec name =
   match List.assoc_opt name spec with Some s -> s | None -> Exact
 
+(* Brownout ladder, last rung: trade padding waste for fewer distinct
+   signatures. Wider buckets mean more requests share a batch env, so a
+   capacity-starved pool serves more batches warm at a worse pad ratio.
+   Idempotent on Pow2; Edges keeps its last boundary so the covered
+   range never shrinks. *)
+let widen_scheme = function
+  | Exact -> Pow2
+  | Pow2 -> Pow2
+  | Linear s -> Linear (2 * s)
+  | Edges es ->
+      let n = List.length es in
+      Edges (List.filteri (fun i _ -> (n - 1 - i) mod 2 = 0) es)
+
+let widen (spec : spec) : spec = List.map (fun (n, s) -> (n, widen_scheme s)) spec
+
 let canonical dims = List.sort (fun (a, _) (b, _) -> compare a b) dims
 
 let bucket_dims spec dims =

@@ -31,6 +31,15 @@ val spec_to_string : spec -> string
 val round_up : scheme -> int -> int
 (** Round a dim value (>= 1) up to its bucket ceiling. *)
 
+val widen_scheme : scheme -> scheme
+(** One step coarser: [Exact] -> [Pow2], [Linear s] -> [Linear 2s],
+    [Edges] -> every other boundary keeping the last (covered range
+    never shrinks). [Pow2] is a fixed point. Used by the brownout
+    ladder to trade padding waste for fewer distinct signatures. *)
+
+val widen : spec -> spec
+(** {!widen_scheme} applied to every dim of the spec. *)
+
 val bucket_dims : spec -> (string * int) list -> (string * int) list
 (** Each dim rounded per the spec, name-sorted (canonical order). *)
 

@@ -88,6 +88,59 @@ let default_adaptive =
     prewarm_us = 5_000.0;
   }
 
+(* Resilience knobs: what the pool does *about* failure, as opposed to
+   [~failures]/[~chaos] which inject it. [no_resilience] is the ablation
+   baseline the chaos bench compares against. *)
+type resilience = {
+  redispatch : bool; (* re-queue a crashed replica's in-flight requests *)
+  max_redispatch : int; (* per-request retry budget across crashes *)
+  hedge : bool; (* duplicate slow Interactive batches, first result wins *)
+  hedge_after_us : float; (* age before a Degraded-hosted batch is hedged *)
+  watchdog : bool; (* EWMA straggler detection -> Degraded/Healthy *)
+  watchdog_factor : float; (* rate above this multiple of pool rate degrades *)
+  watchdog_recover : float; (* rate back under this multiple restores *)
+  watchdog_min_batches : int; (* measurements before the watchdog may judge *)
+  brownout : bool; (* stepwise degradation ladder under overload *)
+  brownout_up_backlog : float; (* queued-per-replica that arms a step up *)
+  brownout_down_backlog : float; (* queued-per-replica that arms a step down *)
+  brownout_up_hold_us : float; (* sustained overload before stepping up *)
+  brownout_down_hold_us : float; (* sustained calm before stepping down *)
+}
+
+let default_resilience =
+  {
+    redispatch = true;
+    max_redispatch = 2;
+    hedge = true;
+    hedge_after_us = 10_000.0;
+    watchdog = true;
+    watchdog_factor = 2.5;
+    watchdog_recover = 1.3;
+    watchdog_min_batches = 3;
+    brownout = true;
+    brownout_up_backlog = 12.0;
+    brownout_down_backlog = 4.0;
+    brownout_up_hold_us = 15_000.0;
+    brownout_down_hold_us = 20_000.0;
+  }
+
+let no_resilience =
+  {
+    redispatch = false;
+    max_redispatch = 0;
+    hedge = false;
+    hedge_after_us = infinity;
+    watchdog = false;
+    watchdog_factor = infinity;
+    watchdog_recover = infinity;
+    watchdog_min_batches = max_int;
+    brownout = false;
+    brownout_up_backlog = infinity;
+    brownout_down_backlog = 0.0;
+    brownout_up_hold_us = infinity;
+    brownout_down_hold_us = infinity;
+  }
+
 type disposition = Served | Fell_back | Shed | Expired | Rejected | Failed
 
 let disposition_to_string = function
@@ -144,6 +197,31 @@ let adaptive_summary_to_string (a : adaptive_report) =
               Printf.sprintf "%s=%s" n (String.concat "," (List.map string_of_int vs)))
             a.ar_likely))
 
+type resilience_report = {
+  xr_crashes : int;
+  xr_recoveries : int; (* completed Recovering -> Healthy spin-ups *)
+  xr_redispatched : int; (* requests re-queued off a crashed replica *)
+  xr_hedges : int;
+  xr_hedge_wins : int; (* hedge finished before its primary *)
+  xr_degraded_events : int; (* watchdog Healthy -> Degraded verdicts *)
+  xr_brownout_transitions : int;
+  xr_brownout_max : int;
+  xr_brownout_final : int;
+  xr_brownout_us : float; (* virtual time spent above level 0 *)
+  xr_last_level0_us : float; (* last return to level 0; 0 if never left *)
+  xr_spike_requests : int; (* extra arrivals injected by chaos spikes *)
+  xr_cache_corruptions : int; (* cache keys destroyed by chaos *)
+}
+
+let resilience_summary_to_string (x : resilience_report) =
+  Printf.sprintf
+    "chaos: crashes=%d recoveries=%d redispatched=%d hedges=%d hedge_wins=%d degraded=%d \
+     spikes=%d cache_corruptions=%d\n\
+     brownout: transitions=%d max=%d brownout_final=%d time_browned=%.0fus last_level0=%.0fus"
+    x.xr_crashes x.xr_recoveries x.xr_redispatched x.xr_hedges x.xr_hedge_wins
+    x.xr_degraded_events x.xr_spike_requests x.xr_cache_corruptions x.xr_brownout_transitions
+    x.xr_brownout_max x.xr_brownout_final x.xr_brownout_us x.xr_last_level0_us
+
 type report = {
   dispositions : disposition array;
   latencies_us : float array;
@@ -165,6 +243,7 @@ type report = {
   classes : class_report list;
   replicas : replica_report list;
   adaptive : adaptive_report option; (* Some iff run with ~adaptive *)
+  resilience : resilience_report; (* all-zero unless chaos/resilience engaged *)
 }
 
 let padding_waste (r : report) =
@@ -250,9 +329,50 @@ let note_rate t ~service_us ~elements =
        else (ewma_alpha *. rate) +. ((1.0 -. ewma_alpha) *. t.us_per_element))
   end
 
-let run ?(failures = []) ?adaptive t (reqs : request list) : report =
+(* A dispatched batch whose completion is still in the future. Requests
+   acquire their disposition when the batch *completes*, not when it
+   launches — the window in which a crash can strand them, and the unit
+   of hedged re-dispatch. [if_hedge]/[if_hedge_of] tie a primary and its
+   hedge together; whichever completes first finalizes the members and
+   cancels the partner (the partner's replica stays busy: duplicated
+   work is wasted, never double-counted). *)
+type inflight = {
+  if_id : int;
+  if_members : (int * request) list;
+  if_key : string;
+  if_env : (string * int) list;
+  if_rep : Replica.t;
+  if_started : float;
+  if_done : float;
+  if_use_padded : bool;
+  if_path : [ `Compiled | `Fallback ];
+  if_hedge_of : int option; (* Some primary id iff this is a hedge *)
+  mutable if_hedge : int option; (* hedge id launched for this primary *)
+  mutable if_cancelled : bool;
+}
+
+let run ?(failures = []) ?adaptive ?chaos ?(resilience = no_resilience) t
+    (reqs : request list) : report =
   let cfg = t.cfg in
-  let reqs = List.sort (fun a b -> compare a.arrival_us b.arrival_us) reqs in
+  (* chaos spike traffic merges with the organic trace before indexing,
+     so spiked requests are first-class: admitted, tracked, reported *)
+  let spike_reqs =
+    match chaos with
+    | None -> []
+    | Some sc ->
+        List.map
+          (fun (at, dims, cls) ->
+            let dname, v = match dims with (n, v) :: _ -> (n, v) | [] -> ("", 1) in
+            {
+              arrival_us = at;
+              dims = List.map (fun n -> (n, if n = dname then v else 1)) t.expected;
+              cls;
+            })
+          (Chaos.spike_arrivals sc)
+  in
+  let reqs =
+    List.sort (fun a b -> compare a.arrival_us b.arrival_us) (reqs @ spike_reqs)
+  in
   let arr = Array.of_list reqs in
   let n = Array.length arr in
   let disp : disposition option array = Array.make n None in
@@ -278,6 +398,10 @@ let run ?(failures = []) ?adaptive t (reqs : request list) : report =
   let pending_failures =
     ref (List.sort (fun (a, _) (b, _) -> compare a b) failures)
   in
+  let pending_chaos =
+    ref (match chaos with None -> [] | Some sc -> Chaos.deliveries sc)
+  in
+  let chaos_seed = match chaos with Some sc -> sc.Chaos.seed | None -> 0 in
   let now = ref 0.0 in
   let last_done = ref 0.0 in
   let batches = ref 0 and batched_total = ref 0 in
@@ -294,6 +418,37 @@ let run ?(failures = []) ?adaptive t (reqs : request list) : report =
   let alive_count () =
     Array.fold_left (fun n r -> if Replica.alive r then n + 1 else n) 0 t.pool_replicas
   in
+  (* autoscaler capacity: Degraded and Recovering replicas count (slow
+     or seconds-away capacity is not absent capacity) *)
+  let capacity_count () =
+    Array.fold_left
+      (fun n r -> if Replica.counts_capacity r then n + 1 else n)
+      0 t.pool_replicas
+  in
+  let dispatchable_count () =
+    Array.fold_left
+      (fun n r -> if Replica.dispatchable r then n + 1 else n)
+      0 t.pool_replicas
+  in
+  (* resilience state *)
+  let inflights : inflight list ref = ref [] in
+  let next_if_id = ref 0 in
+  let retry : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let base_rates : (int, float * float) Hashtbl.t = Hashtbl.create 8 in
+  let xr_crashes = ref 0 and xr_recoveries = ref 0 and xr_redispatched = ref 0 in
+  let xr_hedges = ref 0 and xr_hedge_wins = ref 0 and xr_degraded = ref 0 in
+  let xr_corruptions = ref 0 in
+  (* brownout ladder state: level 0 (normal) .. 4 (widest degradation);
+     a pending step must hold for its hysteresis window before firing *)
+  let bro_level = ref 0 in
+  let bro_pending : (int * float) option ref = ref None (* direction, armed_at *) in
+  let bro_transitions = ref 0 and bro_max = ref 0 in
+  let bro_us = ref 0.0 and bro_since = ref 0.0 and last_level0 = ref 0.0 in
+  let saved_bucket = ref None in
+  let eff_max_batch () = if !bro_level >= 3 then max 1 (cfg.max_batch / 2) else cfg.max_batch in
+  let eff_pad_cap () =
+    if !bro_level >= 2 then cfg.max_pad_waste /. 2.0 else cfg.max_pad_waste
+  in
 
   let admit (i : int) (r : request) =
     let qreq = { Q.arrival_us = r.arrival_us; Q.dims = r.dims } in
@@ -305,7 +460,12 @@ let run ?(failures = []) ?adaptive t (reqs : request list) : report =
         (* well-formed traffic feeds the distribution estimator even when
            shed: offered load is what the bucket policy must fit *)
         if adaptive <> None then Shape_stats.observe t.stats r.dims;
-        if not (Slo.admit slo r.cls) then disp.(i) <- Some Shed
+        if !bro_level >= 1 && r.cls = Slo.Best_effort then begin
+          (* brownout L1: background traffic sheds outright *)
+          disp.(i) <- Some Shed;
+          Slo.note_shed slo r.cls
+        end
+        else if not (Slo.admit slo r.cls) then disp.(i) <- Some Shed
         else begin
           Queue.add (i, r) (queue_of (Bucket.key_of t.cur_bucket r.dims));
           if obs then Obs.Scope.gauge "pool.queue_depth" (float_of_int (total_queued ()))
@@ -337,6 +497,14 @@ let run ?(failures = []) ?adaptive t (reqs : request list) : report =
   let finish_drains time =
     Array.iter (fun r -> Replica.finish_drain_if_due r ~now:time) t.pool_replicas
   in
+  let finish_recovers time =
+    Array.iter
+      (fun r ->
+        if r.Replica.health = Replica.Recovering && r.Replica.free_at <= time then
+          incr xr_recoveries;
+        Replica.finish_recover_if_due r ~now:time)
+      t.pool_replicas
+  in
   let expire_queues time =
     Hashtbl.iter
       (fun _ q ->
@@ -361,7 +529,7 @@ let run ?(failures = []) ?adaptive t (reqs : request list) : report =
     match Queue.peek_opt q with
     | None -> false
     | Some (_, oldest) ->
-        Queue.length q >= cfg.max_batch
+        Queue.length q >= eff_max_batch ()
         || oldest.arrival_us +. cfg.max_wait_us <= time
         || !upcoming = []
   in
@@ -387,14 +555,185 @@ let run ?(failures = []) ?adaptive t (reqs : request list) : report =
     |> Option.map snd
   in
   let pop_batch q =
+    let cap = eff_max_batch () in
     let rec go acc k =
-      if k >= cfg.max_batch || Queue.is_empty q then List.rev acc
+      if k >= cap || Queue.is_empty q then List.rev acc
       else
         let (i, r) = Queue.pop q in
         Slo.dequeue slo r.cls;
         go ((i, r) :: acc) (k + 1)
     in
     go [] 0
+  in
+  (* Launch a batch (primary or hedge) on a chosen replica. Work and
+     replica accounting happen here, at dispatch; request dispositions
+     are deferred to completion (the batch is in flight until then).
+     A hedge that fails to launch leaves its members to the primary. *)
+  let launch time ~(members : (int * request) list) ~env ~key ~use_padded ~e_actual
+      ~hedge_of rep =
+    let count = List.length members in
+    match Session.serve_result rep.Replica.session env with
+    | Error _ ->
+        if hedge_of = None then begin
+          List.iter
+            (fun (i, _) -> if disp.(i) = None then disp.(i) <- Some Failed)
+            members;
+          if obs then Obs.Scope.count ~by:count "pool.failed"
+        end;
+        None
+    | Ok (profile, path) ->
+        let cold = not (Replica.is_warm rep key) in
+        let env_elems = Bucket.elements env in
+        let base_us = Profile.total_us profile in
+        let service_us =
+          (base_us *. rep.Replica.slow_factor)
+          +. (if cold then cfg.cold_warmup_us else 0.0)
+        in
+        let done_at = time +. service_us in
+        rep.Replica.free_at <- done_at;
+        if done_at > !last_done then last_done := done_at;
+        (* the pool's rate model tracks nominal (unslowed) cost — that
+           is what the watchdog compares a straggler's EWMA against *)
+        if hedge_of = None then note_rate t ~service_us:base_us ~elements:env_elems;
+        Replica.note_batch rep ~key ~elements:env_elems ~service_us
+          ~rate_us:(base_us *. rep.Replica.slow_factor) ~requests:count ~cold ();
+        incr batches;
+        batched_total := !batched_total + count;
+        if use_padded then incr padded_batches else incr exact_batches;
+        if cold then incr cold_total;
+        (* hedges duplicate work; keep them out of the padding-waste
+           metric, which measures batcher decisions *)
+        if hedge_of = None then begin
+          actual_elems := !actual_elems + e_actual;
+          padded_elems := !padded_elems + env_elems
+        end;
+        let fl =
+          {
+            if_id = !next_if_id;
+            if_members = members;
+            if_key = key;
+            if_env = env;
+            if_rep = rep;
+            if_started = time;
+            if_done = done_at;
+            if_use_padded = use_padded;
+            if_path = path;
+            if_hedge_of = hedge_of;
+            if_hedge = None;
+            if_cancelled = false;
+          }
+        in
+        incr next_if_id;
+        inflights := fl :: !inflights;
+        if obs then begin
+          Obs.Trace.set_track_name Obs.Trace.global (2 + rep.Replica.id)
+            (Printf.sprintf "replica%d" rep.Replica.id);
+          Obs.Scope.span ~track:(2 + rep.Replica.id) ~cat:"batch" ~ts:time
+            ~dur_us:service_us
+            ~args:
+              [
+                ("env", key);
+                ("n", string_of_int count);
+                ("padded", string_of_bool use_padded);
+                ("cold", string_of_bool cold);
+                ("hedge", string_of_bool (hedge_of <> None));
+              ]
+            (Printf.sprintf "batch@%s" key)
+        end;
+        Some fl
+  in
+  (* EWMA straggler watchdog, judged at each batch completion. The
+     reference is the *median* of the alive replicas' measured rates —
+     self-normalizing, so systematic costs every replica pays (cold
+     warmups, small batches) cancel out, and a single straggler cannot
+     drag the reference up. Needs at least two measured peers. *)
+  let watchdog_reference () =
+    let rates =
+      Array.to_list t.pool_replicas
+      |> List.filter_map (fun r ->
+             if Replica.alive r && r.Replica.us_per_element > 0.0 then
+               Some r.Replica.us_per_element
+             else None)
+      |> List.sort compare
+    in
+    match rates with
+    | [] | [ _ ] -> None
+    | _ -> Some (List.nth rates (List.length rates / 2))
+  in
+  let watchdog_check rep =
+    if resilience.watchdog && rep.Replica.batches >= resilience.watchdog_min_batches
+    then
+      match watchdog_reference () with
+      | None -> ()
+      | Some median ->
+          let r = rep.Replica.us_per_element in
+          if
+            rep.Replica.health = Replica.Healthy
+            && r > resilience.watchdog_factor *. median
+          then begin
+            Replica.degrade rep;
+            incr xr_degraded;
+            if obs then
+              Obs.Scope.span ~cat:"watchdog" ~dur_us:0.0
+                ~args:
+                  [
+                    ("replica", string_of_int rep.Replica.id);
+                    ("rate", Printf.sprintf "%.3f" r);
+                    ("median_rate", Printf.sprintf "%.3f" median);
+                  ]
+                "watchdog_degrade"
+          end
+          else if
+            rep.Replica.health = Replica.Degraded
+            && r <= resilience.watchdog_recover *. median
+          then Replica.restore rep
+  in
+  let finalize (fl : inflight) =
+    let d = match fl.if_path with `Compiled -> Served | `Fallback -> Fell_back in
+    let k = ref 0 in
+    List.iter
+      (fun (i, r) ->
+        if disp.(i) = None then begin
+          disp.(i) <- Some d;
+          lats.(i) <- fl.if_done -. r.arrival_us;
+          incr win_total;
+          if lats.(i) <= (Slo.target_of cfg.slo r.cls).Slo.deadline_us then incr win_met;
+          incr k
+        end)
+      fl.if_members;
+    if obs && !k > 0 then
+      Obs.Scope.count ~by:!k (Printf.sprintf "pool.%s" (disposition_to_string d))
+  in
+  (* Finalize every due batch in (done, id) order. First result wins a
+     hedged pair: the winner finalizes the members and cancels the
+     partner; the partner's replica stays busy until its own free_at
+     (duplicated work is wasted, not double-counted). *)
+  let complete_inflights time =
+    let due, rest =
+      List.partition (fun fl -> (not fl.if_cancelled) && fl.if_done <= time) !inflights
+    in
+    let due =
+      List.sort (fun a b -> compare (a.if_done, a.if_id) (b.if_done, b.if_id)) due
+    in
+    inflights := List.filter (fun fl -> not fl.if_cancelled) rest;
+    let all = due @ !inflights in
+    let cancel_by_id id =
+      List.iter (fun o -> if o.if_id = id then o.if_cancelled <- true) all
+    in
+    List.iter
+      (fun fl ->
+        if not fl.if_cancelled then begin
+          finalize fl;
+          (match fl.if_hedge_of with
+          | Some pid ->
+              incr xr_hedge_wins;
+              cancel_by_id pid
+          | None -> (
+              match fl.if_hedge with Some hid -> cancel_by_id hid | None -> ()));
+          watchdog_check fl.if_rep
+        end)
+      due;
+    inflights := List.filter (fun fl -> not fl.if_cancelled) !inflights
   in
   let dispatch_batch time (members : (int * request) list) =
     let member_dims = List.map (fun (_, r) -> r.dims) members in
@@ -408,14 +747,21 @@ let run ?(failures = []) ?adaptive t (reqs : request list) : report =
        padded repeats across batches (likely warm somewhere in the
        pool), exact executes fewer elements but is usually cold *)
     let use_padded =
-      if Bucket.waste ~actual:e_actual ~padded:e_padded > cfg.max_pad_waste then false
+      let warm_somewhere key =
+        Array.exists
+          (fun rep -> Replica.alive rep && Replica.is_warm rep key)
+          t.pool_replicas
+      in
+      let waste = Bucket.waste ~actual:e_actual ~padded:e_padded in
+      if waste > cfg.max_pad_waste then false
+      else if waste > eff_pad_cap () && warm_somewhere (Bucket.env_key exact) then
+        (* brownout L2+: shed padding beyond the tightened cap, but only
+           onto an exact signature that is already warm somewhere —
+           minting cold compiles during a capacity crunch would deepen
+           the overload the ladder is trying to relieve *)
+        false
       else if t.us_per_element <= 0.0 then true
       else begin
-        let warm_somewhere key =
-          Array.exists
-            (fun rep -> Replica.alive rep && Replica.is_warm rep key)
-            t.pool_replicas
-        in
         let cost elems key =
           (t.us_per_element *. float_of_int elems)
           +. (if warm_somewhere key then 0.0 else cfg.cold_warmup_us)
@@ -427,54 +773,8 @@ let run ?(failures = []) ?adaptive t (reqs : request list) : report =
     let key = Bucket.env_key env in
     match Router.pick t.router ~now:time ~key t.pool_replicas with
     | None -> assert false (* only called when a replica is free *)
-    | Some rep -> (
-        let count = List.length members in
-        match Session.serve_result rep.Replica.session env with
-        | Error _ ->
-            List.iter (fun (i, _) -> disp.(i) <- Some Failed) members;
-            if obs then Obs.Scope.count ~by:count "pool.failed"
-        | Ok (profile, path) ->
-            let cold = not (Replica.is_warm rep key) in
-            let base_us = Profile.total_us profile in
-            let service_us = base_us +. (if cold then cfg.cold_warmup_us else 0.0) in
-            let done_at = time +. service_us in
-            rep.Replica.free_at <- done_at;
-            if done_at > !last_done then last_done := done_at;
-            note_rate t ~service_us:base_us ~elements:(Bucket.elements env);
-            Replica.note_batch rep ~key ~elements:(Bucket.elements env)
-              ~service_us ~requests:count ~cold;
-            incr batches;
-            batched_total := !batched_total + count;
-            if use_padded then incr padded_batches else incr exact_batches;
-            if cold then incr cold_total;
-            actual_elems := !actual_elems + e_actual;
-            padded_elems := !padded_elems + Bucket.elements env;
-            let d = match path with `Compiled -> Served | `Fallback -> Fell_back in
-            List.iter
-              (fun (i, r) ->
-                disp.(i) <- Some d;
-                lats.(i) <- done_at -. r.arrival_us;
-                incr win_total;
-                if lats.(i) <= (Slo.target_of cfg.slo r.cls).Slo.deadline_us then
-                  incr win_met)
-              members;
-            if obs then begin
-              Obs.Scope.count ~by:count
-                (Printf.sprintf "pool.%s" (disposition_to_string d));
-              Obs.Trace.set_track_name Obs.Trace.global (2 + rep.Replica.id)
-                (Printf.sprintf "replica%d" rep.Replica.id);
-              Obs.Scope.span ~track:(2 + rep.Replica.id) ~cat:"batch" ~ts:time
-                ~dur_us:service_us
-                ~args:
-                  [
-                    ("env", key);
-                    ("n", string_of_int count);
-                    ("padded", string_of_bool use_padded);
-                    ("cold", string_of_bool cold);
-                    ("path", disposition_to_string d);
-                  ]
-                (Printf.sprintf "batch@%s" key)
-            end)
+    | Some rep ->
+        ignore (launch time ~members ~env ~key ~use_padded ~e_actual ~hedge_of:None rep)
   in
   let try_dispatch time =
     if not (any_free time) then false
@@ -496,7 +796,17 @@ let run ?(failures = []) ?adaptive t (reqs : request list) : report =
         Queue.clear q)
       queues;
     List.iter (fun (i, _) -> disp.(i) <- Some Failed) !upcoming;
-    upcoming := []
+    upcoming := [];
+    List.iter
+      (fun fl ->
+        if not fl.if_cancelled then begin
+          fl.if_cancelled <- true;
+          List.iter
+            (fun (i, _) -> if disp.(i) = None then disp.(i) <- Some Failed)
+            fl.if_members
+        end)
+      !inflights;
+    inflights := []
   in
   (* --- adaptive control tick ---------------------------------------------- *)
   (* Re-key queued work after a policy change, preserving arrival order.
@@ -532,6 +842,242 @@ let run ?(failures = []) ?adaptive t (reqs : request list) : report =
            match compare nb na with 0 -> compare ka kb | c -> c)
     |> List.filteri (fun i _ -> i < k)
     |> List.map fst
+  in
+  (* --- chaos delivery ------------------------------------------------------ *)
+  (* Hard crash: the replica dies mid-service. Its in-flight batches are
+     cancelled; any member not covered by a live hedge/primary partner
+     goes back in its bucket queue (within the per-request retry budget)
+     or fails. Nothing is lost, nothing is served twice. *)
+  let crash_replica time id =
+    if id >= 0 && id < Array.length t.pool_replicas then begin
+      let rep = t.pool_replicas.(id) in
+      if rep.Replica.health <> Replica.Dead then begin
+        incr xr_crashes;
+        let mine, rest =
+          List.partition (fun fl -> fl.if_rep == rep && not fl.if_cancelled) !inflights
+        in
+        inflights := rest;
+        List.iter
+          (fun fl ->
+            fl.if_cancelled <- true;
+            let covered =
+              match fl.if_hedge_of with
+              | Some pid -> List.exists (fun o -> o.if_id = pid && not o.if_cancelled) rest
+              | None -> (
+                  match fl.if_hedge with
+                  | Some hid ->
+                      List.exists (fun o -> o.if_id = hid && not o.if_cancelled) rest
+                  | None -> false)
+            in
+            if not covered then
+              List.iter
+                (fun (i, r) ->
+                  if disp.(i) = None then begin
+                    let tries = Option.value (Hashtbl.find_opt retry i) ~default:0 in
+                    if resilience.redispatch && tries < resilience.max_redispatch then begin
+                      Hashtbl.replace retry i (tries + 1);
+                      Slo.requeue slo r.cls;
+                      Queue.add (i, r) (queue_of (Bucket.key_of t.cur_bucket r.dims));
+                      incr xr_redispatched
+                    end
+                    else begin
+                      disp.(i) <- Some Failed;
+                      if obs then Obs.Scope.count "pool.failed"
+                    end
+                  end)
+                fl.if_members)
+          mine;
+        Replica.crash rep ~now:time
+      end
+    end
+  in
+  let apply_action time (act : Chaos.action) =
+    if obs then
+      Obs.Scope.span ~cat:"chaos" ~ts:time ~dur_us:0.0
+        ~args:[ ("action", Chaos.action_to_string act) ]
+        "chaos";
+    let with_rep id f =
+      if id >= 0 && id < Array.length t.pool_replicas then f t.pool_replicas.(id)
+    in
+    match act with
+    | Chaos.Kill { replica } -> crash_replica time replica
+    | Chaos.Revive { replica; spinup_us } ->
+        with_rep replica (fun rep ->
+            if rep.Replica.health = Replica.Dead then begin
+              Replica.begin_recover rep ~now:time ~spinup_us;
+              (* re-warm from the shared cache on the pool's hottest
+                 signatures, like a freshly-minted scale-up replica *)
+              ignore (Replica.prewarm rep (pool_hot_keys 8))
+            end)
+    | Chaos.Slow { replica; factor } ->
+        with_rep replica (fun rep -> rep.Replica.slow_factor <- factor)
+    | Chaos.Unslow { replica } ->
+        with_rep replica (fun rep -> rep.Replica.slow_factor <- 1.0)
+    | Chaos.Set_faults { replica; kernel_fault_rate; oom_rate } ->
+        with_rep replica (fun rep ->
+            if not (Hashtbl.mem base_rates replica) then
+              Hashtbl.replace base_rates replica
+                (Session.fault_rates rep.Replica.session);
+            Session.set_fault_rates rep.Replica.session
+              ~seed:(chaos_seed + (31 * replica) + 17)
+              ~kernel_fault_rate ~oom_rate ())
+    | Chaos.Clear_faults { replica } ->
+        with_rep replica (fun rep ->
+            let k, o =
+              Option.value (Hashtbl.find_opt base_rates replica) ~default:(0.0, 0.0)
+            in
+            Session.set_fault_rates rep.Replica.session ~kernel_fault_rate:k ~oom_rate:o ())
+    | Chaos.Corrupt { fraction } ->
+        let n = Disc.Compile_cache.corrupt t.pool_cache ~seed:chaos_seed ~fraction in
+        xr_corruptions := !xr_corruptions + n;
+        (* warmth keyed on the destroyed artifacts is gone too: strip a
+           deterministic fraction of each replica's warmth so those
+           signatures re-dispatch cold *)
+        Array.iter
+          (fun rep ->
+            if Replica.alive rep then begin
+              let keys =
+                Hashtbl.fold (fun k _ l -> k :: l) rep.Replica.warmth []
+                |> List.sort compare
+              in
+              List.iteri
+                (fun i k ->
+                  if
+                    Gpusim.Fault.stream_uniform
+                      ~seed:(chaos_seed + (7919 * (rep.Replica.id + 1)))
+                      ~counter:i
+                    < fraction
+                  then Hashtbl.remove rep.Replica.warmth k)
+                keys
+            end)
+          t.pool_replicas
+  in
+  let process_chaos time =
+    let rec go () =
+      match !pending_chaos with
+      | (ct, act) :: rest when ct <= time ->
+          pending_chaos := rest;
+          apply_action time act;
+          go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  let pending_revive () =
+    List.exists (fun (_, a) -> match a with Chaos.Revive _ -> true | _ -> false)
+      !pending_chaos
+  in
+  (* --- hedged re-dispatch -------------------------------------------------- *)
+  (* An Interactive batch stuck on a Degraded replica past the hedge
+     age gets a duplicate launch on a free Healthy replica; first
+     result wins (see [complete_inflights]). One hedge per primary. *)
+  let try_hedge time =
+    if resilience.hedge then
+      List.iter
+        (fun fl ->
+          if
+            (not fl.if_cancelled)
+            && fl.if_hedge_of = None
+            && fl.if_hedge = None
+            && fl.if_done > time
+            && fl.if_rep.Replica.health = Replica.Degraded
+            && time -. fl.if_started >= resilience.hedge_after_us -. 1e-9
+            && List.exists
+                 (fun (i, r) -> disp.(i) = None && r.cls = Slo.Interactive)
+                 fl.if_members
+          then
+            match Router.pick t.router ~now:time ~key:fl.if_key t.pool_replicas with
+            | Some rep when rep.Replica.health = Replica.Healthy && rep != fl.if_rep -> (
+                match
+                  launch time ~members:fl.if_members ~env:fl.if_env ~key:fl.if_key
+                    ~use_padded:fl.if_use_padded ~e_actual:0
+                    ~hedge_of:(Some fl.if_id) rep
+                with
+                | Some h ->
+                    fl.if_hedge <- Some h.if_id;
+                    incr xr_hedges;
+                    if obs then
+                      Obs.Scope.span ~cat:"hedge" ~ts:time ~dur_us:0.0
+                        ~args:
+                          [
+                            ("primary", string_of_int fl.if_rep.Replica.id);
+                            ("hedge", string_of_int rep.Replica.id);
+                            ("key", fl.if_key);
+                          ]
+                        "hedge_launch"
+                | None -> ())
+            | _ -> ())
+        !inflights
+  in
+  (* --- brownout ladder ----------------------------------------------------- *)
+  (* Stepwise degradation under sustained overload or capacity loss:
+     L1 shed Best_effort at admission; L2 halve the padding cap;
+     L3 halve the batch cap; L4 widen the bucket policy. Both edges
+     are hysteretic: a step arms when the backlog signal crosses its
+     threshold and fires only after holding through the window. *)
+  let bro_signal () =
+    let d = dispatchable_count () in
+    if d = 0 then infinity else float_of_int (total_queued ()) /. float_of_int d
+  in
+  let bro_apply time lvl' =
+    let lvl = !bro_level in
+    if lvl' <> lvl then begin
+      if lvl' = 4 && lvl = 3 then begin
+        saved_bucket := Some t.cur_bucket;
+        t.cur_bucket <- Bucket.widen t.cur_bucket;
+        rekey_queues ()
+      end
+      else if lvl = 4 && lvl' = 3 then begin
+        (match !saved_bucket with
+        | Some b ->
+            t.cur_bucket <- b;
+            saved_bucket := None
+        | None -> ());
+        rekey_queues ()
+      end;
+      if lvl = 0 && lvl' > 0 then bro_since := time;
+      if lvl > 0 && lvl' = 0 then begin
+        bro_us := !bro_us +. (time -. !bro_since);
+        last_level0 := time
+      end;
+      bro_level := lvl';
+      incr bro_transitions;
+      if lvl' > !bro_max then bro_max := lvl';
+      if obs then begin
+        Obs.Scope.gauge "pool.brownout" (float_of_int lvl');
+        Obs.Scope.span ~cat:"brownout" ~ts:time ~dur_us:0.0
+          ~args:
+            [
+              ("from", string_of_int lvl);
+              ("to", string_of_int lvl');
+              ("signal", Printf.sprintf "%.1f" (bro_signal ()));
+            ]
+          "brownout"
+      end
+    end
+  in
+  let bro_hold d =
+    if d > 0 then resilience.brownout_up_hold_us else resilience.brownout_down_hold_us
+  in
+  let eval_brownout time =
+    if resilience.brownout then begin
+      let s = bro_signal () in
+      let want =
+        if s >= resilience.brownout_up_backlog && !bro_level < 4 then 1
+        else if s <= resilience.brownout_down_backlog && !bro_level > 0 then -1
+        else 0
+      in
+      match (want, !bro_pending) with
+      | 0, _ -> bro_pending := None
+      | d, Some (pd, armed) when pd = d ->
+          if time -. armed >= bro_hold d -. 1e-9 then begin
+            bro_apply time (!bro_level + d);
+            bro_pending := (if d = 1 && !bro_level >= 4 then None
+                            else if d = -1 && !bro_level <= 0 then None
+                            else Some (d, time))
+          end
+      | d, _ -> bro_pending := Some (d, time)
+    end
   in
   let do_tick (a : adaptive) time =
     incr ticks;
@@ -579,7 +1125,7 @@ let run ?(failures = []) ?adaptive t (reqs : request list) : report =
         win_total := 0;
         win_met := 0;
         (match
-           Autoscaler.decide asc ~now:time ~alive:(alive_count ())
+           Autoscaler.decide asc ~now:time ~alive:(capacity_count ())
              ~queue_depth:(total_queued ()) ~attainment
          with
         | Autoscaler.Hold -> ()
@@ -635,31 +1181,79 @@ let run ?(failures = []) ?adaptive t (reqs : request list) : report =
           queues infinity
     in
     let t_fail = match !pending_failures with [] -> infinity | (ft, _) :: _ -> ft in
+    let t_chaos = match !pending_chaos with [] -> infinity | (ct, _) :: _ -> ct in
+    let t_complete =
+      List.fold_left
+        (fun acc fl -> if fl.if_cancelled then acc else Float.min acc fl.if_done)
+        infinity !inflights
+    in
+    let t_hedge =
+      if not resilience.hedge then infinity
+      else
+        List.fold_left
+          (fun acc fl ->
+            if
+              (not fl.if_cancelled)
+              && fl.if_hedge_of = None
+              && fl.if_hedge = None
+              && fl.if_rep.Replica.health = Replica.Degraded
+              && List.exists
+                   (fun (i, r) -> disp.(i) = None && r.cls = Slo.Interactive)
+                   fl.if_members
+              (* only a *future* hedge deadline is a wake-up; an attempt
+                 already due fired in try_hedge this instant and retries
+                 piggyback on the next real event — otherwise a hedge
+                 with no eligible peer pins the clock and livelocks *)
+              && fl.if_started +. resilience.hedge_after_us > !now
+            then Float.min acc (fl.if_started +. resilience.hedge_after_us)
+            else acc)
+          infinity !inflights
+    in
+    let t_brownout =
+      if not resilience.brownout then infinity
+      else
+        match !bro_pending with
+        | Some (d, armed) -> armed +. bro_hold d
+        | None -> infinity
+    in
     let t_tick =
       if adaptive <> None && (!upcoming <> [] || total_queued () > 0) then !next_tick
       else infinity
     in
-    Float.min (Float.min (Float.min t_arr t_free) (Float.min t_window t_fail)) t_tick
+    List.fold_left Float.min infinity
+      [ t_arr; t_free; t_window; t_fail; t_chaos; t_complete; t_hedge; t_brownout; t_tick ]
   in
+  let work_left () = !upcoming <> [] || total_queued () > 0 || !inflights <> [] in
   let rec loop () =
+    process_chaos !now;
     process_failures !now;
     finish_drains !now;
+    finish_recovers !now;
+    complete_inflights !now;
     run_ticks ();
     admit_arrivals_up_to !now;
     expire_queues !now;
     while try_dispatch !now do () done;
-    if !upcoming = [] && total_queued () = 0 then ()
-    else if not (Array.exists (fun r -> r.Replica.health <> Replica.Dead) t.pool_replicas)
+    eval_brownout !now;
+    try_hedge !now;
+    if
+      (not (work_left ()))
+      && ((not resilience.brownout) || !bro_level = 0 || dispatchable_count () = 0)
+    then () (* drained — and the brownout ladder has wound back down *)
+    else if
+      (not (Array.exists (fun r -> r.Replica.health <> Replica.Dead) t.pool_replicas))
+      && not (pending_revive ())
     then fail_everything_left ()
     else
       let next = next_event () in
-      if next = infinity then fail_everything_left ()
+      if next = infinity then begin if work_left () then fail_everything_left () end
       else begin
         now := Float.max !now next;
         loop ()
       end
   in
   loop ();
+  if !bro_level > 0 then bro_us := !bro_us +. (!now -. !bro_since);
   let final =
     Array.map (function Some d -> d | None -> Failed) disp
   in
@@ -713,6 +1307,23 @@ let run ?(failures = []) ?adaptive t (reqs : request list) : report =
     padded_elements = !padded_elems;
     makespan_us = !last_done;
     classes;
+    resilience =
+      {
+        xr_crashes = !xr_crashes;
+        xr_recoveries = !xr_recoveries;
+        xr_redispatched = !xr_redispatched;
+        xr_hedges = !xr_hedges;
+        xr_hedge_wins = !xr_hedge_wins;
+        xr_degraded_events = !xr_degraded;
+        xr_brownout_transitions = !bro_transitions;
+        xr_brownout_max = !bro_max;
+        xr_brownout_final = !bro_level;
+        xr_brownout_us = !bro_us;
+        xr_last_level0_us = !last_level0;
+        xr_spike_requests =
+          (match chaos with Some sc -> Chaos.spike_request_count sc | None -> 0);
+        xr_cache_corruptions = !xr_corruptions;
+      };
     adaptive =
       Option.map
         (fun (_ : adaptive) ->

@@ -62,6 +62,42 @@ val default_adaptive : adaptive
 (** 20 ms ticks, rebucketing on with 4 edges snapped to multiples of 4,
     0.9 decay, 4 hints/dim, no autoscaling, 5 ms replica spin-up. *)
 
+(** What the pool does {e about} failure — as opposed to [~failures] /
+    [~chaos], which inject it. The default for {!run} is
+    {!no_resilience} (every mechanism off), so chaos-free runs behave
+    exactly as before; the chaos bench compares {!default_resilience}
+    against {!no_resilience} under the same scenario. *)
+type resilience = {
+  redispatch : bool;
+      (** re-queue a crashed replica's in-flight requests (never lost,
+          never served twice) *)
+  max_redispatch : int;  (** per-request retry budget across crashes *)
+  hedge : bool;
+      (** duplicate a slow Interactive batch stuck on a [Degraded]
+          replica; first result wins, the loser's work is wasted *)
+  hedge_after_us : float;  (** batch age before a hedge may launch *)
+  watchdog : bool;
+      (** flag a replica [Degraded] when its EWMA service rate drifts
+          far above the pool's nominal rate; restore on convergence *)
+  watchdog_factor : float;
+  watchdog_recover : float;
+  watchdog_min_batches : int;
+  brownout : bool;  (** stepwise degradation ladder under overload *)
+  brownout_up_backlog : float;  (** queued-per-replica arming a step up *)
+  brownout_down_backlog : float;  (** queued-per-replica arming a step down *)
+  brownout_up_hold_us : float;  (** overload must hold this long to step *)
+  brownout_down_hold_us : float;  (** calm must hold this long to recover *)
+}
+
+val default_resilience : resilience
+(** Everything on: redispatch budget 2; hedge Interactive batches after
+    10 ms on a Degraded host; watchdog at 2.5× / recover at 1.3× after
+    3 batches; brownout arms up at 12 queued/replica (15 ms hold), down
+    at 4 (20 ms hold). *)
+
+val no_resilience : resilience
+(** Every mechanism off — the ablation baseline, and {!run}'s default. *)
+
 type request = {
   arrival_us : float;
   dims : (string * int) list;  (** per-request dims, excluding the batch dim *)
@@ -118,6 +154,28 @@ type adaptive_report = {
 
 val adaptive_summary_to_string : adaptive_report -> string
 
+type resilience_report = {
+  xr_crashes : int;  (** chaos [Kill]s delivered to live replicas *)
+  xr_recoveries : int;  (** completed [Recovering] -> [Healthy] spin-ups *)
+  xr_redispatched : int;  (** requests re-queued off a crashed replica *)
+  xr_hedges : int;
+  xr_hedge_wins : int;  (** hedge finished before its primary *)
+  xr_degraded_events : int;  (** watchdog [Healthy] -> [Degraded] verdicts *)
+  xr_brownout_transitions : int;
+  xr_brownout_max : int;
+  xr_brownout_final : int;  (** ladder level when the run ended — 0 = recovered *)
+  xr_brownout_us : float;  (** virtual time spent above level 0 *)
+  xr_last_level0_us : float;
+      (** when the ladder last returned to level 0 (0 if it never left) —
+          with the first fault time, the time-to-recover metric *)
+  xr_spike_requests : int;  (** extra arrivals injected by chaos spikes *)
+  xr_cache_corruptions : int;  (** cache keys destroyed by chaos *)
+}
+
+val resilience_summary_to_string : resilience_report -> string
+(** Two lines: chaos counters, then the brownout ladder (the
+    [brownout_final=] token is what the CI smoke greps). *)
+
 type report = {
   dispositions : disposition array;  (** per request, arrival order *)
   latencies_us : float array;  (** [nan] for requests that never completed *)
@@ -139,6 +197,8 @@ type report = {
   classes : class_report list;
   replicas : replica_report list;
   adaptive : adaptive_report option;  (** [Some] iff run with [~adaptive] *)
+  resilience : resilience_report;
+      (** always present; all-zero unless chaos/resilience engaged *)
 }
 
 val padding_waste : report -> float
@@ -177,11 +237,36 @@ val current_bucket : t -> Bucket.spec
 (** The live bucket policy — [config.bucket] until an adaptive run
     re-derives it from observed traffic. *)
 
-val run : ?failures:(float * int) list -> ?adaptive:adaptive -> t -> request list -> report
+val run :
+  ?failures:(float * int) list ->
+  ?adaptive:adaptive ->
+  ?chaos:Chaos.scenario ->
+  ?resilience:resilience ->
+  t ->
+  request list ->
+  report
 (** Simulate the trace. [failures] is a list of [(time_us, replica_id)]
     fault deliveries: at that virtual time the replica begins draining.
     Replica warmth and stats persist across calls (a pool is normally
     run once); the report's counters cover this run only.
+
+    [chaos] replays a {!Chaos.scenario} against the fleet: crashes
+    cancel in-flight batches mid-service (members re-queued within the
+    [resilience] retry budget, or failed), stragglers scale a replica's
+    service time, flaky windows raise a session's fault-injection
+    rates, spikes inject extra arrivals (merged with the trace before
+    admission), and cache corruption destroys compiled artifacts and
+    the warmth derived from them. The whole run is a pure function of
+    (trace, scenario, seeds): two runs produce identical dispositions.
+
+    [resilience] (default {!no_resilience}) controls the response:
+    crash re-dispatch, hedged duplicates for Interactive batches stuck
+    on Degraded replicas (first result wins — never lost, never
+    double-counted), the EWMA straggler watchdog, and the brownout
+    ladder (L1 shed Best_effort, L2 halve the padding cap, L3 halve
+    the batch cap, L4 widen buckets; hysteretic in both directions).
+    With everything off, chaos-free runs are bit-identical to the
+    pre-resilience pool.
 
     With [~adaptive], a control tick fires every [control_interval_us]
     of virtual time: shape stats decay; the bucket policy is re-derived

@@ -23,14 +23,17 @@ let policy t = t.p
    model; device throughput breaks ties between equally-warm replicas;
    accumulated busy time spreads cold signatures across the pool. The
    magnitudes are strictly tiered so no lower term can outvote a higher
-   one at simulation scale. *)
+   one at simulation scale. A Degraded (straggling) replica carries a
+   penalty above the warmth tier: even a cold Healthy replica beats a
+   warm straggler — matching [pick]'s health partition. *)
 let score ~now:_ ~key (r : Replica.t) =
+  let degraded = if r.Replica.health = Replica.Degraded then -1e14 else 0.0 in
   let warm = if Replica.is_warm r key then 1e12 else 0.0 in
   let breaker =
     -1e8 *. float_of_int (List.length (Disc.Session.despeculated_kernels r.Replica.session))
   in
   let speed = 1e3 *. r.Replica.device.Gpusim.Device.fp32_tflops in
-  warm +. breaker +. speed -. r.Replica.busy_us
+  degraded +. warm +. breaker +. speed -. r.Replica.busy_us
 
 let note_decision t ~key (r : Replica.t) =
   if Obs.Scope.on () then
@@ -45,8 +48,16 @@ let note_decision t ~key (r : Replica.t) =
       "route"
 
 let pick t ~now ~key (replicas : Replica.t array) =
-  let free =
+  (* Health partition, applied before any policy: Degraded replicas are
+     routed around — picked only when no Healthy replica is free — so a
+     straggler drains its backlog instead of accreting more. *)
+  let all_free =
     Array.to_list replicas |> List.filter (fun r -> Replica.is_free r ~now)
+  in
+  let free =
+    match List.filter (fun r -> r.Replica.health = Replica.Healthy) all_free with
+    | [] -> all_free
+    | healthy -> healthy
   in
   match free with
   | [] -> None

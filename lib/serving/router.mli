@@ -1,7 +1,11 @@
 (** Replica selection for one formed batch.
 
-    The router chooses among the replicas that are free (healthy and
-    idle) at dispatch time. [Warmth_aware] scores each candidate by
+    The router chooses among the replicas that are free (dispatchable
+    and idle) at dispatch time, preferring [Healthy] replicas over
+    [Degraded] stragglers under every policy: a Degraded replica is
+    picked only when no Healthy one is free, so it drains its backlog
+    while remaining counted capacity. [Warmth_aware] scores each
+    candidate by
     shape warmth (has it served this signature before — the dominant
     term: a warm replica skips the cold-dispatch warmup), then
     circuit-breaker state (de-speculated kernels make a replica slower
@@ -24,7 +28,9 @@ val policy : t -> policy
 
 val score : now:float -> key:string -> Replica.t -> float
 (** The [Warmth_aware] score of one replica for one shape signature
-    (higher is better); exposed for tests and the serve CLI. *)
+    (higher is better); exposed for tests and the serve CLI. A
+    [Degraded] replica scores below any non-degraded one (the penalty
+    tier sits above warmth), consistent with {!pick}'s partition. *)
 
 val pick : t -> now:float -> key:string -> Replica.t array -> Replica.t option
 (** Choose among replicas free at [now] for a batch with shape

@@ -48,17 +48,28 @@ let create p = { p; queued_a = Array.make 3 0; shed_a = Array.make 3 0; expired_
 
 let policy t = t.p
 
+let note_shed t cls =
+  let i = idx cls in
+  t.shed_a.(i) <- t.shed_a.(i) + 1;
+  if Obs.Scope.on () then Obs.Scope.count (Printf.sprintf "pool.shed.%s" (cls_to_string cls))
+
 let admit t cls =
   let i = idx cls in
   if t.queued_a.(i) >= (target_of t.p cls).queue_bound then begin
-    t.shed_a.(i) <- t.shed_a.(i) + 1;
-    if Obs.Scope.on () then Obs.Scope.count (Printf.sprintf "pool.shed.%s" (cls_to_string cls));
+    note_shed t cls;
     false
   end
   else begin
     t.queued_a.(i) <- t.queued_a.(i) + 1;
     true
   end
+
+(* Crash re-dispatch path: a request that was already dequeued for a
+   batch goes back in the queue. No admission check — it was admitted
+   once and must not be sheddable on the way back. *)
+let requeue t cls =
+  let i = idx cls in
+  t.queued_a.(i) <- t.queued_a.(i) + 1
 
 let dequeue t cls =
   let i = idx cls in

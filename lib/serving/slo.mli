@@ -46,6 +46,14 @@ val admit : t -> cls -> bool
 (** [true]: the request may queue (backlog incremented). [false]: the
     class is at its bound — shed (counted). *)
 
+val note_shed : t -> cls -> unit
+(** Count a shed without touching the backlog — for sheds decided
+    outside the queue-bound check (brownout shedding a class outright). *)
+
+val requeue : t -> cls -> unit
+(** Put an already-admitted request back in the backlog (crash
+    re-dispatch). No bound check: admission happened once. *)
+
 val dequeue : t -> cls -> unit
 (** A queued request of the class left the queue (dispatched or
     expired). *)

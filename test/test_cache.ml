@@ -135,6 +135,51 @@ let test_warm_persistence () =
   (* warm artifacts still serve correctly *)
   ignore (Session.serve s2 (tiny_env "dien"))
 
+let test_bit_flipped_record_quarantined () =
+  with_tmp_dir @@ fun dir ->
+  let c1 = Cache.create () in
+  Cache.attach_dir c1 dir;
+  let _s1 = Session.create ~cache:c1 (build "dien") in
+  let files = Sys.readdir dir in
+  Alcotest.(check bool) "a record was persisted" true (Array.length files >= 1);
+  let path = Filename.concat dir files.(0) in
+  let b = Bytes.of_string (In_channel.with_open_bin path In_channel.input_all) in
+  (* flip one bit of the first alphanumeric byte past the midpoint: it
+     lands inside a field name, a key, or the checksum — all of which
+     the loader must catch *)
+  let pos = ref (Bytes.length b / 2) in
+  while
+    (match Bytes.get b !pos with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> false | _ -> true)
+    && !pos < Bytes.length b - 1
+  do
+    incr pos
+  done;
+  Bytes.set b !pos (Char.chr (Char.code (Bytes.get b !pos) lxor 1));
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc b);
+  let c2 = Cache.create () in
+  Cache.attach_dir c2 dir;
+  Alcotest.(check int) "bit-flipped record is quarantined, not loaded" 0 (Cache.warm_keys c2);
+  Alcotest.(check bool) "quarantine counted" true ((Cache.stats c2).Cache.corrupt >= 1);
+  Alcotest.(check bool) "bad file left in place for post-mortem" true (Sys.file_exists path);
+  (* the poisoned record is never served: a fresh session recompiles *)
+  let s2 = Session.create ~cache:c2 (build "dien") in
+  Alcotest.(check bool) "recompiles instead of warm-hitting" false (Session.cache_hit s2)
+
+let test_truncated_record_quarantined () =
+  with_tmp_dir @@ fun dir ->
+  let c1 = Cache.create () in
+  Cache.attach_dir c1 dir;
+  let _s1 = Session.create ~cache:c1 (build "dien") in
+  let files = Sys.readdir dir in
+  let path = Filename.concat dir files.(0) in
+  let text = In_channel.with_open_bin path In_channel.input_all in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (String.sub text 0 (String.length text / 3)));
+  let c2 = Cache.create () in
+  Cache.attach_dir c2 dir;
+  Alcotest.(check int) "truncated record is quarantined" 0 (Cache.warm_keys c2);
+  Alcotest.(check bool) "quarantine counted" true ((Cache.stats c2).Cache.corrupt >= 1)
+
 (* --- async-compile warmup ---------------------------------------------------- *)
 
 let test_async_warmup_bit_identical_fallback () =
@@ -234,7 +279,13 @@ let () =
             test_despeculated_never_served_fresh;
         ] );
       ( "persistence",
-        [ Alcotest.test_case "warm records waive the compile" `Quick test_warm_persistence ] );
+        [
+          Alcotest.test_case "warm records waive the compile" `Quick test_warm_persistence;
+          Alcotest.test_case "bit-flipped record quarantined" `Quick
+            test_bit_flipped_record_quarantined;
+          Alcotest.test_case "truncated record quarantined" `Quick
+            test_truncated_record_quarantined;
+        ] );
       ( "async-warmup",
         [
           Alcotest.test_case "warmup numerics bit-identical to Interp" `Quick

@@ -1,11 +1,14 @@
 (* Randomized pool event-loop hardening. A scenario is explicit data —
-   arrivals, fault deliveries, replica count, adaptive/autoscale flags —
-   so a failing case can be greedily shrunk (the test_pipeline_random
-   mold) to a minimal reproducer before it is reported.
+   arrivals, fault deliveries, chaos events, replica count,
+   adaptive/autoscale/resilience flags — so a failing case can be
+   greedily shrunk (the test_pipeline_random mold) to a minimal
+   reproducer before it is reported.
 
    The invariant under test is conservation: across random arrivals,
-   replica failures, online rebucketing and scale events, every admitted
-   request ends in exactly one disposition, lost = 0, the per-class
+   replica failures, chaos (crashes with recovery, stragglers, traffic
+   spikes, cache corruption), online rebucketing and scale events, every
+   admitted request — spike traffic included — ends in exactly one
+   disposition, lost = 0, no request is served twice, the per-class
    reports partition the trace, and completed latencies are finite and
    non-negative.
 
@@ -16,16 +19,28 @@
 module Pool = Serving.Pool
 module Bucket = Serving.Bucket
 module Slo = Serving.Slo
+module Chaos = Serving.Chaos
 module Scaler = Serving.Autoscaler
 module Suite = Models.Suite
 module Device = Gpusim.Device
 
+(* Chaos draws stay integer-valued so scenarios shrink and print
+   cleanly; they are mapped to Chaos.event just before the run. All
+   draw ranges satisfy Chaos.validate by construction. *)
+type chaos_draw =
+  | C_crash of int * int option * int (* replica, recover_after_us, spinup_us *)
+  | C_straggle of int * int * int (* replica, factor, duration_us *)
+  | C_spike of int * int * int * int (* duration_us, requests, lo, hi *)
+  | C_corrupt of int (* percent of warm cache entries, 0..100 *)
+
 type scenario = {
   arrivals : (int * int * int) list; (* arrival_us, hist value, class code *)
   failures : (int * int) list; (* fault delivery time_us, replica id *)
+  chaos : (int * chaos_draw) list; (* delivery time_us, chaos event *)
   replicas : int; (* initial pool size *)
   adaptive : bool;
   autoscale : bool; (* only meaningful with adaptive *)
+  resilient : bool; (* default_resilience vs no_resilience *)
 }
 
 let cls_of_code = function 0 -> Slo.Interactive | 1 -> Slo.Standard | _ -> Slo.Best_effort
@@ -42,25 +57,90 @@ let scenario_of_seed seed =
     List.init (Random.State.int st 3) (fun _ ->
         (Random.State.int st 100_000, Random.State.int st replicas))
   in
+  let chaos =
+    List.init (Random.State.int st 3) (fun _ ->
+        let at = Random.State.int st 100_000 in
+        match Random.State.int st 4 with
+        | 0 ->
+            let recover =
+              if Random.State.bool st then Some (1 + Random.State.int st 50_000) else None
+            in
+            (at, C_crash (Random.State.int st replicas, recover, Random.State.int st 5_000))
+        | 1 ->
+            ( at,
+              C_straggle
+                ( Random.State.int st replicas,
+                  2 + Random.State.int st 15,
+                  1 + Random.State.int st 80_000 ) )
+        | 2 ->
+            ( at,
+              C_spike
+                ( 1 + Random.State.int st 30_000,
+                  1 + Random.State.int st 30,
+                  1 + Random.State.int st 30,
+                  31 + Random.State.int st 30 ) )
+        | _ -> (at, C_corrupt (Random.State.int st 101)))
+  in
   {
     arrivals;
     failures;
+    chaos;
     replicas;
     adaptive = Random.State.bool st;
     autoscale = Random.State.bool st;
+    resilient = Random.State.bool st;
   }
+
+let chaos_scenario_of (s : scenario) =
+  match s.chaos with
+  | [] -> None
+  | draws ->
+      let event_of = function
+        | C_crash (r, recover, spin) ->
+            Chaos.Crash
+              {
+                replica = r;
+                recover_after_us = Option.map float_of_int recover;
+                spinup_us = float_of_int spin;
+              }
+        | C_straggle (r, f, dur) ->
+            Chaos.Straggle
+              { replica = r; factor = float_of_int f; duration_us = float_of_int dur }
+        | C_spike (dur, n, lo, hi) ->
+            Chaos.Spike
+              {
+                duration_us = float_of_int dur;
+                requests = n;
+                dim = "hist";
+                lo;
+                hi;
+                cls = Slo.Standard;
+              }
+        | C_corrupt pct -> Chaos.Corrupt_cache { fraction = float_of_int pct /. 100.0 }
+      in
+      Some
+        {
+          Chaos.seed = 7;
+          events =
+            List.map
+              (fun (at, d) -> { Chaos.at_us = float_of_int at; event = event_of d })
+              draws;
+        }
+
+let spike_count (s : scenario) =
+  match chaos_scenario_of s with Some c -> Chaos.spike_request_count c | None -> 0
 
 (* One shared compile cache: the model compiles once for the whole fuzz
    run; every scenario's replicas (and scale-up mints) hit it. *)
-let cache = Disc.Compile_cache.create ()
+let shared_cache = Disc.Compile_cache.create ()
 let build = (Suite.find "dien").Suite.build
 
-let run_scenario (s : scenario) =
+let run_scenario ?cache:(c = shared_cache) (s : scenario) =
   let devices =
     List.init s.replicas (fun i -> if i mod 2 = 0 then Device.a10 else Device.t4)
   in
   let cfg = Pool.default_config ~devices ~batch_dim:"batch" ~bucket:[ ("hist", Bucket.Pow2) ] in
-  let pool = Pool.create ~cache cfg build in
+  let pool = Pool.create ~cache:c cfg build in
   let adaptive =
     if not s.adaptive then None
     else
@@ -87,14 +167,17 @@ let run_scenario (s : scenario) =
       s.arrivals
   in
   let failures = List.map (fun (t, id) -> (float_of_int t, id)) s.failures in
-  Pool.run ~failures ?adaptive pool reqs
+  let resilience = if s.resilient then Pool.default_resilience else Pool.no_resilience in
+  Pool.run ~failures ?adaptive ?chaos:(chaos_scenario_of s) ~resilience pool reqs
 
 (* The conservation predicate the shrinker preserves: true when the
    scenario violates an invariant (or anything raises). *)
 let violates (s : scenario) =
   match run_scenario s with
   | r ->
-      let n = List.length s.arrivals in
+      (* spike traffic is admitted alongside the trace and must obey the
+         same conservation law *)
+      let n = List.length s.arrivals + spike_count s in
       let total =
         r.Pool.served + r.Pool.fell_back + r.Pool.shed + r.Pool.expired + r.Pool.rejected
         + r.Pool.failed
@@ -132,27 +215,49 @@ let rec drop_failures fails s i =
     let cand = { s with failures = drop_nth s.failures i } in
     if fails cand then drop_failures fails cand i else drop_failures fails s (i + 1)
 
+let rec drop_chaos fails s i =
+  if i >= List.length s.chaos then s
+  else
+    let cand = { s with chaos = drop_nth s.chaos i } in
+    if fails cand then drop_chaos fails cand i else drop_chaos fails s (i + 1)
+
 let simplify_config fails s =
   let try_with cand s = if fails cand then cand else s in
   let s = try_with { s with autoscale = false } s in
   let s = try_with { s with adaptive = false } s in
-  try_with { s with replicas = 1; failures = [] } s
+  let s = try_with { s with resilient = false } s in
+  (* chaos events may name replica ids, so they go when the pool does *)
+  try_with { s with replicas = 1; failures = []; chaos = [] } s
 
 let shrink ~fails s =
   let rec fix s =
-    let s' = simplify_config fails (drop_failures fails (drop_arrivals fails s 0) 0) in
+    let s' =
+      simplify_config fails (drop_chaos fails (drop_failures fails (drop_arrivals fails s 0) 0) 0)
+    in
     if s' = s then s else fix s'
   in
   fix s
 
 let reproducer_file = "pool_fuzz_reproducer.txt"
 
+let chaos_draw_to_string (at, d) =
+  match d with
+  | C_crash (r, recover, spin) ->
+      Printf.sprintf "crash@%d(replica=%d,recover=%s,spinup=%d)" at r
+        (match recover with Some v -> string_of_int v | None -> "never")
+        spin
+  | C_straggle (r, f, dur) -> Printf.sprintf "straggle@%d(replica=%d,x%d,for=%d)" at r f dur
+  | C_spike (dur, n, lo, hi) -> Printf.sprintf "spike@%d(over=%d,n=%d,hist=%d..%d)" at dur n lo hi
+  | C_corrupt pct -> Printf.sprintf "corrupt@%d(%d%%)" at pct
+
 let scenario_to_string s =
-  Printf.sprintf "replicas=%d adaptive=%b autoscale=%b\narrivals=%s\nfailures=%s\n"
-    s.replicas s.adaptive s.autoscale
+  Printf.sprintf
+    "replicas=%d adaptive=%b autoscale=%b resilient=%b\narrivals=%s\nfailures=%s\nchaos=%s\n"
+    s.replicas s.adaptive s.autoscale s.resilient
     (String.concat ";"
        (List.map (fun (t, h, c) -> Printf.sprintf "%d,%d,%d" t h c) s.arrivals))
     (String.concat ";" (List.map (fun (t, id) -> Printf.sprintf "%d,%d" t id) s.failures))
+    (String.concat ";" (List.map chaos_draw_to_string s.chaos))
 
 let report_reproducer ~seed s =
   (try
@@ -188,8 +293,10 @@ let test_shrinker_always_failing_shrinks_to_empty () =
   let minimal = shrink ~fails:(fun _ -> true) s in
   Alcotest.(check int) "no arrivals left" 0 (List.length minimal.arrivals);
   Alcotest.(check int) "no failures left" 0 (List.length minimal.failures);
+  Alcotest.(check int) "no chaos left" 0 (List.length minimal.chaos);
   Alcotest.(check bool) "flags cleared" true
-    ((not minimal.adaptive) && (not minimal.autoscale) && minimal.replicas = 1)
+    ((not minimal.adaptive) && (not minimal.autoscale) && (not minimal.resilient)
+    && minimal.replicas = 1)
 
 let test_shrinker_injected_failure_is_minimal () =
   (* a predicate we control — "at least 3 arrivals and a failure event" —
@@ -199,15 +306,18 @@ let test_shrinker_injected_failure_is_minimal () =
     {
       arrivals = List.init 20 (fun i -> (i * 1_000, 5 + i, i mod 3));
       failures = [ (10_000, 0); (20_000, 1) ];
+      chaos = [ (15_000, C_straggle (0, 4, 20_000)) ];
       replicas = 2;
       adaptive = true;
       autoscale = true;
+      resilient = true;
     }
   in
   let minimal = shrink ~fails s in
   Alcotest.(check bool) "still failing" true (fails minimal);
   Alcotest.(check int) "exactly 3 arrivals" 3 (List.length minimal.arrivals);
-  Alcotest.(check int) "exactly 1 failure" 1 (List.length minimal.failures)
+  Alcotest.(check int) "exactly 1 failure" 1 (List.length minimal.failures);
+  Alcotest.(check int) "irrelevant chaos dropped" 0 (List.length minimal.chaos)
 
 let test_reproducer_file_round_trips () =
   let s = scenario_of_seed 5 in
@@ -228,12 +338,52 @@ let test_pinned_scenario_conserves () =
     {
       arrivals = List.init 16 (fun i -> (i * 4_000, 30 + (i mod 10), i mod 3));
       failures = [ (20_000, 0) ];
+      chaos = [];
       replicas = 2;
       adaptive = true;
       autoscale = true;
+      resilient = false;
     }
   in
   Alcotest.(check bool) "pinned scenario holds the invariants" false (violates s)
+
+(* One of every chaos event, resilience on: conservation must hold for
+   spike traffic and for crash victims alike. *)
+let pinned_chaos =
+  {
+    arrivals = List.init 20 (fun i -> (i * 3_000, 10 + (i mod 12), i mod 3));
+    failures = [];
+    chaos =
+      [
+        (8_000, C_straggle (1, 6, 30_000));
+        (15_000, C_spike (10_000, 14, 5, 40));
+        (20_000, C_crash (0, Some 15_000, 2_000));
+        (30_000, C_corrupt 100);
+      ];
+    replicas = 2;
+    adaptive = false;
+    autoscale = false;
+    resilient = true;
+  }
+
+let test_pinned_chaos_scenario_conserves () =
+  Alcotest.(check bool) "chaos scenario holds the invariants" false (violates pinned_chaos);
+  (* and without resilience the same chaos still conserves — stranded
+     requests surface as Failed, never as lost *)
+  Alcotest.(check bool) "unprotected pool still conserves" false
+    (violates { pinned_chaos with resilient = false })
+
+let test_pinned_chaos_scenario_reproducible () =
+  (* private caches: the corrupt_cache event mutates its cache, so the
+     paired runs must not share one *)
+  let run () = run_scenario ~cache:(Disc.Compile_cache.create ()) pinned_chaos in
+  let r1 = run () and r2 = run () in
+  Alcotest.(check bool) "dispositions identical across runs" true
+    (r1.Pool.dispositions = r2.Pool.dispositions);
+  Alcotest.(check bool) "latencies identical across runs" true
+    (Array.for_all2
+       (fun a b -> (Float.is_nan a && Float.is_nan b) || a = b)
+       r1.Pool.latencies_us r2.Pool.latencies_us)
 
 let () =
   Alcotest.run "pool-random"
@@ -249,5 +399,9 @@ let () =
             test_reproducer_file_round_trips;
           Alcotest.test_case "pinned scenario conserves" `Quick
             test_pinned_scenario_conserves;
+          Alcotest.test_case "pinned chaos scenario conserves" `Quick
+            test_pinned_chaos_scenario_conserves;
+          Alcotest.test_case "pinned chaos scenario reproducible" `Quick
+            test_pinned_chaos_scenario_reproducible;
         ] );
     ]

@@ -82,6 +82,19 @@ let test_waste () =
   Alcotest.(check (float 1e-9)) "waste fraction" 0.25 (Bucket.waste ~actual:96 ~padded:128);
   Alcotest.(check (float 1e-9)) "zero padded" 0.0 (Bucket.waste ~actual:0 ~padded:0)
 
+let test_bucket_widen () =
+  check_bool "exact widens to pow2" true (Bucket.widen_scheme Bucket.Exact = Bucket.Pow2);
+  check_bool "pow2 is already widest" true (Bucket.widen_scheme Bucket.Pow2 = Bucket.Pow2);
+  check_bool "linear doubles its step" true
+    (Bucket.widen_scheme (Bucket.Linear 3) = Bucket.Linear 6);
+  check_bool "edges drop every other boundary, keeping the last" true
+    (Bucket.widen_scheme (Bucket.Edges [ 2; 4; 8 ]) = Bucket.Edges [ 2; 8 ]);
+  check_bool "even-length edges keep the last" true
+    (Bucket.widen_scheme (Bucket.Edges [ 2; 4; 8; 16 ]) = Bucket.Edges [ 4; 16 ]);
+  check_bool "spec widens per dim" true
+    (Bucket.widen [ ("a", Bucket.Exact); ("b", Bucket.Linear 4) ]
+    = [ ("a", Bucket.Pow2); ("b", Bucket.Linear 8) ])
+
 let test_edges_scheme () =
   let e = Bucket.Edges [ 20; 24; 40 ] in
   check_int "rounds up to the first covering edge" 20 (Bucket.round_up e 17);
@@ -248,7 +261,7 @@ let test_warmth_score_orders_replicas () =
   with_pool (fun pool ->
       let reps = Pool.replicas pool in
       let key = "batch=1,hist=8" in
-      Replica.note_batch reps.(0) ~key ~elements:8 ~service_us:100.0 ~requests:1
+      Replica.note_batch reps.(0) ~key ~elements:8 ~service_us:100.0 ~requests:1 ()
         ~cold:true;
       check_bool "warm replica outscores cold" true
         (Router.score ~now:0.0 ~key reps.(0) > Router.score ~now:0.0 ~key reps.(1));
@@ -274,6 +287,80 @@ let test_policy_of_string () =
   check_bool "warmth alias" true
     (Router.policy_of_string "warmth-aware" = Some Router.Warmth_aware);
   check_bool "unknown" true (Router.policy_of_string "bogus" = None)
+
+(* --- replica health lifecycle (chaos-facing state machine) ------------------ *)
+
+let test_replica_health_lifecycle () =
+  with_pool (fun pool ->
+      let r = (Pool.replicas pool).(0) in
+      check_bool "starts healthy and free" true (Replica.is_free r ~now:0.0);
+      Replica.degrade r;
+      check_string "watchdog verdict" "degraded" (Replica.health_to_string r.Replica.health);
+      check_bool "degraded still dispatchable" true (Replica.dispatchable r);
+      check_bool "degraded counts as capacity" true (Replica.counts_capacity r);
+      Replica.restore r;
+      check_string "all-clear restores" "healthy" (Replica.health_to_string r.Replica.health);
+      Replica.note_batch r ~key:"k" ~elements:4 ~service_us:100.0 ~requests:1 ~cold:true ();
+      check_bool "rate measured" true (r.Replica.us_per_element > 0.0);
+      r.Replica.free_at <- 500.0;
+      Replica.crash r ~now:100.0;
+      check_string "crash is immediate death" "dead" (Replica.health_to_string r.Replica.health);
+      check_bool "nothing waits on a crashed replica" true (r.Replica.free_at <= 100.0);
+      check_int "crash counted" 1 r.Replica.crashes;
+      check_bool "dead is not capacity" false (Replica.counts_capacity r);
+      Replica.degrade r;
+      check_string "no degrading the dead" "dead" (Replica.health_to_string r.Replica.health);
+      Replica.begin_recover r ~now:200.0 ~spinup_us:1_000.0;
+      check_string "restart spins up" "recovering" (Replica.health_to_string r.Replica.health);
+      check_bool "recovering counts as capacity" true (Replica.counts_capacity r);
+      check_bool "but takes no traffic yet" false (Replica.dispatchable r);
+      check_int "warmth wiped by the restart" 0 (Hashtbl.length r.Replica.warmth);
+      check_bool "rate forgotten too" true (r.Replica.us_per_element = 0.0);
+      Replica.finish_recover_if_due r ~now:600.0;
+      check_string "not up before the spinup elapses" "recovering"
+        (Replica.health_to_string r.Replica.health);
+      Replica.finish_recover_if_due r ~now:1_200.0;
+      check_string "healthy after spin-up" "healthy" (Replica.health_to_string r.Replica.health);
+      check_int "recovery counted" 1 r.Replica.recoveries;
+      check_bool "negative spinup rejected" true
+        (Replica.crash r ~now:2_000.0;
+         try
+           Replica.begin_recover r ~now:2_000.0 ~spinup_us:(-1.0);
+           false
+         with Invalid_argument _ -> true))
+
+let test_router_prefers_healthy_over_degraded () =
+  with_pool (fun pool ->
+      let reps = Pool.replicas pool in
+      let key = "batch=1,hist=8" in
+      Array.iter
+        (fun (r : Replica.t) ->
+          r.Replica.free_at <- 0.0;
+          r.Replica.health <- Replica.Healthy)
+        reps;
+      (* make the straggler the warm one: health must still win *)
+      Hashtbl.replace reps.(0).Replica.warmth key 5;
+      reps.(0).Replica.health <- Replica.Degraded;
+      (match Router.pick (Router.create Router.Warmth_aware) ~now:0.0 ~key reps with
+      | Some r -> check_int "cold healthy beats warm straggler" 1 r.Replica.id
+      | None -> Alcotest.fail "expected a pick");
+      (* when no healthy replica is free, the straggler still serves *)
+      reps.(1).Replica.free_at <- 1_000.0;
+      match Router.pick (Router.create Router.Warmth_aware) ~now:0.0 ~key reps with
+      | Some r -> check_int "degraded is the last resort" 0 r.Replica.id
+      | None -> Alcotest.fail "expected the degraded replica")
+
+let test_slo_shed_requeue_counters () =
+  let s = Slo.create Slo.default_policy in
+  check_bool "admit queues" true (Slo.admit s Slo.Standard);
+  check_int "queued" 1 (Slo.queued s Slo.Standard);
+  Slo.note_shed s Slo.Best_effort;
+  check_int "shed counted without backlog" 1 (Slo.shed s Slo.Best_effort);
+  check_int "backlog untouched by note_shed" 0 (Slo.queued s Slo.Best_effort);
+  Slo.dequeue s Slo.Standard;
+  check_int "dequeue drains" 0 (Slo.queued s Slo.Standard);
+  Slo.requeue s Slo.Standard;
+  check_int "requeue restores the backlog" 1 (Slo.queued s Slo.Standard)
 
 (* --- pool: cache sharing and validation ----------------------------------- *)
 
@@ -484,10 +571,13 @@ let randomize_replicas st reps =
   Array.iter
     (fun (r : Replica.t) ->
       r.Replica.health <-
-        (match Random.State.int st 5 with
+        (match Random.State.int st 7 with
         | 0 -> Replica.Draining
         | 1 -> Replica.Dead
+        | 2 -> Replica.Degraded
+        | 3 -> Replica.Recovering
         | _ -> Replica.Healthy);
+      r.Replica.slow_factor <- (if Random.State.bool st then 1.0 else 8.0);
       r.Replica.free_at <-
         (if Random.State.bool st then 0.0
          else router_now +. 1.0 +. float_of_int (Random.State.int st 1_000));
@@ -635,6 +725,7 @@ let () =
           Alcotest.test_case "batch envs" `Quick test_batch_envs;
           Alcotest.test_case "waste" `Quick test_waste;
           Alcotest.test_case "edges scheme" `Quick test_edges_scheme;
+          Alcotest.test_case "widen (brownout L4)" `Quick test_bucket_widen;
         ] );
       ( "shape stats",
         [
@@ -652,12 +743,21 @@ let () =
           Alcotest.test_case "validation" `Quick test_autoscaler_validation;
         ] );
       ( "slo",
-        [ Alcotest.test_case "admission" `Quick test_slo_admission ] );
+        [
+          Alcotest.test_case "admission" `Quick test_slo_admission;
+          Alcotest.test_case "shed/requeue counters" `Quick test_slo_shed_requeue_counters;
+        ] );
+      ( "replica",
+        [
+          Alcotest.test_case "health lifecycle" `Quick test_replica_health_lifecycle;
+        ] );
       ( "router",
         [
           Alcotest.test_case "warmth score" `Quick test_warmth_score_orders_replicas;
           Alcotest.test_case "round robin" `Quick test_round_robin_rotates;
           Alcotest.test_case "policy names" `Quick test_policy_of_string;
+          Alcotest.test_case "healthy beats degraded" `Quick
+            test_router_prefers_healthy_over_degraded;
         ] );
       ( "router properties",
         List.map QCheck_alcotest.to_alcotest
