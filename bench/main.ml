@@ -1082,6 +1082,115 @@ let chaos_serving ?json () =
       Printf.printf "chaos numbers -> %s\n" path
 
 (* ----------------------------------------------------------------------
+   E19 (extension): request-level static batching vs token-level
+   continuous batching on the GPT-2 decode workload. Same request
+   stream, same 3-device fleet, both graphs compiled once into a shared
+   cache per run. Static is the one-request-one-graph world this repo
+   served before lib/decode: a batch keeps its members until the
+   longest finishes (wasted slots) and arrivals wait behind whole
+   batches (head-of-line TTFT). Continuous re-forms the decode batch
+   between steps and splits prefill/decode across workers. Acceptance:
+   continuous beats static on tokens/s AND p99 TTFT, lost=0, a rerun
+   is bit-identical, and each graph compiled exactly once — never once
+   per token. *)
+
+let decode_serving ?json () =
+  header "E19 (extension): continuous vs static batching — GPT-2 decode, 3x A10";
+  let module S = Decode.Scheduler in
+  let qps = 40.0 and n = 40 and seed = 7 in
+  let reqs =
+    S.gen_requests ~seed ~qps ~n
+      ~prompt:(Workloads.Trace.Skewed (16, 256))
+      ~max_new:(Workloads.Trace.Uniform (16, 96))
+  in
+  let devices = [ Gpusim.Device.a10; Gpusim.Device.a10; Gpusim.Device.a10 ] in
+  let run mode =
+    let cfg = { (S.default_config ~devices) with S.mode } in
+    S.run ~prefill:Models.Gpt2.build ~decode:Models.Gpt2.build_decode cfg reqs
+  in
+  Printf.printf "workload: %d sequences at %.0f qps, prompts skewed 16..256, 16..96 new tokens\n"
+    n qps;
+  Printf.printf "%-12s %9s %9s %9s %9s %6s %7s %5s %5s %5s\n" "mode" "tokens/s"
+    "p99TTFT" "p99TPOT" "meanBatch" "waste" "sigs" "warm%" "lost" "compiles";
+  let rows = ref [] in
+  let show (r : S.report) =
+    Printf.printf "%-12s %9.1f %8.1fms %8.1fms %9.2f %5.1f%% %7d %5.0f %5d %8d\n"
+      (S.mode_to_string r.S.mode) r.S.tokens_per_s (r.S.ttft_p99_us /. 1000.0)
+      (r.S.tpot_p99_us /. 1000.0) r.S.mean_decode_batch
+      (100.0 *. r.S.decode_slot_waste) r.S.signatures (100.0 *. r.S.warm_rate)
+      r.S.lost r.S.cache.Disc.Compile_cache.misses;
+    rows :=
+      Obs.Json.Obj
+        [
+          ("mode", Obs.Json.Str (S.mode_to_string r.S.mode));
+          ("sequences", Obs.Json.Int r.S.sequences);
+          ("finished", Obs.Json.Int r.S.finished);
+          ("lost", Obs.Json.Int r.S.lost);
+          ("tokens", Obs.Json.Int r.S.tokens);
+          ("tokens_per_s", Obs.Json.Float r.S.tokens_per_s);
+          ("makespan_us", Obs.Json.Float r.S.makespan_us);
+          ("ttft_p50_us", Obs.Json.Float r.S.ttft_p50_us);
+          ("ttft_p99_us", Obs.Json.Float r.S.ttft_p99_us);
+          ("tpot_p50_us", Obs.Json.Float r.S.tpot_p50_us);
+          ("tpot_p99_us", Obs.Json.Float r.S.tpot_p99_us);
+          ("ttft_ok", Obs.Json.Int r.S.ttft_ok);
+          ("tpot_ok", Obs.Json.Int r.S.tpot_ok);
+          ("prefill_batches", Obs.Json.Int r.S.prefill_batches);
+          ("decode_steps", Obs.Json.Int r.S.decode_steps);
+          ("mean_decode_batch", Obs.Json.Float r.S.mean_decode_batch);
+          ("decode_slot_waste", Obs.Json.Float r.S.decode_slot_waste);
+          ("signatures", Obs.Json.Int r.S.signatures);
+          ("warm_rate", Obs.Json.Float r.S.warm_rate);
+          ("compiles", Obs.Json.Int r.S.cache.Disc.Compile_cache.misses);
+          ("cache_hits", Obs.Json.Int r.S.cache.Disc.Compile_cache.hits);
+        ]
+      :: !rows
+  in
+  let st = run S.Static in
+  show st;
+  let ct = run S.Continuous in
+  show ct;
+  let ct2 = run S.Continuous in
+  let reproducible = S.digest ct = S.digest ct2 in
+  Printf.printf "reproducible: %b (two continuous runs, identical token schedules)\n"
+    reproducible;
+  let compiles_once =
+    ct.S.cache.Disc.Compile_cache.misses = 2 && st.S.cache.Disc.Compile_cache.misses = 2
+  in
+  Printf.printf "compiled once per graph (2 graphs, shared cache): %b\n" compiles_once;
+  let ok =
+    ct.S.tokens_per_s > st.S.tokens_per_s
+    && ct.S.ttft_p99_us < st.S.ttft_p99_us
+    && ct.S.lost = 0 && st.S.lost = 0
+    && ct.S.finished = n && st.S.finished = n
+    && reproducible && compiles_once
+  in
+  Printf.printf
+    "continuous vs static: tokens/s %.1f -> %.1f (%.2fx), p99 TTFT %.1fms -> %.1fms%s\n"
+    st.S.tokens_per_s ct.S.tokens_per_s
+    (ct.S.tokens_per_s /. st.S.tokens_per_s)
+    (st.S.ttft_p99_us /. 1000.0)
+    (ct.S.ttft_p99_us /. 1000.0)
+    (if ok then "" else "  (ACCEPTANCE NOT MET)");
+  match json with
+  | None -> ()
+  | Some path ->
+      let doc =
+        Obs.Json.Obj
+          [
+            ("experiment", Obs.Json.Str "E19-decode-serving");
+            ("qps", Obs.Json.Float qps);
+            ("sequences", Obs.Json.Int n);
+            ("seed", Obs.Json.Int seed);
+            ("reproducible", Obs.Json.Bool reproducible);
+            ("compiles_once_per_graph", Obs.Json.Bool compiles_once);
+            ("rows", Obs.Json.List (List.rev !rows));
+          ]
+      in
+      Obs.Json.write_file path doc;
+      Printf.printf "decode numbers -> %s\n" path
+
+(* ----------------------------------------------------------------------
    Bechamel microbenchmarks of the compiler itself. *)
 
 let micro () =
@@ -1195,7 +1304,8 @@ let all ?json () =
   cache_experiment ();
   pool_serving ();
   adaptive_serving ();
-  chaos_serving ()
+  chaos_serving ();
+  decode_serving ()
 
 let () =
   (* main.exe [--] [EXPERIMENT] [--json OUT.json] [--trace OUT.json]
@@ -1233,13 +1343,14 @@ let () =
   | "pool" -> pool_serving ?json ()
   | "adaptive" -> adaptive_serving ?json ()
   | "chaos" -> chaos_serving ?json ()
+  | "decode" -> decode_serving ?json ()
   | "micro" -> micro ()
   | "all" -> all ?json ()
   | other ->
       Printf.eprintf
         "unknown experiment %s\n\
          usage: main.exe \
-         [e2e|suite|sweep|fusion_ablation|speculation_ablation|compile_time|memory|constraints|mixed_precision|micro|all] \
+         [e2e|suite|sweep|fusion_ablation|speculation_ablation|compile_time|memory|constraints|mixed_precision|horizontal|cpu|serving|specialization|resilience|cache|pool|adaptive|chaos|decode|micro|all] \
          [--json OUT.json] [--trace OUT.json]\n"
         other;
       exit 1);

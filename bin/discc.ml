@@ -338,6 +338,63 @@ let explain_cmd =
 
 (* --- serve ------------------------------------------------------------------ *)
 
+(* serve --decode: token-level continuous batching of autoregressive
+   decoding (lib/decode) — prefill/decode phase split over the device
+   fleet, symbolic KV-cache bucketed so growth mints a bounded
+   signature set, one shared compile cache across every session. *)
+let serve_decode ~tiny ~devices ~qps ~requests ~seed ~max_batch ~prefill_workers ~mode
+    ~cache_health =
+  let n = List.length devices in
+  (match mode with
+  | Decode.Scheduler.Continuous ->
+      if n < 2 then
+        raise (Usage "serve: --decode continuous disaggregates phases; need >= 2 replicas");
+      if prefill_workers < 1 || prefill_workers >= n then
+        raise
+          (Usage
+             (Printf.sprintf "serve: --prefill-workers must be in 1..%d (replicas - 1)"
+                (n - 1)))
+  | Decode.Scheduler.Static -> ());
+  let prefill, decode, prompt, max_new, cache_scheme =
+    if tiny then
+      ( (fun () -> Models.Gpt2.build ~config:Models.Gpt2.tiny ()),
+        (fun () -> Models.Gpt2.build_decode ~config:Models.Gpt2.tiny ()),
+        Workloads.Trace.Skewed (4, 16),
+        Workloads.Trace.Uniform (4, 12),
+        Serving.Bucket.Linear 8 )
+    else
+      ( (fun () -> Models.Gpt2.build ()),
+        (fun () -> Models.Gpt2.build_decode ()),
+        Workloads.Trace.Skewed (16, 256),
+        Workloads.Trace.Uniform (16, 96),
+        Serving.Bucket.Linear 64 )
+  in
+  let cfg =
+    {
+      (Decode.Scheduler.default_config ~devices) with
+      Decode.Scheduler.mode;
+      prefill_workers;
+      max_decode_batch = max_batch;
+      cache_scheme;
+    }
+  in
+  let reqs = Decode.Scheduler.gen_requests ~seed ~qps ~n:requests ~prompt ~max_new in
+  let r = Decode.Scheduler.run ~prefill ~decode cfg reqs in
+  Printf.printf "serve gpt2 --decode (%s): %d replicas, %s mode, %.0f qps, %d sequences\n"
+    (if tiny then "tiny" else "paper scale")
+    n
+    (Decode.Scheduler.mode_to_string mode)
+    qps requests;
+  String.split_on_char '\n' (Decode.Scheduler.report_to_string r)
+  |> List.iter (Printf.printf "  %s\n");
+  Printf.printf "  served=%d/%d (%.0f%%) lost=%d\n" r.Decode.Scheduler.finished
+    r.Decode.Scheduler.sequences
+    (100.0
+    *. float_of_int r.Decode.Scheduler.finished
+    /. float_of_int (max 1 r.Decode.Scheduler.sequences))
+    r.Decode.Scheduler.lost;
+  Printf.printf "  %s\n" (cache_health r.Decode.Scheduler.cache)
+
 let serve_cmd =
   let replicas_arg =
     let doc = "Replica count (one session per replica, all on --device)." in
@@ -387,33 +444,91 @@ let serve_cmd =
     in
     Arg.(value & opt (some string) None & info [ "chaos" ] ~docv:"FILE" ~doc)
   in
+  let decode_arg =
+    let doc =
+      "Token-level continuous batching of autoregressive decoding (gpt2 only): \
+       prefill/decode phase split, symbolic KV-cache bucketing, iteration-level \
+       scheduling. Optional MODE: continuous (default) or static (request-level \
+       batching baseline)."
+    in
+    Arg.(
+      value
+      & opt ~vopt:(Some "continuous") (some string) None
+      & info [ "decode" ] ~docv:"MODE" ~doc)
+  in
+  let prefill_workers_arg =
+    let doc = "Decode serving: devices dedicated to the prefill phase." in
+    Arg.(value & opt int 1 & info [ "prefill-workers" ] ~docv:"N" ~doc)
+  in
+  (* Shared cache line for the end-of-run report: warm/corrupt health at
+     a glance, without --metrics. *)
+  let cache_health cs =
+    Printf.sprintf "cache: %s; hit_rate=%.0f%%%s"
+      (Disc.Compile_cache.stats_to_string cs)
+      (100.0 *. Disc.Compile_cache.hit_rate cs)
+      (if cs.Disc.Compile_cache.corrupt > 0 then
+         Printf.sprintf "; UNHEALTHY (%d corrupt artifacts quarantined)"
+           cs.Disc.Compile_cache.corrupt
+       else "; healthy")
+  in
   let run model tiny replicas devices qps requests seed router max_batch fails adaptive
-      chaos_file trace metrics =
+      chaos_file decode prefill_workers trace metrics =
     with_obs ~trace ~metrics @@ fun () ->
     let entry = Suite.find model in
+    (* Reject contradictory or out-of-range flag combinations up front:
+       a silently-ignored flag reads as a run that did what was asked. *)
+    if replicas < 1 then raise (Usage "serve: --replicas must be >= 1");
+    if qps <= 0.0 then raise (Usage "serve: --qps must be > 0");
+    if requests < 1 then raise (Usage "serve: --requests must be >= 1");
+    if max_batch < 1 then raise (Usage "serve: --max-batch must be >= 1");
     let devices =
       match devices with
       | Some s -> List.map device_of_string (String.split_on_char ',' s)
-      | None ->
-          if replicas < 1 then raise (Usage "serve: --replicas must be >= 1");
-          List.init replicas (fun _ -> Gpusim.Device.a10)
+      | None -> List.init replicas (fun _ -> Gpusim.Device.a10)
     in
     let router =
       match Serving.Router.policy_of_string router with
       | Some p -> p
       | None -> raise (Usage (Printf.sprintf "unknown router %S (warmth, least, rr)" router))
     in
+    let decode_mode =
+      match decode with
+      | None -> None
+      | Some "continuous" -> Some Decode.Scheduler.Continuous
+      | Some "static" -> Some Decode.Scheduler.Static
+      | Some m -> raise (Usage (Printf.sprintf "unknown decode mode %S (continuous, static)" m))
+    in
+    if decode_mode <> None then begin
+      if model <> "gpt2" then
+        raise (Usage "serve: --decode requires --model gpt2 (the decode-step graph)");
+      if chaos_file <> None then raise (Usage "serve: --decode cannot combine with --chaos");
+      if adaptive then raise (Usage "serve: --decode cannot combine with --adaptive");
+      if fails <> [] then raise (Usage "serve: --decode cannot combine with --fail")
+    end;
     let failures =
       List.map
         (fun s ->
           match String.split_on_char ',' s with
           | [ t; id ] -> (
               match (float_of_string_opt t, int_of_string_opt id) with
-              | Some t, Some id -> (t, id)
+              | Some t, Some id ->
+                  if t < 0.0 then
+                    raise (Usage (Printf.sprintf "bad --fail %S (time must be >= 0)" s));
+                  if id < 0 || id >= List.length devices then
+                    raise
+                      (Usage
+                         (Printf.sprintf "bad --fail %S (replica out of range 0..%d)" s
+                            (List.length devices - 1)));
+                  (t, id)
               | _ -> raise (Usage (Printf.sprintf "bad --fail %S (want TIME_US,REPLICA)" s)))
           | _ -> raise (Usage (Printf.sprintf "bad --fail %S (want TIME_US,REPLICA)" s)))
         fails
     in
+    match decode_mode with
+    | Some mode ->
+        serve_decode ~tiny ~devices ~qps ~requests ~seed ~max_batch ~prefill_workers ~mode
+          ~cache_health
+    | None ->
     let mix = Workloads.Trace.serving_mix entry in
     let req_dims = List.filter (fun (n, _) -> n <> "batch") mix in
     if req_dims = [] then raise (Usage (Printf.sprintf "serve: %s has no non-batch dims" model));
@@ -496,7 +611,7 @@ let serve_cmd =
           rep.Serving.Pool.rr_cold_dispatches rep.Serving.Pool.rr_busy_us)
       r.Serving.Pool.replicas;
     let cs = Disc.Compile_cache.stats (Serving.Pool.cache pool) in
-    Printf.printf "  cache: %s\n" (Disc.Compile_cache.stats_to_string cs)
+    Printf.printf "  %s\n" (cache_health cs)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -504,7 +619,7 @@ let serve_cmd =
     Term.(
       const run $ model_arg $ tiny_arg $ replicas_arg $ devices_arg $ qps_arg
       $ requests_arg $ seed_arg $ router_arg $ max_batch_arg $ fail_arg $ adaptive_arg
-      $ chaos_arg $ trace_arg $ metrics_arg)
+      $ chaos_arg $ decode_arg $ prefill_workers_arg $ trace_arg $ metrics_arg)
 
 (* --- compare --------------------------------------------------------------- *)
 

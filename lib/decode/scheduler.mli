@@ -1,0 +1,115 @@
+(** Token-level scheduling of autoregressive decoding.
+
+    Two modes over one deterministic virtual-time discrete-event loop:
+
+    - [Static]: request-level batching — a worker prefills a batch and
+      decodes the {e same} member set until every member finishes
+      (wasted slots, head-of-line blocking on TTFT). The baseline.
+    - [Continuous]: iteration-level scheduling — the decode batch is
+      re-formed between steps; sequences join when their prefill lands
+      and leave when they finish. Prefill and decode run on disjoint
+      workers with separate SLO budgets (TTFT / TPOT).
+
+    Both graphs compile once over symbolic dims and are served at every
+    shape; the KV-cache dim grows per step and {!Serving.Bucket}
+    rounding keeps its signature alphabet finite. All sessions share
+    one {!Disc.Compile_cache}, so the two graphs compile exactly once
+    across the fleet — never once per token. *)
+
+type mode = Continuous | Static
+
+val mode_to_string : mode -> string
+
+type config = {
+  mode : mode;
+  devices : Gpusim.Device.t list;  (** one worker per device *)
+  prefill_workers : int;
+      (** continuous: the first K devices prefill-only, the rest
+          decode-only; must satisfy [1 <= K < devices] *)
+  max_prefill_batch : int;
+  max_decode_batch : int;
+  batch_scheme : Serving.Bucket.scheme;
+  prompt_scheme : Serving.Bucket.scheme;  (** prefill [seq] dim *)
+  cache_scheme : Serving.Bucket.scheme;  (** decode KV-cache dim *)
+  decode_slo : Serving.Slo.decode_policy;
+  cold_warmup_us : float;
+      (** first dispatch of a signature on a worker pays this once *)
+  options : Disc.Compiler.options option;
+}
+
+val default_config : devices:Gpusim.Device.t list -> config
+(** Continuous, 1 prefill worker, prefill batch 4 / decode batch 16,
+    Pow2 batch+prompt buckets, Linear-64 cache buckets, default decode
+    SLOs, 1.5 ms cold warmup. *)
+
+type request = {
+  arrival_us : float;
+  prompt : int;
+  max_new : int;
+  cls : Serving.Slo.cls;
+}
+
+val gen_requests :
+  seed:int ->
+  qps:float ->
+  n:int ->
+  prompt:Workloads.Trace.distribution ->
+  max_new:Workloads.Trace.distribution ->
+  request list
+(** Deterministic stream: Poisson arrivals at [qps], prompt/generation
+    lengths drawn per request, fixed class mix (30% interactive, 60%
+    standard, 10% best-effort). Same seed, same stream. *)
+
+type report = {
+  mode : mode;
+  workers : int;
+  sequences : int;
+  finished : int;
+  lost : int;  (** dispatch failures — acceptance requires 0 *)
+  tokens : int;
+  makespan_us : float;
+  tokens_per_s : float;
+  ttft_p50_us : float;
+  ttft_p99_us : float;
+  tpot_p50_us : float;
+  tpot_p99_us : float;
+  ttft_ok : int;  (** finished sequences within their class TTFT budget *)
+  tpot_ok : int;  (** token gaps within their class TPOT budget *)
+  tpot_total : int;
+  prefill_batches : int;
+  decode_steps : int;
+  mean_decode_batch : float;  (** active members per decode step *)
+  decode_slot_waste : float;
+      (** padded batch slots that held no active member — static
+          batching's finished-member drag *)
+  signatures : int;  (** distinct dispatched shape signatures *)
+  dispatches : int;
+  cold_dispatches : int;
+  warm_rate : float;
+  cache : Disc.Compile_cache.stats;  (** shared across every session *)
+  seq_log : (int * float * float * int) list;
+      (** per finished sequence: id, TTFT, finish time, tokens *)
+}
+
+val digest : report -> string
+(** Canonical rendering of [seq_log] — the bit-identical-rerun
+    identity of a run. *)
+
+val report_to_string : report -> string
+
+val run :
+  ?cache:Disc.Compile_cache.t ->
+  prefill:(unit -> Models.Common.built) ->
+  decode:(unit -> Models.Common.built) ->
+  config ->
+  request list ->
+  report
+(** Simulate the full request stream to completion. [prefill]/[decode]
+    are builders (e.g. [Models.Gpt2.build] / [Models.Gpt2.build_decode])
+    called once per session; the shared compile cache (a fresh one when
+    [?cache] is omitted) makes every build after the first a compile
+    hit. When the decode cache dim carries the monotone-growth fact
+    ({!Symshape.Table.set_growing}), decode sessions pre-ingest the
+    {!Serving.Bucket.ladder} as likely-value hints.
+    @raise Invalid_argument on a malformed config or a request whose
+    [prompt + max_new] exceeds the cache bound. *)

@@ -46,6 +46,21 @@ let all : entry list =
       sweep = ("seq", [ 16; 32; 64; 128; 256; 512; 1024 ]);
     };
     {
+      name = "gpt2-decode";
+      description = "GPT-2-small decode step: one new token over a symbolic KV-cache";
+      dynamism = "batch, KV-cache length (grows per generated token)";
+      build = (fun () -> Gpt2.build_decode ());
+      build_tiny = (fun () -> Gpt2.build_decode ~config:Gpt2.tiny ());
+      bench_dims =
+        [
+          [ ("batch", 1); ("cache", 64) ];
+          [ ("batch", 4); ("cache", 128) ];
+          [ ("batch", 8); ("cache", 256) ];
+        ];
+      tiny_dims = [ ("batch", 2); ("cache", 5) ];
+      sweep = ("cache", [ 16; 32; 64; 128; 256; 512; 1024 ]);
+    };
+    {
       name = "seq2seq";
       description = "Transformer-base encoder-decoder, 6+6 layers";
       dynamism = "batch, source length, target length";

@@ -48,6 +48,25 @@ let round_up scheme v =
 let scheme_of spec name =
   match List.assoc_opt name spec with Some s -> s | None -> Exact
 
+(* The finite signature alphabet [round_up] can mint on [lb, ub]: every
+   bucket ceiling some value in the range rounds to, ascending. For a
+   monotonically growing dim (KV-cache length) this is exactly the
+   ladder of shape signatures a sequence climbs while decoding, which is
+   what the decode sessions pre-declare as likely values. Exact degrades
+   to one rung per value, so callers should cap consumption (e.g. the
+   [Table.set_likely] cap of 16). *)
+let ladder scheme ~lb ~ub =
+  if lb < 1 || ub < lb then invalid_arg "Bucket.ladder: need 1 <= lb <= ub";
+  let rec go v acc =
+    if v > ub then List.rev acc
+    else
+      let c = round_up scheme v in
+      (* c >= v; past the last Edges boundary every value is its own
+         exact rung, so advance one at a time there *)
+      go (max (c + 1) (v + 1)) (c :: acc)
+  in
+  go lb []
+
 (* Brownout ladder, last rung: trade padding waste for fewer distinct
    signatures. Wider buckets mean more requests share a batch env, so a
    capacity-starved pool serves more batches warm at a worse pad ratio.

@@ -31,6 +31,21 @@ val spec_to_string : spec -> string
 val round_up : scheme -> int -> int
 (** Round a dim value (>= 1) up to its bucket ceiling. *)
 
+val validate_edges : int list -> unit
+(** Check an [Edges] boundary list: strictly ascending, every boundary
+    >= 1. @raise Invalid_argument otherwise. (Also enforced lazily by
+    {!round_up}.) *)
+
+val ladder : scheme -> lb:int -> ub:int -> int list
+(** The finite, ascending set of bucket ceilings {!round_up} can
+    produce for values in [[lb, ub]] — the signature alphabet of a dim
+    bounded to that range. For a monotonically growing dim (KV-cache
+    length, {!Symshape.Table.set_growing}) this is the ladder of
+    signatures a sequence climbs while decoding; decode sessions
+    pre-declare it as likely values so every rung compiles against
+    known hints. [Exact] yields one rung per value — callers cap
+    consumption. @raise Invalid_argument unless [1 <= lb <= ub]. *)
+
 val widen_scheme : scheme -> scheme
 (** One step coarser: [Exact] -> [Pow2], [Linear s] -> [Linear 2s],
     [Edges] -> every other boundary keeping the last (covered range

@@ -33,6 +33,27 @@ let target_of policy cls =
 
 let deadline_of policy cls ~arrival_us = arrival_us +. (target_of policy cls).deadline_us
 
+(* Token-phase targets for autoregressive decoding: the request-level
+   deadline above doesn't fit a stream of tokens, so the decode
+   subsystem judges TTFT (arrival -> first token, the prefill phase)
+   and TPOT (gap between consecutive tokens, the decode phase)
+   separately per class. *)
+type decode_target = { ttft_us : float; tpot_us : float }
+
+type decode_policy = (cls * decode_target) list
+
+let default_decode_policy =
+  [
+    (Interactive, { ttft_us = 150_000.0; tpot_us = 40_000.0 });
+    (Standard, { ttft_us = 500_000.0; tpot_us = 100_000.0 });
+    (Best_effort, { ttft_us = Float.infinity; tpot_us = Float.infinity });
+  ]
+
+let decode_target_of policy cls =
+  match List.assoc_opt cls policy with
+  | Some t -> t
+  | None -> List.assoc cls default_decode_policy
+
 (* Controller state: one backlog counter and shed/expired tallies per
    class. Index by a fixed class order so state is flat arrays. *)
 let idx = function Interactive -> 0 | Standard -> 1 | Best_effort -> 2

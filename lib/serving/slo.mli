@@ -35,6 +35,27 @@ val target_of : policy -> cls -> target
 val deadline_of : policy -> cls -> arrival_us:float -> float
 (** Absolute deadline of a request ([infinity] when the class has none). *)
 
+type decode_target = {
+  ttft_us : float;
+      (** time-to-first-token budget: arrival to end of prefill *)
+  tpot_us : float;
+      (** time-per-output-token budget: gap between consecutive tokens *)
+}
+
+type decode_policy = (cls * decode_target) list
+(** Token-phase SLOs for autoregressive decoding. A request-level
+    deadline doesn't fit a token stream, so the decode scheduler judges
+    the prefill phase (TTFT) and the decode phase (per-token TPOT)
+    separately per class. *)
+
+val default_decode_policy : decode_policy
+(** Interactive: 150 ms TTFT / 40 ms TPOT. Standard: 500 ms / 100 ms.
+    Best_effort: unbounded. *)
+
+val decode_target_of : decode_policy -> cls -> decode_target
+(** The class's decode target, falling back to
+    {!default_decode_policy}. *)
+
 type t
 (** Admission-controller state: per-class backlog and shed/expiry
     accounting. *)

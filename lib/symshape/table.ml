@@ -18,6 +18,7 @@ type info = {
   mutable lb : int; (* lower bound, >= 1 for tensor dims *)
   mutable ub : int option; (* upper bound if known *)
   mutable likely : int list; (* distribution hint: likely runtime values *)
+  mutable growing : bool; (* monotone across a request's lifetime (KV cache) *)
   mutable deriv : deriv option;
   name : string;
 }
@@ -45,7 +46,8 @@ let ensure_capacity t n =
     let fresh_info i =
       if i < cap then t.syms.(i)
       else
-        { parent = i; static = None; lb = 1; ub = None; likely = []; deriv = None; name = "" }
+        { parent = i; static = None; lb = 1; ub = None; likely = []; growing = false;
+          deriv = None; name = "" }
     in
     t.syms <- Array.init ncap fresh_info
   end
@@ -54,7 +56,8 @@ let fresh ?(name = "") ?(lb = 1) ?ub ?(likely = []) t =
   let id = t.count in
   ensure_capacity t (id + 1);
   t.count <- id + 1;
-  t.syms.(id) <- { parent = id; static = None; lb; ub; likely; deriv = None; name };
+  t.syms.(id) <-
+    { parent = id; static = None; lb; ub; likely; growing = false; deriv = None; name };
   Sym.Sym id
 
 let num_symbols t = t.count
@@ -104,7 +107,8 @@ let merge_roots t a b =
       (match (ia.ub, ib.ub) with
       | Some x, Some y -> Some (min x y)
       | (Some _ as s), None | None, s -> s);
-    ia.likely <- List.sort_uniq Stdlib.compare (ia.likely @ ib.likely)
+    ia.likely <- List.sort_uniq Stdlib.compare (ia.likely @ ib.likely);
+    ia.growing <- ia.growing || ib.growing
   end
 
 let merge t (a : Sym.dim) (b : Sym.dim) =
@@ -152,6 +156,21 @@ let add_likely t (d : Sym.dim) vs =
   | Sym.Sym id ->
       let i = info t id in
       i.likely <- List.sort_uniq Stdlib.compare (vs @ i.likely)
+
+(* Monotone-growth fact: the dim only ever increases over a request's
+   lifetime (the KV-cache length of autoregressive decoding). Advisory,
+   like [likely]: it never constrains a binding, and it is deliberately
+   left out of the structural fingerprint so marking a dim cannot cold a
+   persisted compile cache. Consumers (the decode scheduler) use it to
+   pre-declare the finite bucket ladder the dim will climb, so growth
+   mints a bounded set of shape signatures instead of one per step. *)
+let set_growing t (d : Sym.dim) =
+  match resolve t d with
+  | Sym.Static _ -> ()
+  | Sym.Sym id -> (info t id).growing <- true
+
+let growing t (d : Sym.dim) =
+  match resolve t d with Sym.Static _ -> false | Sym.Sym id -> (info t id).growing
 
 let max_likely = 16
 
@@ -434,9 +453,10 @@ let pp fmt t =
         i.lb
         (match i.ub with Some u -> Printf.sprintf " ub=%d" u | None -> "")
         (match i.static with Some v -> Printf.sprintf " =%d" v | None -> "")
-        (match i.likely with
-        | [] -> ""
-        | vs -> " likely=" ^ String.concat "," (List.map string_of_int vs))
+        ((match i.likely with
+         | [] -> ""
+         | vs -> " likely=" ^ String.concat "," (List.map string_of_int vs))
+        ^ if i.growing then " growing" else "")
     end
   done;
   Format.fprintf fmt "@]"

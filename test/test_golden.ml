@@ -135,6 +135,7 @@ let pinned_fingerprints =
   [
     ("bert", "c03f3e37724cc0fe6b139351679fe716");
     ("gpt2", "46a4ab043e88f8d651d3a057db795e87");
+    ("gpt2-decode", "77bff835fdbd2224cacc8ebb30de89ad");
     ("seq2seq", "63081b005394d57737bfab0ddc6f98c7");
     ("t5", "7d7d7d35fe1d9e1dba086ec1e908fbb6");
     ("crnn", "1ae88223a32328bd03cdcb1e90902ac3");

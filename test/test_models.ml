@@ -215,7 +215,7 @@ let test_fastspeech_expand_map () =
   | _ -> Alcotest.fail "one output"
 
 let test_suite_registry () =
-  check_int "nine models" 9 (List.length Suite.all);
+  check_int "ten models" 10 (List.length Suite.all);
   List.iter
     (fun e ->
       check_bool "has bench dims" true (e.Suite.bench_dims <> []);

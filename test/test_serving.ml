@@ -109,6 +109,98 @@ let test_edges_scheme () =
        false
      with Invalid_argument _ -> true)
 
+let test_validate_edges () =
+  let rejects es =
+    try
+      Bucket.validate_edges es;
+      false
+    with Invalid_argument _ -> true
+  in
+  check_bool "ascending accepted" true
+    (try
+       Bucket.validate_edges [ 2; 4; 8 ];
+       true
+     with Invalid_argument _ -> false);
+  check_bool "empty accepted" true
+    (try
+       Bucket.validate_edges [];
+       true
+     with Invalid_argument _ -> false);
+  check_bool "descending rejected" true (rejects [ 8; 4 ]);
+  check_bool "duplicate rejected" true (rejects [ 4; 4; 8 ]);
+  check_bool "zero rejected" true (rejects [ 0; 4 ]);
+  check_bool "negative rejected" true (rejects [ -3; 4 ])
+
+let test_bucket_ladder () =
+  check_bool "pow2 ladder on [1,64]" true
+    (Bucket.ladder Bucket.Pow2 ~lb:1 ~ub:64 = [ 1; 2; 4; 8; 16; 32; 64 ]);
+  check_bool "pow2 ladder from interior lb" true
+    (Bucket.ladder Bucket.Pow2 ~lb:5 ~ub:20 = [ 8; 16; 32 ]);
+  check_bool "linear ladder" true
+    (Bucket.ladder (Bucket.Linear 16) ~lb:1 ~ub:48 = [ 16; 32; 48 ]);
+  check_bool "edges ladder goes exact past the last boundary" true
+    (Bucket.ladder (Bucket.Edges [ 4; 8 ]) ~lb:1 ~ub:10 = [ 4; 8; 9; 10 ]);
+  check_bool "exact ladder is every value" true
+    (Bucket.ladder Bucket.Exact ~lb:3 ~ub:6 = [ 3; 4; 5; 6 ]);
+  (* the decode invariant: every round_up lands on a ladder rung *)
+  let l = Bucket.ladder (Bucket.Linear 8) ~lb:1 ~ub:40 in
+  check_bool "round_up closed over the ladder" true
+    (List.for_all
+       (fun v -> List.mem (Bucket.round_up (Bucket.Linear 8) v) l)
+       (List.init 40 (fun i -> i + 1)));
+  check_bool "bad range rejected" true
+    (try
+       ignore (Bucket.ladder Bucket.Pow2 ~lb:4 ~ub:2);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- widen_scheme properties (satellite: brownout ladder soundness) ------- *)
+
+let scheme_arb =
+  let open QCheck in
+  let edges_gen =
+    Gen.map
+      (fun l ->
+        match List.sort_uniq compare (List.map (fun x -> 1 + (abs x mod 500)) l) with
+        | [] -> [ 1 ]
+        | es -> es)
+      Gen.(list_size (int_range 1 8) int)
+  in
+  make
+    ~print:Bucket.scheme_to_string
+    Gen.(
+      oneof
+        [
+          return Bucket.Exact;
+          return Bucket.Pow2;
+          map (fun s -> Bucket.Linear (1 + (s mod 64))) (int_range 0 1000);
+          map (fun es -> Bucket.Edges es) edges_gen;
+        ])
+
+let prop_widen_monotone =
+  QCheck.Test.make ~name:"bucket: widening never shrinks any bucket ceiling"
+    ~count:500
+    QCheck.(pair scheme_arb (int_range 1 2000))
+    (fun (s, v) -> Bucket.round_up (Bucket.widen_scheme s) v >= Bucket.round_up s v)
+
+let prop_widen_fixpoint =
+  (* Linear doubles its step forever by design; the other schemes must
+     reach a widest form that widening then leaves alone. *)
+  QCheck.Test.make ~name:"bucket: widening reaches an idempotent widest scheme"
+    ~count:500 scheme_arb (fun s ->
+      match s with
+      | Bucket.Linear _ -> QCheck.assume_fail ()
+      | _ ->
+          let rec fix s k =
+            if k = 0 then None
+            else
+              let w = Bucket.widen_scheme s in
+              if w = s then Some s else fix w (k - 1)
+          in
+          (match fix s 12 with
+          | None -> false
+          | Some fp -> Bucket.widen_scheme fp = fp))
+
 (* --- shape-distribution statistics ---------------------------------------- *)
 
 let observe_all st vs = List.iter (fun v -> Stats.observe st [ ("hist", v) ]) vs
@@ -639,6 +731,53 @@ let prop_router_score_monotone_in_load =
       r.Replica.busy_us <- r.Replica.busy_us +. float_of_int extra;
       Router.score ~now:router_now ~key:hot_key r < before)
 
+(* Degenerate histograms (satellite): a quantile estimator earns its
+   keep on the boring inputs — one sample, a point mass, and a
+   distribution decayed to nothing must all answer without NaN,
+   division by zero, or an invented value. *)
+
+let test_stats_single_sample () =
+  let st = Stats.create () in
+  Stats.observe st [ ("hist", 17) ];
+  check_int "p01 is the sample" 17 (Stats.quantile st "hist" 0.01);
+  check_int "p50 is the sample" 17 (Stats.quantile st "hist" 0.5);
+  check_int "p999 is the sample" 17 (Stats.quantile st "hist" 0.999);
+  (match Stats.likely st "hist" with
+  | [ v ] -> check_bool "one likely value, covering the sample" true (v >= 17)
+  | l -> Alcotest.failf "expected one likely value, got %d" (List.length l));
+  let es = Stats.edges st ~max_edges:4 "hist" in
+  check_bool "edges non-empty" true (es <> []);
+  check_int "edges end at the observed max" 17 (List.nth es (List.length es - 1));
+  Bucket.validate_edges es
+
+let test_stats_all_equal () =
+  let st = Stats.create () in
+  observe_all st (List.init 50 (fun _ -> 64));
+  check_int "every quantile is the point mass" 64 (Stats.quantile st "hist" 0.05);
+  check_int "p99 too" 64 (Stats.quantile st "hist" 0.99);
+  check_bool "edges collapse to the single value" true
+    (Stats.edges st ~max_edges:8 "hist" = [ 64 ]);
+  check_bool "likely is the single value's edge" true
+    (match Stats.likely st "hist" with [ v ] -> v >= 64 | _ -> false)
+
+let test_stats_decayed_to_zero () =
+  let st = Stats.create () in
+  observe_all st [ 8; 16; 32; 64 ];
+  Stats.decay st ~factor:1e-6;
+  Stats.decay st ~factor:1e-6;
+  (* sub-1e-9 mass is dropped: the dim reads as unseen again *)
+  check_int "quantile on zero mass is 0, not NaN" 0 (Stats.quantile st "hist" 0.5);
+  check_bool "likely empties" true (Stats.likely st "hist" = []);
+  check_bool "edges empty" true (Stats.edges st ~max_edges:4 "hist" = []);
+  check_bool "spec keeps the static scheme" true
+    (Stats.spec st ~max_edges:4 ~dims:[ ("hist", Bucket.Pow2) ]
+    = [ ("hist", Bucket.Pow2) ]);
+  (* factor 0 is legal and must not divide by zero *)
+  let st2 = Stats.create () in
+  observe_all st2 [ 5; 9 ];
+  Stats.decay st2 ~factor:0.0;
+  check_int "hard-zero decay" 0 (Stats.quantile st2 "hist" 0.9)
+
 (* --- pool: adaptive control loop -------------------------------------------- *)
 
 let drift_trace n =
@@ -726,7 +865,13 @@ let () =
           Alcotest.test_case "waste" `Quick test_waste;
           Alcotest.test_case "edges scheme" `Quick test_edges_scheme;
           Alcotest.test_case "widen (brownout L4)" `Quick test_bucket_widen;
+          Alcotest.test_case "validate_edges rejections" `Quick test_validate_edges;
+          Alcotest.test_case "ladder (decode signature alphabet)" `Quick
+            test_bucket_ladder;
         ] );
+      ( "bucket properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_widen_monotone; prop_widen_fixpoint ] );
       ( "shape stats",
         [
           Alcotest.test_case "quantile error bound" `Quick test_stats_quantile_bound;
@@ -736,6 +881,10 @@ let () =
           Alcotest.test_case "unseen dims keep scheme" `Quick test_stats_spec_keeps_unseen;
           Alcotest.test_case "rebucket key stability" `Quick
             test_stats_rebucket_key_stability;
+          Alcotest.test_case "degenerate: single sample" `Quick test_stats_single_sample;
+          Alcotest.test_case "degenerate: point mass" `Quick test_stats_all_equal;
+          Alcotest.test_case "degenerate: decayed to zero" `Quick
+            test_stats_decayed_to_zero;
         ] );
       ( "autoscaler",
         [
