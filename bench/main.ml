@@ -1284,6 +1284,128 @@ let micro () =
   in
   List.iter benchmark tests
 
+(* ----------------------------------------------------------------------
+   E20 (extension): million-request scale harness. One frozen trace
+   (Trace_gen.mixed: diurnal + bursts + shape drift, seed 42) through a
+   4x A10 pool, measuring what the hot-path de-allocation work bought:
+   sustained RPS, allocation rate (Gc.allocated_bytes per request), and
+   the completed-latency tail — then proving the run is sound (every
+   Audit invariant, lost = 0) and bit-reproducible (a second pool over
+   the same trace yields identical dispositions and latencies). The
+   pre-refactor pool on this exact trace allocated 23,159 B/request at
+   34,038 RPS (n = 10^6); acceptance pins a >= 2x allocation reduction
+   against that, alongside the invariants. *)
+
+let scale_pre_refactor_bytes_per_request = 23159.0
+let scale_pre_refactor_rps = 34038.0
+
+let scale ?json ?(requests = 1_000_000) () =
+  header
+    (Printf.sprintf "E20 (extension): scale harness — %d requests, 4x A10" requests);
+  let module Pool = Serving.Pool in
+  let module Bucket = Serving.Bucket in
+  let module Trace_gen = Serving.Trace_gen in
+  let module Audit = Serving.Audit in
+  let entry = Models.Suite.find "dien" in
+  let spec =
+    Trace_gen.mixed ~seed:42 ~qps:4000.0
+      ~dims_a:[ ("hist", Workloads.Trace.Skewed (5, 100)) ]
+      ~dims_b:[ ("hist", Workloads.Trace.Bimodal (8, 96)) ]
+      ()
+  in
+  Printf.printf "trace: %s\n%!" (Trace_gen.describe spec);
+  let reqs = Trace_gen.generate spec ~n:requests in
+  let bucket = [ ("hist", Bucket.Pow2) ] in
+  let cfg =
+    {
+      (Pool.default_config
+         ~devices:
+           [ Gpusim.Device.a10; Gpusim.Device.a10; Gpusim.Device.a10; Gpusim.Device.a10 ]
+         ~batch_dim:"batch" ~bucket)
+      with
+      Pool.max_batch = 16;
+    }
+  in
+  let build () = entry.Models.Suite.build_tiny () in
+  let pool = Pool.create cfg build in
+  let b0 = Gc.allocated_bytes () in
+  let t0 = Unix.gettimeofday () in
+  let r = Pool.run pool reqs in
+  let wall = Unix.gettimeofday () -. t0 in
+  let bytes_per_req = (Gc.allocated_bytes () -. b0) /. float_of_int requests in
+  let rps = float_of_int requests /. wall in
+  (* a fresh pool over the same trace: the whole run is a pure function
+     of (trace, seeds), so dispositions and latencies must be identical *)
+  let r2 = Pool.run (Pool.create cfg build) reqs in
+  let reproducible =
+    r.Pool.dispositions = r2.Pool.dispositions
+    && Array.for_all2
+         (fun a b -> (Float.is_nan a && Float.is_nan b) || a = b)
+         r.Pool.latencies_us r2.Pool.latencies_us
+  in
+  let violations = Audit.check r @ Audit.check r2 in
+  let lats = Pool.completed_latencies r in
+  let p50 = Pool.percentile lats 0.5
+  and p99 = Pool.percentile lats 0.99
+  and p999 = Pool.percentile lats 0.999 in
+  let reduction = scale_pre_refactor_bytes_per_request /. bytes_per_req in
+  Printf.printf "n=%d wall=%.2fs sustained=%.0f req/s alloc=%.0f B/req\n" requests wall
+    rps bytes_per_req;
+  Printf.printf "latency (completed): p50=%.0fus p99=%.0fus p99.9=%.0fus\n" p50 p99 p999;
+  Printf.printf "padding waste %.1f%%  mean batch %.2f  peak queued %d  batches %d\n"
+    (100.0 *. Pool.padding_waste r)
+    r.Pool.mean_batch r.Pool.peak_queued r.Pool.batches;
+  Printf.printf
+    "served=%d fell_back=%d shed=%d expired=%d rejected=%d failed=%d lost=%d\n"
+    r.Pool.served r.Pool.fell_back r.Pool.shed r.Pool.expired r.Pool.rejected
+    r.Pool.failed r.Pool.lost;
+  Printf.printf "%s\n" (Audit.to_string violations);
+  Printf.printf "reproducible: %b (two pools, identical dispositions and latencies)\n"
+    reproducible;
+  let ok =
+    violations = [] && reproducible && r.Pool.lost = 0 && reduction >= 2.0
+  in
+  Printf.printf
+    "allocation: %.0f B/req vs %.0f pre-refactor = %.1fx reduction (gate: >= 2x)%s\n"
+    bytes_per_req scale_pre_refactor_bytes_per_request reduction
+    (if ok then "" else "  (ACCEPTANCE NOT MET)");
+  match json with
+  | None -> ()
+  | Some path ->
+      let doc =
+        Obs.Json.Obj
+          [
+            ("experiment", Obs.Json.Str "E20-scale");
+            ("trace", Obs.Json.Str (Trace_gen.describe spec));
+            ("requests", Obs.Json.Int requests);
+            ("wall_s", Obs.Json.Float wall);
+            ("sustained_rps", Obs.Json.Float rps);
+            ("bytes_per_request", Obs.Json.Float bytes_per_req);
+            ( "pre_refactor_bytes_per_request",
+              Obs.Json.Float scale_pre_refactor_bytes_per_request );
+            ("pre_refactor_rps", Obs.Json.Float scale_pre_refactor_rps);
+            ("allocation_reduction_x", Obs.Json.Float reduction);
+            ("p50_us", Obs.Json.Float p50);
+            ("p99_us", Obs.Json.Float p99);
+            ("p999_us", Obs.Json.Float p999);
+            ("padding_waste", Obs.Json.Float (Pool.padding_waste r));
+            ("mean_batch", Obs.Json.Float r.Pool.mean_batch);
+            ("peak_queued", Obs.Json.Int r.Pool.peak_queued);
+            ("served", Obs.Json.Int r.Pool.served);
+            ("fell_back", Obs.Json.Int r.Pool.fell_back);
+            ("shed", Obs.Json.Int r.Pool.shed);
+            ("expired", Obs.Json.Int r.Pool.expired);
+            ("rejected", Obs.Json.Int r.Pool.rejected);
+            ("failed", Obs.Json.Int r.Pool.failed);
+            ("lost", Obs.Json.Int r.Pool.lost);
+            ("audit_ok", Obs.Json.Bool (violations = []));
+            ("reproducible", Obs.Json.Bool reproducible);
+            ("acceptance", Obs.Json.Bool ok);
+          ]
+      in
+      Obs.Json.write_file path doc;
+      Printf.printf "scale numbers -> %s\n" path
+
 (* ---------------------------------------------------------------------- *)
 
 let all ?json () =
@@ -1312,15 +1434,17 @@ let () =
      --json: write E1 headline numbers machine-readably (e2e / all)
      --trace: arm the observability layer and dump a Chrome trace of
        every compile phase and kernel launch the experiments simulate *)
-  let rec parse_args cmd json trace = function
-    | [] -> (cmd, json, trace)
-    | "--" :: rest -> parse_args cmd json trace rest
-    | "--json" :: path :: rest -> parse_args cmd (Some path) trace rest
-    | "--trace" :: path :: rest -> parse_args cmd json (Some path) rest
-    | a :: rest -> parse_args (Some a) json trace rest
+  let rec parse_args cmd json trace requests = function
+    | [] -> (cmd, json, trace, requests)
+    | "--" :: rest -> parse_args cmd json trace requests rest
+    | "--json" :: path :: rest -> parse_args cmd (Some path) trace requests rest
+    | "--trace" :: path :: rest -> parse_args cmd json (Some path) requests rest
+    | "--requests" :: n :: rest ->
+        parse_args cmd json trace (Some (int_of_string n)) rest
+    | a :: rest -> parse_args (Some a) json trace requests rest
   in
-  let cmd, json, trace =
-    parse_args None None None (List.tl (Array.to_list Sys.argv))
+  let cmd, json, trace, requests =
+    parse_args None None None None (List.tl (Array.to_list Sys.argv))
   in
   let cmd = Option.value cmd ~default:"all" in
   if trace <> None then Obs.Scope.enable ();
@@ -1344,14 +1468,15 @@ let () =
   | "adaptive" -> adaptive_serving ?json ()
   | "chaos" -> chaos_serving ?json ()
   | "decode" -> decode_serving ?json ()
+  | "scale" -> scale ?json ?requests ()
   | "micro" -> micro ()
   | "all" -> all ?json ()
   | other ->
       Printf.eprintf
         "unknown experiment %s\n\
          usage: main.exe \
-         [e2e|suite|sweep|fusion_ablation|speculation_ablation|compile_time|memory|constraints|mixed_precision|horizontal|cpu|serving|specialization|resilience|cache|pool|adaptive|chaos|decode|micro|all] \
-         [--json OUT.json] [--trace OUT.json]\n"
+         [e2e|suite|sweep|fusion_ablation|speculation_ablation|compile_time|memory|constraints|mixed_precision|horizontal|cpu|serving|specialization|resilience|cache|pool|adaptive|chaos|decode|scale|micro|all] \
+         [--json OUT.json] [--trace OUT.json] [--requests N]\n"
         other;
       exit 1);
   match trace with

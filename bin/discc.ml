@@ -460,6 +460,15 @@ let serve_cmd =
     let doc = "Decode serving: devices dedicated to the prefill phase." in
     Arg.(value & opt int 1 & info [ "prefill-workers" ] ~docv:"N" ~doc)
   in
+  let traffic_arg =
+    let doc =
+      "Traffic preset from the seeded trace generator: steady (plain Poisson), \
+       diurnal (sinusoidal load), bursty (Markov on/off spikes), or drift (the \
+       shape distribution alternates between segments). Omitted: the legacy \
+       constant-rate trace."
+    in
+    Arg.(value & opt (some string) None & info [ "traffic" ] ~docv:"PRESET" ~doc)
+  in
   (* Shared cache line for the end-of-run report: warm/corrupt health at
      a glance, without --metrics. *)
   let cache_health cs =
@@ -472,7 +481,7 @@ let serve_cmd =
        else "; healthy")
   in
   let run model tiny replicas devices qps requests seed router max_batch fails adaptive
-      chaos_file decode prefill_workers trace metrics =
+      chaos_file decode prefill_workers traffic trace metrics =
     with_obs ~trace ~metrics @@ fun () ->
     let entry = Suite.find model in
     (* Reject contradictory or out-of-range flag combinations up front:
@@ -503,7 +512,8 @@ let serve_cmd =
         raise (Usage "serve: --decode requires --model gpt2 (the decode-step graph)");
       if chaos_file <> None then raise (Usage "serve: --decode cannot combine with --chaos");
       if adaptive then raise (Usage "serve: --decode cannot combine with --adaptive");
-      if fails <> [] then raise (Usage "serve: --decode cannot combine with --fail")
+      if fails <> [] then raise (Usage "serve: --decode cannot combine with --fail");
+      if traffic <> None then raise (Usage "serve: --decode cannot combine with --traffic")
     end;
     let failures =
       List.map
@@ -542,14 +552,46 @@ let serve_cmd =
     in
     let pool = Serving.Pool.create cfg (fun () -> build_model model tiny) in
     let reqs =
-      Workloads.Queueing.generate_arrivals ~seed ~qps ~n:requests ~dims:req_dims
-      |> Serving.Pool.of_arrivals
-      |> Serving.Pool.with_class_mix ~seed
-           [
-             (Serving.Slo.Interactive, 0.25);
-             (Serving.Slo.Standard, 0.5);
-             (Serving.Slo.Best_effort, 0.25);
-           ]
+      match traffic with
+      | None ->
+          Workloads.Queueing.generate_arrivals ~seed ~qps ~n:requests ~dims:req_dims
+          |> Serving.Pool.of_arrivals
+          |> Serving.Pool.with_class_mix ~seed
+               [
+                 (Serving.Slo.Interactive, 0.25);
+                 (Serving.Slo.Standard, 0.5);
+                 (Serving.Slo.Best_effort, 0.25);
+               ]
+      | Some preset ->
+          (* drift's second segment flips each dim's distribution family
+             so consecutive segments exercise genuinely different shapes *)
+          let flipped =
+            List.map
+              (fun (name, d) ->
+                ( name,
+                  match (d : Workloads.Trace.distribution) with
+                  | Workloads.Trace.Uniform (lo, hi) | Workloads.Trace.Skewed (lo, hi) ->
+                      Workloads.Trace.Bimodal (lo, hi)
+                  | Workloads.Trace.Bimodal (a, b) ->
+                      Workloads.Trace.Uniform (min a b, max a b)
+                  | Workloads.Trace.Fixed v -> Workloads.Trace.Fixed v ))
+              req_dims
+          in
+          let spec =
+            match preset with
+            | "steady" -> Serving.Trace_gen.steady ~seed ~qps ~dims:req_dims ()
+            | "diurnal" -> Serving.Trace_gen.diurnal ~seed ~qps ~dims:req_dims ()
+            | "bursty" -> Serving.Trace_gen.bursty ~seed ~qps ~dims:req_dims ()
+            | "drift" ->
+                Serving.Trace_gen.drift ~seed ~qps ~dims_a:req_dims ~dims_b:flipped ()
+            | p ->
+                raise
+                  (Usage
+                     (Printf.sprintf
+                        "unknown traffic preset %S (steady, diurnal, bursty, drift)" p))
+          in
+          Printf.printf "traffic: %s\n" (Serving.Trace_gen.describe spec);
+          Serving.Trace_gen.generate spec ~n:requests
     in
     let adaptive_cfg =
       if not adaptive then None
@@ -619,7 +661,8 @@ let serve_cmd =
     Term.(
       const run $ model_arg $ tiny_arg $ replicas_arg $ devices_arg $ qps_arg
       $ requests_arg $ seed_arg $ router_arg $ max_batch_arg $ fail_arg $ adaptive_arg
-      $ chaos_arg $ decode_arg $ prefill_workers_arg $ trace_arg $ metrics_arg)
+      $ chaos_arg $ decode_arg $ prefill_workers_arg $ traffic_arg $ trace_arg
+      $ metrics_arg)
 
 (* --- compare --------------------------------------------------------------- *)
 

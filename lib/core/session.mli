@@ -123,7 +123,15 @@ val serve_result :
     (e.g. [[("batch", 4); ("seq", 73)]]). Validates the binding, runs
     the retry/fallback ladder, and records latency + outcome counters.
     With [deadline_us], a request whose simulated latency exceeds the
-    budget returns [Deadline_exceeded] and counts as failed. *)
+    budget returns [Deadline_exceeded] and counts as failed.
+
+    In steady state — no fault injection armed, no tripped kernels,
+    warmup drained, tracing off — the result at a given env is a pure
+    function of the env, and repeated envs are served from a per-session
+    memo without re-walking the executable (the serving pool's warm-path
+    fast lane). Any departure from steady state bypasses the memo, so
+    fault streams, breaker bookkeeping, and span emission are never
+    skipped. *)
 
 val serve_data_result :
   t ->
@@ -143,6 +151,10 @@ val serve_data : t -> Tensor.Nd.t list -> Tensor.Nd.t list * Runtime.Profile.t
 
 val despeculated_kernels : t -> string list
 (** Kernels the circuit breaker has pinned to their generic version. *)
+
+val despeculated_count : t -> int
+(** [List.length (despeculated_kernels t)] without building the list —
+    the router scores replicas with this on every dispatch. *)
 
 val ingest_hints : t -> (string * int list) list -> unit
 (** Online distribution feedback: replace the likely-value hints on the

@@ -240,6 +240,8 @@ type report = {
   actual_elements : int;
   padded_elements : int;
   makespan_us : float;
+  peak_queued : int; (* high-water mark of the total queued backlog *)
+  time_monotone : bool; (* event loop never stepped virtual time backwards *)
   classes : class_report list;
   replicas : replica_report list;
   adaptive : adaptive_report option; (* Some iff run with ~adaptive *)
@@ -351,6 +353,93 @@ type inflight = {
   mutable if_cancelled : bool;
 }
 
+(* --- hot-path queue structures --------------------------------------------
+
+   Scale discipline (ROADMAP item 5): the event loop must not allocate
+   per request. Per-bucket queues hold request *indexes* in a growable
+   int ring (power-of-two capacity) instead of boxed (index, request)
+   tuples in a [Queue.t]; each bucket caches a lower bound on its
+   members' earliest deadline so the per-event expiry sweep skips every
+   bucket that cannot contain an expired entry (the old sweep rebuilt
+   every queue at every event); the backlog total is an incrementally
+   maintained counter instead of a fold over the queue table; and a
+   dims -> bucket-queue memo absorbs the [Bucket.key_of] string build
+   on the admission path (invalidated whenever the live bucket policy
+   re-keys). *)
+module Iq = struct
+  type t = { mutable buf : int array; mutable head : int; mutable len : int }
+
+  let create () = { buf = Array.make 16 (-1); head = 0; len = 0 }
+  let length q = q.len
+
+  let grow q =
+    let cap = Array.length q.buf in
+    let buf' = Array.make (2 * cap) (-1) in
+    Array.blit q.buf q.head buf' 0 (cap - q.head);
+    Array.blit q.buf 0 buf' (cap - q.head) q.head;
+    q.buf <- buf';
+    q.head <- 0
+
+  let push q x =
+    if q.len = Array.length q.buf then grow q;
+    q.buf.((q.head + q.len) land (Array.length q.buf - 1)) <- x;
+    q.len <- q.len + 1
+
+  let peek q = q.buf.(q.head)
+
+  let pop q =
+    let x = q.buf.(q.head) in
+    q.head <- (q.head + 1) land (Array.length q.buf - 1);
+    q.len <- q.len - 1;
+    x
+
+  let clear q =
+    q.head <- 0;
+    q.len <- 0
+
+  let iter f q =
+    let mask = Array.length q.buf - 1 in
+    for k = 0 to q.len - 1 do
+      f q.buf.((q.head + k) land mask)
+    done
+
+  (* Keep entries satisfying [pred], preserving order; [pred] may
+     side-effect on dropped entries (the expiry sweep does). *)
+  let filter_in_place pred q =
+    let mask = Array.length q.buf - 1 in
+    let kept = ref 0 in
+    for k = 0 to q.len - 1 do
+      let x = q.buf.((q.head + k) land mask) in
+      if pred x then begin
+        q.buf.((q.head + !kept) land mask) <- x;
+        incr kept
+      end
+    done;
+    q.len <- !kept
+end
+
+(* One bucket queue. [bq_min_deadline] is a conservative lower bound:
+   pushes tighten it, pops may leave it stale-low, so a sweep can fire
+   with nothing to expire (it then recomputes the exact min) but can
+   never miss an expired entry. *)
+type bq = {
+  bq_key : string;
+  bq_q : Iq.t;
+  mutable bq_min_deadline : float; (* infinity when nothing bounds it *)
+}
+
+(* Int-coded dispositions for the hot path: writing [Some Served] into
+   an option array allocates a box per request; an int does not. Code 0
+   is "still pending / in flight" and maps to [Failed] (= lost) if it
+   survives to the end of the run. *)
+let d_pending = 0
+let d_served = 1
+let d_fell_back = 2
+let d_shed = 3
+let d_expired = 4
+let d_rejected = 5
+let d_failed = 6
+
 let run ?(failures = []) ?adaptive ?chaos ?(resilience = no_resilience) t
     (reqs : request list) : report =
   let cfg = t.cfg in
@@ -370,31 +459,96 @@ let run ?(failures = []) ?adaptive ?chaos ?(resilience = no_resilience) t
             })
           (Chaos.spike_arrivals sc)
   in
-  let reqs =
-    List.sort (fun a b -> compare a.arrival_us b.arrival_us) (reqs @ spike_reqs)
+  (* Traces are normally generated in arrival order ({!Trace_gen}
+     guarantees strictly increasing times), and sorting a 10^6-element
+     boxed list dominates the whole run's cost at scale. Detect
+     sortedness in O(n) and skip the sort; fall back to the stable
+     [List.sort] (identical tie order) for unsorted or spiked input. *)
+  let rec is_sorted prev = function
+    | [] -> true
+    | r :: rest -> prev <= r.arrival_us && is_sorted r.arrival_us rest
   in
-  let arr = Array.of_list reqs in
+  let arr =
+    match spike_reqs with
+    | [] when is_sorted neg_infinity reqs -> Array.of_list reqs
+    | _ ->
+        Array.of_list
+          (List.sort (fun a b -> compare a.arrival_us b.arrival_us) (reqs @ spike_reqs))
+  in
   let n = Array.length arr in
-  let disp : disposition option array = Array.make n None in
+  let dispc = Array.make n d_pending in
   let lats = Array.make n Float.nan in
   let slo = Slo.create cfg.slo in
   let obs = Obs.Scope.on () in
-  (* per-bucket FIFO queues, in first-seen key order for determinism *)
-  let queues : (string, (int * request) Queue.t) Hashtbl.t = Hashtbl.create 16 in
-  let order : string list ref = ref [] in
-  let queue_of key =
-    match Hashtbl.find_opt queues key with
-    | Some q -> q
-    | None ->
-        let q = Queue.create () in
-        Hashtbl.replace queues key q;
-        order := !order @ [ key ];
-        q
+  (* metrics cells resolved once — the hot path updates cells, never
+     re-resolves names (and never builds a name with Printf) *)
+  let mreg = if obs then Obs.Metrics.global else Obs.Metrics.create () in
+  let g_depth = Obs.Metrics.gauge mreg "pool.queue_depth" in
+  let c_served = Obs.Metrics.counter mreg "pool.served" in
+  let c_fell_back = Obs.Metrics.counter mreg "pool.fell_back" in
+  let c_rejected = Obs.Metrics.counter mreg "pool.rejected" in
+  let c_failed = Obs.Metrics.counter mreg "pool.failed" in
+  let h_latency = Obs.Metrics.histogram mreg "pool.latency_us" in
+  (* per-class SLO targets as flat arrays: the scheduler consults
+     priority and deadline on every pick, [List.assoc] is off the path *)
+  let cls_i = function Slo.Interactive -> 0 | Slo.Standard -> 1 | Slo.Best_effort -> 2 in
+  let ddl_rel = Array.make 3 0.0 in
+  let prio_a = Array.make 3 0 in
+  List.iter
+    (fun c ->
+      let tg = Slo.target_of cfg.slo c in
+      ddl_rel.(cls_i c) <- tg.Slo.deadline_us;
+      prio_a.(cls_i c) <- tg.Slo.priority)
+    Slo.all_classes;
+  (* absolute deadline per request, precomputed once (same formula as
+     [Slo.deadline_of]): expiry and bucket picking read an array cell *)
+  let dls =
+    Array.init n (fun i -> arr.(i).arrival_us +. ddl_rel.(cls_i arr.(i).cls))
   in
-  let total_queued () =
-    Hashtbl.fold (fun _ q acc -> acc + Queue.length q) queues 0
+  (* per-bucket queues, in first-seen key order for determinism *)
+  let dummy_bq = { bq_key = ""; bq_q = Iq.create (); bq_min_deadline = infinity } in
+  let bvec = ref (Array.make 8 dummy_bq) in
+  let bcount = ref 0 in
+  let by_key : (string, bq) Hashtbl.t = Hashtbl.create 16 in
+  let route : ((string * int) list, bq) Hashtbl.t = Hashtbl.create 64 in
+  let route_cap = 8192 in
+  let queued_total = ref 0 in
+  let peak_queued = ref 0 in
+  let mono = ref true in
+  let bq_add b =
+    if !bcount = Array.length !bvec then begin
+      let v = Array.make (2 * Array.length !bvec) b in
+      Array.blit !bvec 0 v 0 !bcount;
+      bvec := v
+    end;
+    (!bvec).(!bcount) <- b;
+    incr bcount
   in
-  let upcoming = ref (List.mapi (fun i r -> (i, r)) reqs) in
+  let bq_of_key key =
+    try Hashtbl.find by_key key
+    with Not_found ->
+      let b = { bq_key = key; bq_q = Iq.create (); bq_min_deadline = infinity } in
+      Hashtbl.replace by_key key b;
+      bq_add b;
+      b
+  in
+  let bq_of_dims dims =
+    try Hashtbl.find route dims
+    with Not_found ->
+      let b = bq_of_key (Bucket.key_of t.cur_bucket dims) in
+      if Hashtbl.length route >= route_cap then Hashtbl.reset route;
+      Hashtbl.add route dims b;
+      b
+  in
+  let enqueue i (r : request) =
+    let b = bq_of_dims r.dims in
+    Iq.push b.bq_q i;
+    if dls.(i) < b.bq_min_deadline then b.bq_min_deadline <- dls.(i);
+    incr queued_total;
+    if !queued_total > !peak_queued then peak_queued := !queued_total;
+    if obs then Obs.Metrics.set_gauge g_depth (float_of_int !queued_total)
+  in
+  let cursor = ref 0 in
   let pending_failures =
     ref (List.sort (fun (a, _) (b, _) -> compare a b) failures)
   in
@@ -450,37 +604,51 @@ let run ?(failures = []) ?adaptive ?chaos ?(resilience = no_resilience) t
     if !bro_level >= 2 then cfg.max_pad_waste /. 2.0 else cfg.max_pad_waste
   in
 
+  (* admission-time validation, equivalent to
+     [Workloads.Queueing.validate_request] (missing / unknown /
+     duplicate / non-positive dims all reject) but without building the
+     per-request name and filter lists that check allocates *)
+  let expected_arr = Array.of_list t.expected in
+  let n_expected = Array.length expected_arr in
+  let rec name_expected name k =
+    k < n_expected && (String.equal expected_arr.(k) name || name_expected name (k + 1))
+  in
+  let rec dup_name name = function
+    | [] -> false
+    | (n2, _) :: rest -> String.equal n2 name || dup_name name rest
+  in
+  let rec dims_ok = function
+    | [] -> true
+    | (name, v) :: rest ->
+        v >= 1 && name_expected name 0 && (not (dup_name name rest)) && dims_ok rest
+  in
+  let rec dims_len acc = function [] -> acc | _ :: rest -> dims_len (acc + 1) rest in
+  let valid_request (r : request) = dims_len 0 r.dims = n_expected && dims_ok r.dims in
+
   let admit (i : int) (r : request) =
-    let qreq = { Q.arrival_us = r.arrival_us; Q.dims = r.dims } in
-    match Q.validate_request ~expected:t.expected qreq with
-    | Error _ ->
-        disp.(i) <- Some Rejected;
-        if obs then Obs.Scope.count "pool.rejected"
-    | Ok () ->
-        (* well-formed traffic feeds the distribution estimator even when
-           shed: offered load is what the bucket policy must fit *)
-        if adaptive <> None then Shape_stats.observe t.stats r.dims;
-        if !bro_level >= 1 && r.cls = Slo.Best_effort then begin
-          (* brownout L1: background traffic sheds outright *)
-          disp.(i) <- Some Shed;
-          Slo.note_shed slo r.cls
-        end
-        else if not (Slo.admit slo r.cls) then disp.(i) <- Some Shed
-        else begin
-          Queue.add (i, r) (queue_of (Bucket.key_of t.cur_bucket r.dims));
-          if obs then Obs.Scope.gauge "pool.queue_depth" (float_of_int (total_queued ()))
-        end
+    if not (valid_request r) then begin
+      dispc.(i) <- d_rejected;
+      if obs then Obs.Metrics.inc c_rejected
+    end
+    else begin
+      (* well-formed traffic feeds the distribution estimator even when
+         shed: offered load is what the bucket policy must fit *)
+      if adaptive <> None then Shape_stats.observe t.stats r.dims;
+      if !bro_level >= 1 && r.cls = Slo.Best_effort then begin
+        (* brownout L1: background traffic sheds outright *)
+        dispc.(i) <- d_shed;
+        Slo.note_shed slo r.cls
+      end
+      else if not (Slo.admit slo r.cls) then dispc.(i) <- d_shed
+      else enqueue i r
+    end
   in
   let admit_arrivals_up_to time =
-    let rec go () =
-      match !upcoming with
-      | (i, r) :: rest when r.arrival_us <= time ->
-          upcoming := rest;
-          admit i r;
-          go ()
-      | _ -> ()
-    in
-    go ()
+    while !cursor < n && arr.(!cursor).arrival_us <= time do
+      let i = !cursor in
+      cursor := i + 1;
+      admit i arr.(i)
+    done
   in
   let process_failures time =
     let rec go () =
@@ -505,63 +673,89 @@ let run ?(failures = []) ?adaptive ?chaos ?(resilience = no_resilience) t
         Replica.finish_recover_if_due r ~now:time)
       t.pool_replicas
   in
+  (* Expiry sweep: only buckets whose cached min-deadline bound has been
+     crossed are walked; everything else is a float compare. *)
   let expire_queues time =
-    Hashtbl.iter
-      (fun _ q ->
-        let keep = Queue.create () in
-        Queue.iter
-          (fun (i, r) ->
-            if Slo.deadline_of cfg.slo r.cls ~arrival_us:r.arrival_us < time then begin
-              disp.(i) <- Some Expired;
+    for bi = 0 to !bcount - 1 do
+      let b = (!bvec).(bi) in
+      if Iq.length b.bq_q > 0 && b.bq_min_deadline < time then begin
+        let new_min = ref infinity in
+        Iq.filter_in_place
+          (fun i ->
+            if dls.(i) < time then begin
+              let r = arr.(i) in
+              dispc.(i) <- d_expired;
               Slo.dequeue slo r.cls;
-              Slo.note_expired slo r.cls
+              Slo.note_expired slo r.cls;
+              queued_total := !queued_total - 1;
+              false
             end
-            else Queue.add (i, r) keep)
-          q;
-        Queue.clear q;
-        Queue.transfer keep q)
-      queues
+            else begin
+              if dls.(i) < !new_min then new_min := dls.(i);
+              true
+            end)
+          b.bq_q;
+        b.bq_min_deadline <- !new_min
+      end
+    done
   in
   let any_free time =
-    Array.exists (fun r -> Replica.is_free r ~now:time) t.pool_replicas
+    let reps = t.pool_replicas in
+    let nr = Array.length reps in
+    let rec go i = i < nr && (Replica.is_free reps.(i) ~now:time || go (i + 1)) in
+    go 0
   in
-  let launchable time q =
-    match Queue.peek_opt q with
-    | None -> false
-    | Some (_, oldest) ->
-        Queue.length q >= eff_max_batch ()
-        || oldest.arrival_us +. cfg.max_wait_us <= time
-        || !upcoming = []
+  let launchable time b =
+    Iq.length b.bq_q > 0
+    && (Iq.length b.bq_q >= eff_max_batch ()
+        || arr.(Iq.peek b.bq_q).arrival_us +. cfg.max_wait_us <= time
+        || !cursor >= n)
   in
   (* bucket selection: class priority of the oldest request, then
-     earliest absolute deadline, then earliest arrival, then key *)
+     earliest absolute deadline, then earliest arrival, then key — the
+     same lexicographic order the old fold compared as a 4-tuple, kept
+     as scalar running-best state so picking allocates nothing *)
   let pick_bucket time =
-    List.fold_left
-      (fun best key ->
-        let q = Hashtbl.find queues key in
-        if not (launchable time q) then best
-        else
-          let _, oldest = Queue.peek q in
-          let cand =
-            ( -(Slo.target_of cfg.slo oldest.cls).Slo.priority,
-              Slo.deadline_of cfg.slo oldest.cls ~arrival_us:oldest.arrival_us,
-              oldest.arrival_us,
-              key )
-          in
-          match best with
-          | Some (b, _) when b <= cand -> best
-          | _ -> Some (cand, (key, q)))
-      None !order
-    |> Option.map snd
+    let best = ref (-1) in
+    let bp = ref 0 and bd = ref infinity and ba = ref infinity in
+    for bi = 0 to !bcount - 1 do
+      let b = (!bvec).(bi) in
+      if launchable time b then begin
+        let oldest = Iq.peek b.bq_q in
+        let oreq = arr.(oldest) in
+        let p = -prio_a.(cls_i oreq.cls) in
+        let d = dls.(oldest) in
+        let a = oreq.arrival_us in
+        let better =
+          !best < 0 || p < !bp
+          || (p = !bp
+              && (d < !bd
+                  || (d = !bd
+                      && (a < !ba
+                          || (a = !ba
+                              && String.compare b.bq_key (!bvec).(!best).bq_key < 0)))))
+        in
+        if better then begin
+          best := bi;
+          bp := p;
+          bd := d;
+          ba := a
+        end
+      end
+    done;
+    !best
   in
-  let pop_batch q =
+  let pop_batch b =
     let cap = eff_max_batch () in
     let rec go acc k =
-      if k >= cap || Queue.is_empty q then List.rev acc
-      else
-        let (i, r) = Queue.pop q in
+      if k >= cap || Iq.length b.bq_q = 0 then List.rev acc
+      else begin
+        let i = Iq.pop b.bq_q in
+        let r = arr.(i) in
         Slo.dequeue slo r.cls;
+        queued_total := !queued_total - 1;
         go ((i, r) :: acc) (k + 1)
+      end
     in
     go [] 0
   in
@@ -576,9 +770,9 @@ let run ?(failures = []) ?adaptive ?chaos ?(resilience = no_resilience) t
     | Error _ ->
         if hedge_of = None then begin
           List.iter
-            (fun (i, _) -> if disp.(i) = None then disp.(i) <- Some Failed)
+            (fun (i, _) -> if dispc.(i) = d_pending then dispc.(i) <- d_failed)
             members;
-          if obs then Obs.Scope.count ~by:count "pool.failed"
+          if obs then Obs.Metrics.inc ~by:count c_failed
         end;
         None
     | Ok (profile, path) ->
@@ -689,51 +883,64 @@ let run ?(failures = []) ?adaptive ?chaos ?(resilience = no_resilience) t
           then Replica.restore rep
   in
   let finalize (fl : inflight) =
-    let d = match fl.if_path with `Compiled -> Served | `Fallback -> Fell_back in
+    let code = match fl.if_path with `Compiled -> d_served | `Fallback -> d_fell_back in
     let k = ref 0 in
     List.iter
       (fun (i, r) ->
-        if disp.(i) = None then begin
-          disp.(i) <- Some d;
+        if dispc.(i) = d_pending then begin
+          dispc.(i) <- code;
           lats.(i) <- fl.if_done -. r.arrival_us;
           incr win_total;
-          if lats.(i) <= (Slo.target_of cfg.slo r.cls).Slo.deadline_us then incr win_met;
+          if lats.(i) <= ddl_rel.(cls_i r.cls) then incr win_met;
+          if obs then Obs.Metrics.observe h_latency lats.(i);
           incr k
         end)
       fl.if_members;
     if obs && !k > 0 then
-      Obs.Scope.count ~by:!k (Printf.sprintf "pool.%s" (disposition_to_string d))
+      Obs.Metrics.inc ~by:!k (if code = d_served then c_served else c_fell_back)
+  in
+  let rec any_due time = function
+    | [] -> false
+    | fl :: rest -> ((not fl.if_cancelled) && fl.if_done <= time) || any_due time rest
+  in
+  let rec min_done acc = function
+    | [] -> acc
+    | fl :: rest ->
+        min_done (if fl.if_cancelled then acc else Float.min acc fl.if_done) rest
   in
   (* Finalize every due batch in (done, id) order. First result wins a
      hedged pair: the winner finalizes the members and cancels the
      partner; the partner's replica stays busy until its own free_at
-     (duplicated work is wasted, not double-counted). *)
+     (duplicated work is wasted, not double-counted). The [any_due]
+     guard keeps drained event-loop iterations allocation-free. *)
   let complete_inflights time =
-    let due, rest =
-      List.partition (fun fl -> (not fl.if_cancelled) && fl.if_done <= time) !inflights
-    in
-    let due =
-      List.sort (fun a b -> compare (a.if_done, a.if_id) (b.if_done, b.if_id)) due
-    in
-    inflights := List.filter (fun fl -> not fl.if_cancelled) rest;
-    let all = due @ !inflights in
-    let cancel_by_id id =
-      List.iter (fun o -> if o.if_id = id then o.if_cancelled <- true) all
-    in
-    List.iter
-      (fun fl ->
-        if not fl.if_cancelled then begin
-          finalize fl;
-          (match fl.if_hedge_of with
-          | Some pid ->
-              incr xr_hedge_wins;
-              cancel_by_id pid
-          | None -> (
-              match fl.if_hedge with Some hid -> cancel_by_id hid | None -> ()));
-          watchdog_check fl.if_rep
-        end)
-      due;
-    inflights := List.filter (fun fl -> not fl.if_cancelled) !inflights
+    if any_due time !inflights then begin
+      let due, rest =
+        List.partition (fun fl -> (not fl.if_cancelled) && fl.if_done <= time) !inflights
+      in
+      let due =
+        List.sort (fun a b -> compare (a.if_done, a.if_id) (b.if_done, b.if_id)) due
+      in
+      inflights := List.filter (fun fl -> not fl.if_cancelled) rest;
+      let all = due @ !inflights in
+      let cancel_by_id id =
+        List.iter (fun o -> if o.if_id = id then o.if_cancelled <- true) all
+      in
+      List.iter
+        (fun fl ->
+          if not fl.if_cancelled then begin
+            finalize fl;
+            (match fl.if_hedge_of with
+            | Some pid ->
+                incr xr_hedge_wins;
+                cancel_by_id pid
+            | None -> (
+                match fl.if_hedge with Some hid -> cancel_by_id hid | None -> ()));
+            watchdog_check fl.if_rep
+          end)
+        due;
+      inflights := List.filter (fun fl -> not fl.if_cancelled) !inflights
+    end
   in
   let dispatch_batch time (members : (int * request) list) =
     let member_dims = List.map (fun (_, r) -> r.dims) members in
@@ -778,31 +985,37 @@ let run ?(failures = []) ?adaptive ?chaos ?(resilience = no_resilience) t
   in
   let try_dispatch time =
     if not (any_free time) then false
-    else
-      match pick_bucket time with
-      | None -> false
-      | Some (_, q) ->
-          dispatch_batch time (pop_batch q);
-          true
+    else begin
+      let bi = pick_bucket time in
+      if bi < 0 then false
+      else begin
+        dispatch_batch time (pop_batch (!bvec).(bi));
+        true
+      end
+    end
   in
   let fail_everything_left () =
-    Hashtbl.iter
-      (fun _ q ->
-        Queue.iter
-          (fun (i, r) ->
-            disp.(i) <- Some Failed;
-            Slo.dequeue slo r.cls)
-          q;
-        Queue.clear q)
-      queues;
-    List.iter (fun (i, _) -> disp.(i) <- Some Failed) !upcoming;
-    upcoming := [];
+    for bi = 0 to !bcount - 1 do
+      let b = (!bvec).(bi) in
+      Iq.iter
+        (fun i ->
+          dispc.(i) <- d_failed;
+          Slo.dequeue slo arr.(i).cls)
+        b.bq_q;
+      Iq.clear b.bq_q;
+      b.bq_min_deadline <- infinity
+    done;
+    queued_total := 0;
+    while !cursor < n do
+      dispc.(!cursor) <- d_failed;
+      cursor := !cursor + 1
+    done;
     List.iter
       (fun fl ->
         if not fl.if_cancelled then begin
           fl.if_cancelled <- true;
           List.iter
-            (fun (i, _) -> if disp.(i) = None then disp.(i) <- Some Failed)
+            (fun (i, _) -> if dispc.(i) = d_pending then dispc.(i) <- d_failed)
             fl.if_members
         end)
       !inflights;
@@ -811,19 +1024,19 @@ let run ?(failures = []) ?adaptive ?chaos ?(resilience = no_resilience) t
   (* --- adaptive control tick ---------------------------------------------- *)
   (* Re-key queued work after a policy change, preserving arrival order.
      SLO queue counters are untouched: the requests stay queued, only
-     their bucket membership moves. *)
+     their bucket membership moves. The dims -> queue memo is dropped
+     with the old key table — it memoizes the *current* policy. *)
   let rekey_queues () =
     let entries = ref [] in
-    List.iter
-      (fun key ->
-        match Hashtbl.find_opt queues key with
-        | Some q -> Queue.iter (fun e -> entries := e :: !entries) q
-        | None -> ())
-      !order;
-    let entries = List.sort (fun (i, _) (j, _) -> compare i j) !entries in
-    Hashtbl.reset queues;
-    order := [];
-    List.iter (fun (i, r) -> Queue.add (i, r) (queue_of (Bucket.key_of t.cur_bucket r.dims))) entries
+    for bi = !bcount - 1 downto 0 do
+      Iq.iter (fun i -> entries := i :: !entries) (!bvec).(bi).bq_q
+    done;
+    let entries = List.sort compare !entries in
+    Hashtbl.reset by_key;
+    Hashtbl.reset route;
+    bcount := 0;
+    queued_total := 0;
+    List.iter (fun i -> enqueue i arr.(i)) entries
   in
   (* The pool's hottest shape signatures: warmth mass summed across
      alive replicas, heaviest first (ties toward the smaller key). *)
@@ -872,17 +1085,17 @@ let run ?(failures = []) ?adaptive ?chaos ?(resilience = no_resilience) t
             if not covered then
               List.iter
                 (fun (i, r) ->
-                  if disp.(i) = None then begin
+                  if dispc.(i) = d_pending then begin
                     let tries = Option.value (Hashtbl.find_opt retry i) ~default:0 in
                     if resilience.redispatch && tries < resilience.max_redispatch then begin
                       Hashtbl.replace retry i (tries + 1);
                       Slo.requeue slo r.cls;
-                      Queue.add (i, r) (queue_of (Bucket.key_of t.cur_bucket r.dims));
+                      enqueue i r;
                       incr xr_redispatched
                     end
                     else begin
-                      disp.(i) <- Some Failed;
-                      if obs then Obs.Scope.count "pool.failed"
+                      dispc.(i) <- d_failed;
+                      if obs then Obs.Metrics.inc c_failed
                     end
                   end)
                 fl.if_members)
@@ -983,7 +1196,7 @@ let run ?(failures = []) ?adaptive ?chaos ?(resilience = no_resilience) t
             && fl.if_rep.Replica.health = Replica.Degraded
             && time -. fl.if_started >= resilience.hedge_after_us -. 1e-9
             && List.exists
-                 (fun (i, r) -> disp.(i) = None && r.cls = Slo.Interactive)
+                 (fun (i, r) -> dispc.(i) = d_pending && r.cls = Slo.Interactive)
                  fl.if_members
           then
             match Router.pick t.router ~now:time ~key:fl.if_key t.pool_replicas with
@@ -1017,7 +1230,7 @@ let run ?(failures = []) ?adaptive ?chaos ?(resilience = no_resilience) t
      threshold and fires only after holding through the window. *)
   let bro_signal () =
     let d = dispatchable_count () in
-    if d = 0 then infinity else float_of_int (total_queued ()) /. float_of_int d
+    if d = 0 then infinity else float_of_int !queued_total /. float_of_int d
   in
   let bro_apply time lvl' =
     let lvl = !bro_level in
@@ -1126,7 +1339,7 @@ let run ?(failures = []) ?adaptive ?chaos ?(resilience = no_resilience) t
         win_met := 0;
         (match
            Autoscaler.decide asc ~now:time ~alive:(capacity_count ())
-             ~queue_depth:(total_queued ()) ~attainment
+             ~queue_depth:!queued_total ~attainment
          with
         | Autoscaler.Hold -> ()
         | Autoscaler.Scale_up ->
@@ -1161,32 +1374,34 @@ let run ?(failures = []) ?adaptive ?chaos ?(resilience = no_resilience) t
   in
 
   let next_event () =
-    let t_arr = match !upcoming with [] -> infinity | (_, r) :: _ -> r.arrival_us in
-    let t_free =
-      Array.fold_left
-        (fun acc r ->
-          if r.Replica.health <> Replica.Dead && r.Replica.free_at > !now then
-            Float.min acc r.Replica.free_at
-          else acc)
-        infinity t.pool_replicas
-    in
+    let t_arr = if !cursor < n then arr.(!cursor).arrival_us else infinity in
+    let reps = t.pool_replicas in
+    let t_free = ref infinity in
+    for i = 0 to Array.length reps - 1 do
+      let r = reps.(i) in
+      if
+        r.Replica.health <> Replica.Dead
+        && r.Replica.free_at > !now
+        && r.Replica.free_at < !t_free
+      then t_free := r.Replica.free_at
+    done;
     let t_window =
       if not (any_free !now) then infinity
-      else
-        Hashtbl.fold
-          (fun _ q acc ->
-            match Queue.peek_opt q with
-            | None -> acc
-            | Some (_, oldest) -> Float.min acc (oldest.arrival_us +. cfg.max_wait_us))
-          queues infinity
+      else begin
+        let acc = ref infinity in
+        for bi = 0 to !bcount - 1 do
+          let b = (!bvec).(bi) in
+          if Iq.length b.bq_q > 0 then begin
+            let w = arr.(Iq.peek b.bq_q).arrival_us +. cfg.max_wait_us in
+            if w < !acc then acc := w
+          end
+        done;
+        !acc
+      end
     in
     let t_fail = match !pending_failures with [] -> infinity | (ft, _) :: _ -> ft in
     let t_chaos = match !pending_chaos with [] -> infinity | (ct, _) :: _ -> ct in
-    let t_complete =
-      List.fold_left
-        (fun acc fl -> if fl.if_cancelled then acc else Float.min acc fl.if_done)
-        infinity !inflights
-    in
+    let t_complete = min_done infinity !inflights in
     let t_hedge =
       if not resilience.hedge then infinity
       else
@@ -1198,7 +1413,7 @@ let run ?(failures = []) ?adaptive ?chaos ?(resilience = no_resilience) t
               && fl.if_hedge = None
               && fl.if_rep.Replica.health = Replica.Degraded
               && List.exists
-                   (fun (i, r) -> disp.(i) = None && r.cls = Slo.Interactive)
+                   (fun (i, r) -> dispc.(i) = d_pending && r.cls = Slo.Interactive)
                    fl.if_members
               (* only a *future* hedge deadline is a wake-up; an attempt
                  already due fired in try_hedge this instant and retries
@@ -1217,13 +1432,18 @@ let run ?(failures = []) ?adaptive ?chaos ?(resilience = no_resilience) t
         | None -> infinity
     in
     let t_tick =
-      if adaptive <> None && (!upcoming <> [] || total_queued () > 0) then !next_tick
+      if adaptive <> None && (!cursor < n || !queued_total > 0) then !next_tick
       else infinity
     in
-    List.fold_left Float.min infinity
-      [ t_arr; t_free; t_window; t_fail; t_chaos; t_complete; t_hedge; t_brownout; t_tick ]
+    Float.min t_arr
+      (Float.min !t_free
+         (Float.min t_window
+            (Float.min t_fail
+               (Float.min t_chaos
+                  (Float.min t_complete
+                     (Float.min t_hedge (Float.min t_brownout t_tick)))))))
   in
-  let work_left () = !upcoming <> [] || total_queued () > 0 || !inflights <> [] in
+  let work_left () = !cursor < n || !queued_total > 0 || !inflights <> [] in
   let rec loop () =
     process_chaos !now;
     process_failures !now;
@@ -1248,6 +1468,9 @@ let run ?(failures = []) ?adaptive ?chaos ?(resilience = no_resilience) t
       let next = next_event () in
       if next = infinity then begin if work_left () then fail_everything_left () end
       else begin
+        (* the event-time invariant the audit layer checks: the next
+           event is never in the past (the max is a defensive clamp) *)
+        if next < !now then mono := false;
         now := Float.max !now next;
         loop ()
       end
@@ -1255,46 +1478,60 @@ let run ?(failures = []) ?adaptive ?chaos ?(resilience = no_resilience) t
   loop ();
   if !bro_level > 0 then bro_us := !bro_us +. (!now -. !bro_since);
   let final =
-    Array.map (function Some d -> d | None -> Failed) disp
+    Array.map
+      (fun c ->
+        if c = d_served then Served
+        else if c = d_fell_back then Fell_back
+        else if c = d_shed then Shed
+        else if c = d_expired then Expired
+        else if c = d_rejected then Rejected
+        else Failed)
+      dispc
   in
-  let lost = Array.fold_left (fun a d -> if d = None then a + 1 else a) 0 disp in
-  let count d = Array.fold_left (fun a x -> if x = d then a + 1 else a) 0 final in
+  let counts = Array.make 7 0 in
+  Array.iter (fun c -> counts.(c) <- counts.(c) + 1) dispc;
+  let lost = counts.(d_pending) in
+  (* per-class accounting in one pass (the old per-class index lists
+     allocated three cons cells per request) *)
+  let cls_arrivals = Array.make 3 0 in
+  let cls_completed = Array.make 3 0 in
+  let cls_met = Array.make 3 0 in
+  let cls_shed = Array.make 3 0 in
+  let cls_exp = Array.make 3 0 in
+  for i = 0 to n - 1 do
+    let ci = cls_i arr.(i).cls in
+    cls_arrivals.(ci) <- cls_arrivals.(ci) + 1;
+    let c = dispc.(i) in
+    if c = d_served || c = d_fell_back then begin
+      cls_completed.(ci) <- cls_completed.(ci) + 1;
+      if lats.(i) <= ddl_rel.(ci) then cls_met.(ci) <- cls_met.(ci) + 1
+    end
+    else if c = d_shed then cls_shed.(ci) <- cls_shed.(ci) + 1
+    else if c = d_expired then cls_exp.(ci) <- cls_exp.(ci) + 1
+  done;
   let classes =
     List.map
       (fun c ->
-        let idxs = ref [] in
-        Array.iteri (fun i r -> if r.cls = c then idxs := i :: !idxs) arr;
-        let deadline = (Slo.target_of cfg.slo c).Slo.deadline_us in
-        let completed, met, shed_c, exp_c =
-          List.fold_left
-            (fun (co, me, sh, ex) i ->
-              match final.(i) with
-              | Served | Fell_back ->
-                  (co + 1, (if lats.(i) <= deadline then me + 1 else me), sh, ex)
-              | Shed -> (co, me, sh + 1, ex)
-              | Expired -> (co, me, sh, ex + 1)
-              | _ -> (co, me, sh, ex))
-            (0, 0, 0, 0) !idxs
-        in
+        let ci = cls_i c in
         {
           cr_class = c;
-          cr_arrivals = List.length !idxs;
-          cr_completed = completed;
-          cr_slo_met = met;
-          cr_shed = shed_c;
-          cr_expired = exp_c;
+          cr_arrivals = cls_arrivals.(ci);
+          cr_completed = cls_completed.(ci);
+          cr_slo_met = cls_met.(ci);
+          cr_shed = cls_shed.(ci);
+          cr_expired = cls_exp.(ci);
         })
       Slo.all_classes
   in
   {
     dispositions = final;
     latencies_us = lats;
-    served = count Served;
-    fell_back = count Fell_back;
-    shed = count Shed;
-    expired = count Expired;
-    rejected = count Rejected;
-    failed = count Failed;
+    served = counts.(d_served);
+    fell_back = counts.(d_fell_back);
+    shed = counts.(d_shed);
+    expired = counts.(d_expired);
+    rejected = counts.(d_rejected);
+    failed = counts.(d_failed) + lost;
     lost;
     batches = !batches;
     mean_batch =
@@ -1306,6 +1543,8 @@ let run ?(failures = []) ?adaptive ?chaos ?(resilience = no_resilience) t
     actual_elements = !actual_elems;
     padded_elements = !padded_elems;
     makespan_us = !last_done;
+    peak_queued = !peak_queued;
+    time_monotone = !mono;
     classes;
     resilience =
       {

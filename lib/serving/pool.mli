@@ -194,6 +194,14 @@ type report = {
   actual_elements : int;  (** sum of per-request element counts *)
   padded_elements : int;  (** element counts actually executed *)
   makespan_us : float;
+  peak_queued : int;
+      (** high-water mark of the total queued backlog — the bounded-
+          queue-depth invariant {!Audit} checks ([<=] admitted, and
+          [<=] the sum of the per-class queue bounds when no re-keying
+          is in flight) *)
+  time_monotone : bool;
+      (** the event loop never stepped virtual time backwards — checked
+          at every event, not assumed; {!Audit} requires [true] *)
   classes : class_report list;
   replicas : replica_report list;
   adaptive : adaptive_report option;  (** [Some] iff run with [~adaptive] *)

@@ -30,7 +30,7 @@ let score ~now:_ ~key (r : Replica.t) =
   let degraded = if r.Replica.health = Replica.Degraded then -1e14 else 0.0 in
   let warm = if Replica.is_warm r key then 1e12 else 0.0 in
   let breaker =
-    -1e8 *. float_of_int (List.length (Disc.Session.despeculated_kernels r.Replica.session))
+    -1e8 *. float_of_int (Disc.Session.despeculated_count r.Replica.session)
   in
   let speed = 1e3 *. r.Replica.device.Gpusim.Device.fp32_tflops in
   degraded +. warm +. breaker +. speed -. r.Replica.busy_us
@@ -50,34 +50,75 @@ let note_decision t ~key (r : Replica.t) =
 let pick t ~now ~key (replicas : Replica.t array) =
   (* Health partition, applied before any policy: Degraded replicas are
      routed around — picked only when no Healthy replica is free — so a
-     straggler drains its backlog instead of accreting more. *)
-  let all_free =
-    Array.to_list replicas |> List.filter (fun r -> Replica.is_free r ~now)
-  in
-  let free =
-    match List.filter (fun r -> r.Replica.health = Replica.Healthy) all_free with
-    | [] -> all_free
-    | healthy -> healthy
-  in
-  match free with
-  | [] -> None
-  | _ ->
-      let chosen =
-        match t.p with
-        | Round_robin ->
-            let r = List.nth free (t.rr mod List.length free) in
-            t.rr <- t.rr + 1;
-            r
-        | Least_loaded ->
-            List.fold_left
-              (fun best r ->
-                if r.Replica.busy_us < best.Replica.busy_us then r else best)
-              (List.hd free) (List.tl free)
-        | Warmth_aware ->
-            List.fold_left
-              (fun best r ->
-                if score ~now ~key r > score ~now ~key best then r else best)
-              (List.hd free) (List.tl free)
-      in
-      note_decision t ~key chosen;
-      Some chosen
+     straggler drains its backlog instead of accreting more.
+
+     Allocation-free on the dispatch hot path: the partition is two
+     counters over the array and each policy is a single scan keeping
+     the running best (first eligible replica in array order wins ties
+     — the same replica the old list-based fold chose). *)
+  let nreps = Array.length replicas in
+  let healthy_free = ref 0 and all_free = ref 0 in
+  for i = 0 to nreps - 1 do
+    let r = replicas.(i) in
+    if Replica.is_free r ~now then begin
+      incr all_free;
+      if r.Replica.health = Replica.Healthy then incr healthy_free
+    end
+  done;
+  if !all_free = 0 then None
+  else begin
+    let use_healthy = !healthy_free > 0 in
+    let count = if use_healthy then !healthy_free else !all_free in
+    let eligible r =
+      Replica.is_free r ~now && ((not use_healthy) || r.Replica.health = Replica.Healthy)
+    in
+    let chosen =
+      match t.p with
+      | Round_robin ->
+          let want = t.rr mod count in
+          t.rr <- t.rr + 1;
+          let seen = ref (-1) and found = ref replicas.(0) in
+          (try
+             for i = 0 to nreps - 1 do
+               if eligible replicas.(i) then begin
+                 incr seen;
+                 if !seen = want then begin
+                   found := replicas.(i);
+                   raise Exit
+                 end
+               end
+             done
+           with Exit -> ());
+          !found
+      | Least_loaded ->
+          let best = ref None in
+          for i = 0 to nreps - 1 do
+            let r = replicas.(i) in
+            if eligible r then
+              match !best with
+              | None -> best := Some r
+              | Some b -> if r.Replica.busy_us < b.Replica.busy_us then best := Some r
+          done;
+          Option.get !best
+      | Warmth_aware ->
+          let best = ref None and best_score = ref neg_infinity in
+          for i = 0 to nreps - 1 do
+            let r = replicas.(i) in
+            if eligible r then begin
+              let s = score ~now ~key r in
+              match !best with
+              | None ->
+                  best := Some r;
+                  best_score := s
+              | Some _ ->
+                  if s > !best_score then begin
+                    best := Some r;
+                    best_score := s
+                  end
+            end
+          done;
+          Option.get !best
+    in
+    note_decision t ~key chosen;
+    Some chosen
+  end

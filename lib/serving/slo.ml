@@ -69,10 +69,17 @@ let create p = { p; queued_a = Array.make 3 0; shed_a = Array.make 3 0; expired_
 
 let policy t = t.p
 
+(* Metric names precomputed per class: sheds and expiries are hot under
+   overload, and a Printf per event would dominate the admission path. *)
+let shed_name = [| "pool.shed.interactive"; "pool.shed.standard"; "pool.shed.best_effort" |]
+
+let expired_name =
+  [| "pool.expired.interactive"; "pool.expired.standard"; "pool.expired.best_effort" |]
+
 let note_shed t cls =
   let i = idx cls in
   t.shed_a.(i) <- t.shed_a.(i) + 1;
-  if Obs.Scope.on () then Obs.Scope.count (Printf.sprintf "pool.shed.%s" (cls_to_string cls))
+  if Obs.Scope.on () then Obs.Scope.count shed_name.(i)
 
 let admit t cls =
   let i = idx cls in
@@ -99,7 +106,7 @@ let dequeue t cls =
 let note_expired t cls =
   let i = idx cls in
   t.expired_a.(i) <- t.expired_a.(i) + 1;
-  if Obs.Scope.on () then Obs.Scope.count (Printf.sprintf "pool.expired.%s" (cls_to_string cls))
+  if Obs.Scope.on () then Obs.Scope.count expired_name.(i)
 
 let queued t cls = t.queued_a.(idx cls)
 let shed t cls = t.shed_a.(idx cls)

@@ -138,7 +138,10 @@ let generate_arrivals ~seed ~qps ~n ~(dims : (string * Trace.distribution) list)
 
 let percentile (xs : float array) p =
   let arr = Array.copy xs in
-  Array.sort compare arr;
+  (* Float.compare, not polymorphic compare: same order on the (finite)
+     latencies this ever sees, ~4x faster on the million-sample sorts
+     the scale bench does *)
+  Array.sort Float.compare arr;
   if Array.length arr = 0 then 0.0
   else arr.(min (Array.length arr - 1) (int_of_float (p *. float_of_int (Array.length arr))))
 

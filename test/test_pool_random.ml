@@ -10,7 +10,16 @@
    admitted request — spike traffic included — ends in exactly one
    disposition, lost = 0, no request is served twice, the per-class
    reports partition the trace, and completed latencies are finite and
-   non-negative.
+   non-negative. Every run (original and every shrink candidate) is
+   additionally pushed through the full Serving.Audit invariant checker,
+   so an audit violation shrinks to a minimal reproducer like any other
+   failure.
+
+   A third of the scenarios draw their arrival pattern from the
+   Trace_gen presets (bursty / diurnal envelopes) instead of uniform
+   times, so the fuzzer exercises the same clustered interarrival
+   shapes the scale harness serves; the draw is flattened into the
+   explicit arrival list, so shrinking is unchanged.
 
    POOL_FUZZ_ITERS overrides the trial count (default 40; the nightly CI
    job runs a larger count and uploads pool_fuzz_reproducer.txt on
@@ -44,13 +53,32 @@ type scenario = {
 }
 
 let cls_of_code = function 0 -> Slo.Interactive | 1 -> Slo.Standard | _ -> Slo.Best_effort
+let code_of_cls = function Slo.Interactive -> 0 | Slo.Standard -> 1 | Slo.Best_effort -> 2
 
 let scenario_of_seed seed =
   let st = Random.State.make [| seed |] in
   let n = 1 + Random.State.int st 24 in
   let arrivals =
-    List.init n (fun _ ->
-        (Random.State.int st 120_000, 1 + Random.State.int st 60, Random.State.int st 3))
+    if Random.State.int st 3 = 0 then begin
+      (* trace-generator draw: bursty or diurnal interarrival clusters,
+         flattened to the explicit (t, hist, cls) triples the shrinker
+         works on *)
+      let qps = 200.0 +. float_of_int (Random.State.int st 1800) in
+      let dims = [ ("hist", Workloads.Trace.Skewed (1, 60)) ] in
+      let spec =
+        if Random.State.bool st then Serving.Trace_gen.bursty ~seed ~qps ~dims ()
+        else Serving.Trace_gen.diurnal ~seed ~qps ~dims ()
+      in
+      List.map
+        (fun (r : Pool.request) ->
+          ( int_of_float r.Pool.arrival_us,
+            List.assoc "hist" r.Pool.dims,
+            code_of_cls r.Pool.cls ))
+        (Serving.Trace_gen.generate spec ~n)
+    end
+    else
+      List.init n (fun _ ->
+          (Random.State.int st 120_000, 1 + Random.State.int st 60, Random.State.int st 3))
   in
   let replicas = 1 + Random.State.int st 2 in
   let failures =
@@ -194,7 +222,10 @@ let violates (s : scenario) =
       not
         (r.Pool.lost = 0 && total = n
         && Array.length r.Pool.dispositions = n
-        && class_total = n && lats_ok)
+        && class_total = n && lats_ok
+        (* the full audit layer on every case: any broken report
+           invariant shrinks like a conservation failure *)
+        && Serving.Audit.check r = [])
   | exception _ -> true
 
 (* --- greedy shrinker ------------------------------------------------------
