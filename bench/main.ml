@@ -1406,6 +1406,237 @@ let scale ?json ?(requests = 1_000_000) () =
       Obs.Json.write_file path doc;
       Printf.printf "scale numbers -> %s\n" path
 
+(* ----------------------------------------------------------------------
+   E21 (extension): the symbolic-shape memory planner end to end.
+   Three panels:
+
+   1. reduction — per suite model, the best symbolic-peak cut the
+      reducers (re-scheduling, recomputation, regrouping) find across
+      the model's bench grid, decided at Pow2 rung ceilings; every
+      reduced plan must pass Memplan.validate. Acceptance wants
+      >= 15 % on >= 2 models.
+   2. soundness — a seeded random soak of the estimator contract
+      (bound exact at its binding, allocator floor, rung monotonicity);
+      acceptance wants 0 violations over >= 300 cases.
+   3. serving — the same adversarial shape mix through an HBM-budgeted
+      pool twice: memory-aware (admission gate shrinks or re-plans
+      over-budget batches) vs memory-blind (dispatches anyway). The
+      budget is derived from a generous probe run (60 % of the largest
+      batch estimate), so the mix is guaranteed to stress it.
+      Acceptance: aware finishes oom=0 lost=0 while blind OOMs, and a
+      repeated aware run is bit-identical. *)
+
+let hbm_serving ?json () =
+  header "E21 (extension): symbolic memory planner — reduction, soundness, HBM serving";
+  let module Pool = Serving.Pool in
+  let module Bucket = Serving.Bucket in
+  let module Estimate = Mem.Estimate in
+  let module Reduce = Mem.Reduce in
+  let module Memplan = Runtime.Memplan in
+  let ceil_env env = List.map (fun (k, v) -> (k, Bucket.round_up Bucket.Pow2 v)) env in
+  (* -- panel 1: symbolic peak reduction across the suite -- *)
+  Printf.printf "\n-- symbolic peak reduction (decided at Pow2 rung ceilings) --\n";
+  Printf.printf "%-11s %-26s %12s %12s %8s\n" "model" "best rung" "before(MB)"
+    "after(MB)" "cut";
+  let reduction_rows = ref [] in
+  let models_over_bar = ref 0 in
+  List.iter
+    (fun entry ->
+      match entry.Suite.bench_dims with
+      | [] -> ()
+      | grid ->
+          let built = entry.Suite.build () in
+          ignore (Ir.Passes.run_all built.Common.graph);
+          let exe = Runtime.Executable.compile built.Common.graph (Planner.plan built.Common.graph) in
+          let est = Estimate.of_executable exe in
+          let best = ref None in
+          List.iter
+            (fun env ->
+              let cenv = ceil_env env in
+              let d = Reduce.decide ~env:cenv est (Common.binding_for built cenv) in
+              assert (Memplan.validate (Reduce.plan est d (Common.binding_for built cenv)));
+              match !best with
+              | Some (_, b) when Reduce.savings_pct b >= Reduce.savings_pct d -> ()
+              | _ -> best := Some (cenv, d))
+            grid;
+          let cenv, d = Option.get !best in
+          let cut = Reduce.savings_pct d in
+          if cut >= 15.0 then incr models_over_bar;
+          Printf.printf "%-11s %-26s %12.2f %12.2f %7.1f%%\n" entry.Suite.name
+            (env_to_string cenv)
+            (float_of_int d.Reduce.peak_before /. 1e6)
+            (float_of_int d.Reduce.peak_after /. 1e6)
+            cut;
+          reduction_rows :=
+            Obs.Json.Obj
+              [
+                ("model", Obs.Json.Str entry.Suite.name);
+                ("rung", Obs.Json.Str (env_to_string cenv));
+                ("peak_before_bytes", Obs.Json.Int d.Reduce.peak_before);
+                ("peak_after_bytes", Obs.Json.Int d.Reduce.peak_after);
+                ("cut_pct", Obs.Json.Float cut);
+              ]
+            :: !reduction_rows)
+    Suite.all;
+  (* -- panel 2: seeded estimator soundness soak -- *)
+  let soak_cases = 400 in
+  let rng = Random.State.make [| 0xB1ADE; 21 |] in
+  let violations = ref 0 in
+  let soaked = ref 0 in
+  List.iter
+    (fun entry ->
+      match entry.Suite.bench_dims with
+      | [] -> ()
+      | first :: _ as grid ->
+          let built = entry.Suite.build () in
+          ignore (Ir.Passes.run_all built.Common.graph);
+          let exe = Runtime.Executable.compile built.Common.graph (Planner.plan built.Common.graph) in
+          let est = Estimate.of_executable exe in
+          let keys = List.map fst first in
+          let maxes =
+            List.map
+              (fun k ->
+                (k, List.fold_left (fun a env -> max a (List.assoc k env)) 1 grid))
+              keys
+          in
+          for _ = 1 to soak_cases / List.length Suite.all do
+            incr soaked;
+            let env = List.map (fun (k, m) -> (k, 1 + Random.State.int rng m)) maxes in
+            let bnd = Common.binding_for built env in
+            let cbnd = Common.binding_for built (ceil_env env) in
+            let arena = (Memplan.plan exe bnd).Memplan.arena_bytes in
+            match
+              ( Estimate.arena_bound est bnd,
+                Estimate.live_peak_bytes est bnd,
+                Estimate.live_peak_bytes est cbnd )
+            with
+            | Some bound, Some lp, Some clp ->
+                if bound < arena || arena < lp || clp < lp then incr violations
+            | _ -> incr violations
+          done)
+    Suite.all;
+  Printf.printf "\nestimator soundness: %d random cases, %d violations\n" !soaked
+    !violations;
+  (* -- panel 3: HBM-budgeted serving, aware vs blind -- *)
+  let bucket = [ ("hist", Bucket.Pow2) ] in
+  let base =
+    Pool.default_config
+      ~devices:[ Gpusim.Device.a10; Gpusim.Device.a10 ]
+      ~batch_dim:"batch" ~bucket
+  in
+  let build () = Suite.(find "dien").Suite.build () in
+  let hists = [| 8; 200; 64; 256; 16; 240; 32; 192 |] in
+  let reqs =
+    List.init 2000 (fun i ->
+        {
+          Pool.arrival_us = 250.0 *. float_of_int i;
+          Pool.dims = [ ("hist", hists.(i mod 8)) ];
+          Pool.cls = Serving.Slo.Standard;
+        })
+  in
+  let run ~aware budget =
+    let cfg = { base with Pool.hbm_budget = Some budget; Pool.mem_aware = aware } in
+    Pool.run (Pool.create cfg build) reqs
+  in
+  let probe = run ~aware:true 1_000_000_000 in
+  let probe_mem = Option.get probe.Pool.mem in
+  let batch_peak = probe_mem.Pool.mr_est_peak_bytes in
+  (* the largest single-request estimate (resident weights + a one-row
+     arena): the budget must clear it, or every request is structurally
+     unservable — the constraint squeezes batches, not singles *)
+  let single_peak =
+    let built = build () in
+    ignore (Ir.Passes.run_all built.Common.graph);
+    let exe = Runtime.Executable.compile built.Common.graph (Planner.plan built.Common.graph) in
+    let est = Estimate.of_executable exe in
+    Array.fold_left
+      (fun acc h ->
+        let cenv = [ ("batch", 1); ("hist", Bucket.round_up Bucket.Pow2 h) ] in
+        match Estimate.peak_bound est (Common.binding_for built cenv) with
+        | Some p -> max acc p
+        | None -> acc)
+      0 hists
+  in
+  let budget = single_peak + ((batch_peak - single_peak) * 2 / 5) in
+  Printf.printf
+    "\nadversarial mix: %d requests, hist in {%s}; unconstrained batch peak %.1fMB, \
+     largest single %.1fMB\n"
+    (List.length reqs)
+    (String.concat "," (Array.to_list (Array.map string_of_int hists)))
+    (float_of_int batch_peak /. 1e6)
+    (float_of_int single_peak /. 1e6);
+  Printf.printf "HBM budget: %.1fMB per replica (single + 40%% of the batch headroom)\n"
+    (float_of_int budget /. 1e6);
+  let aware = run ~aware:true budget in
+  let blind = run ~aware:false budget in
+  let aware2 = run ~aware:true budget in
+  let am = Option.get aware.Pool.mem and bm = Option.get blind.Pool.mem in
+  Printf.printf "\nmemory-aware: %s\n              %s\n"
+    (Pool.report_to_string aware)
+    (Pool.mem_summary_to_string am);
+  Printf.printf "memory-blind: %s\n              %s\n"
+    (Pool.report_to_string blind)
+    (Pool.mem_summary_to_string bm);
+  let identical =
+    Pool.report_to_string aware = Pool.report_to_string aware2
+    && Pool.mem_summary_to_string am
+       = Pool.mem_summary_to_string (Option.get aware2.Pool.mem)
+  in
+  Printf.printf "reproducible: %b (two aware pools, identical reports)\n" identical;
+  let ok =
+    !violations = 0 && !soaked >= 300 && !models_over_bar >= 2
+    && am.Pool.mr_oom = 0 && aware.Pool.lost = 0 && aware.Pool.failed = 0
+    && aware.Pool.rejected = 0 && aware.Pool.served > 0
+    && bm.Pool.mr_oom > 0 && identical
+  in
+  Printf.printf
+    "acceptance: aware oom=%d lost=%d failed=%d | blind oom=%d | cuts>=15%%: %d \
+     models | soak %d/%d clean%s\n"
+    am.Pool.mr_oom aware.Pool.lost aware.Pool.failed bm.Pool.mr_oom
+    !models_over_bar !soaked !soaked
+    (if ok then "" else "  (ACCEPTANCE NOT MET)");
+  match json with
+  | None -> ()
+  | Some path ->
+      let mem_json m =
+        Obs.Json.Obj
+          [
+            ("budget_bytes", Obs.Json.Int m.Pool.mr_budget_bytes);
+            ("est_peak_bytes", Obs.Json.Int m.Pool.mr_est_peak_bytes);
+            ("capped", Obs.Json.Int m.Pool.mr_capped);
+            ("forced_exact", Obs.Json.Int m.Pool.mr_forced_exact);
+            ("rejected", Obs.Json.Int m.Pool.mr_rejected);
+            ("oom", Obs.Json.Int m.Pool.mr_oom);
+            ("pressure_ticks", Obs.Json.Int m.Pool.mr_pressure_ticks);
+          ]
+      in
+      let disposition_json r =
+        Obs.Json.Obj
+          [
+            ("served", Obs.Json.Int r.Pool.served);
+            ("shed", Obs.Json.Int r.Pool.shed);
+            ("rejected", Obs.Json.Int r.Pool.rejected);
+            ("failed", Obs.Json.Int r.Pool.failed);
+            ("lost", Obs.Json.Int r.Pool.lost);
+          ]
+      in
+      Obs.Json.write_file path
+        (Obs.Json.Obj
+           [
+             ("experiment", Obs.Json.Str "E21-hbm");
+             ("reduction", Obs.Json.List (List.rev !reduction_rows));
+             ("soak_cases", Obs.Json.Int !soaked);
+             ("soak_violations", Obs.Json.Int !violations);
+             ("budget_bytes", Obs.Json.Int budget);
+             ("aware", disposition_json aware);
+             ("aware_mem", mem_json am);
+             ("blind", disposition_json blind);
+             ("blind_mem", mem_json bm);
+             ("reproducible", Obs.Json.Bool identical);
+             ("acceptance", Obs.Json.Bool ok);
+           ]);
+      Printf.printf "hbm numbers -> %s\n" path
+
 (* ---------------------------------------------------------------------- *)
 
 let all ?json () =
@@ -1427,7 +1658,8 @@ let all ?json () =
   pool_serving ();
   adaptive_serving ();
   chaos_serving ();
-  decode_serving ()
+  decode_serving ();
+  hbm_serving ()
 
 let () =
   (* main.exe [--] [EXPERIMENT] [--json OUT.json] [--trace OUT.json]
@@ -1469,13 +1701,14 @@ let () =
   | "chaos" -> chaos_serving ?json ()
   | "decode" -> decode_serving ?json ()
   | "scale" -> scale ?json ?requests ()
+  | "hbm" -> hbm_serving ?json ()
   | "micro" -> micro ()
   | "all" -> all ?json ()
   | other ->
       Printf.eprintf
         "unknown experiment %s\n\
          usage: main.exe \
-         [e2e|suite|sweep|fusion_ablation|speculation_ablation|compile_time|memory|constraints|mixed_precision|horizontal|cpu|serving|specialization|resilience|cache|pool|adaptive|chaos|decode|scale|micro|all] \
+         [e2e|suite|sweep|fusion_ablation|speculation_ablation|compile_time|memory|constraints|mixed_precision|horizontal|cpu|serving|specialization|resilience|cache|pool|adaptive|chaos|decode|scale|hbm|micro|all] \
          [--json OUT.json] [--trace OUT.json] [--requests N]\n"
         other;
       exit 1);

@@ -240,6 +240,12 @@ let run_cmd =
     let profile = Compiler.simulate ~device c binding in
     Printf.printf "%s on %s at %s:\n  %s\n" model device.Gpusim.Device.name dims
       (Runtime.Profile.to_string profile);
+    (* the concrete memory plan at this binding: arena/naive/reuse,
+       resident share — same line the memory bench and tests read *)
+    Printf.printf "  memory: %s\n"
+      (Runtime.Memplan.to_string
+         (Runtime.Memplan.plan c.Compiler.exe
+            (Compiler.binding_of_dims built.Common.graph binding)));
     (* top kernels *)
     let recs =
       List.sort
@@ -469,6 +475,21 @@ let serve_cmd =
     in
     Arg.(value & opt (some string) None & info [ "traffic" ] ~docv:"PRESET" ~doc)
   in
+  let hbm_budget_arg =
+    let doc =
+      "Per-replica device-memory budget in MB. Dispatches are gated on the \
+       symbolic peak-memory estimate of each batch's env: a batch that would \
+       not fit is re-planned (padded to exact, then shrunk) instead of OOMing."
+    in
+    Arg.(value & opt (some float) None & info [ "hbm-budget" ] ~docv:"MB" ~doc)
+  in
+  let mem_blind_arg =
+    let doc =
+      "Ablation (requires --hbm-budget): skip the memory admission gate and \
+       dispatch over-budget batches anyway, losing them as OOMs."
+    in
+    Arg.(value & flag & info [ "mem-blind" ] ~doc)
+  in
   (* Shared cache line for the end-of-run report: warm/corrupt health at
      a glance, without --metrics. *)
   let cache_health cs =
@@ -481,7 +502,7 @@ let serve_cmd =
        else "; healthy")
   in
   let run model tiny replicas devices qps requests seed router max_batch fails adaptive
-      chaos_file decode prefill_workers traffic trace metrics =
+      chaos_file decode prefill_workers traffic hbm_budget_mb mem_blind trace metrics =
     with_obs ~trace ~metrics @@ fun () ->
     let entry = Suite.find model in
     (* Reject contradictory or out-of-range flag combinations up front:
@@ -490,6 +511,11 @@ let serve_cmd =
     if qps <= 0.0 then raise (Usage "serve: --qps must be > 0");
     if requests < 1 then raise (Usage "serve: --requests must be >= 1");
     if max_batch < 1 then raise (Usage "serve: --max-batch must be >= 1");
+    (match hbm_budget_mb with
+    | Some mb when mb <= 0.0 -> raise (Usage "serve: --hbm-budget must be > 0")
+    | _ -> ());
+    if mem_blind && hbm_budget_mb = None then
+      raise (Usage "serve: --mem-blind requires --hbm-budget");
     let devices =
       match devices with
       | Some s -> List.map device_of_string (String.split_on_char ',' s)
@@ -513,7 +539,9 @@ let serve_cmd =
       if chaos_file <> None then raise (Usage "serve: --decode cannot combine with --chaos");
       if adaptive then raise (Usage "serve: --decode cannot combine with --adaptive");
       if fails <> [] then raise (Usage "serve: --decode cannot combine with --fail");
-      if traffic <> None then raise (Usage "serve: --decode cannot combine with --traffic")
+      if traffic <> None then raise (Usage "serve: --decode cannot combine with --traffic");
+      if hbm_budget_mb <> None then
+        raise (Usage "serve: --decode cannot combine with --hbm-budget")
     end;
     let failures =
       List.map
@@ -548,6 +576,8 @@ let serve_cmd =
         (Serving.Pool.default_config ~devices ~batch_dim:"batch" ~bucket) with
         Serving.Pool.router;
         max_batch;
+        hbm_budget = Option.map (fun mb -> int_of_float (mb *. 1e6)) hbm_budget_mb;
+        mem_aware = not mem_blind;
       }
     in
     let pool = Serving.Pool.create cfg (fun () -> build_model model tiny) in
@@ -621,13 +651,22 @@ let serve_cmd =
       (String.concat "," (List.map (fun d -> d.Gpusim.Device.name) devices))
       (Serving.Router.policy_to_string router)
       qps requests
-      (if adaptive then ", adaptive" else "")
+      ((if adaptive then ", adaptive" else "")
+      ^
+      match hbm_budget_mb with
+      | Some mb ->
+          Printf.sprintf ", hbm-budget %.1fMB (%s)" mb
+            (if mem_blind then "blind" else "aware")
+      | None -> "")
       (match chaos with
       | Some sc ->
           Printf.sprintf ", chaos (%d events, seed %d)" (List.length sc.Serving.Chaos.events)
             sc.Serving.Chaos.seed
       | None -> "");
     Printf.printf "  %s\n" (Serving.Pool.report_to_string r);
+    (match r.Serving.Pool.mem with
+    | Some m -> Printf.printf "  %s\n" (Serving.Pool.mem_summary_to_string m)
+    | None -> ());
     (if chaos <> None then
        String.split_on_char '\n'
          (Serving.Pool.resilience_summary_to_string r.Serving.Pool.resilience)
@@ -661,8 +700,8 @@ let serve_cmd =
     Term.(
       const run $ model_arg $ tiny_arg $ replicas_arg $ devices_arg $ qps_arg
       $ requests_arg $ seed_arg $ router_arg $ max_batch_arg $ fail_arg $ adaptive_arg
-      $ chaos_arg $ decode_arg $ prefill_workers_arg $ traffic_arg $ trace_arg
-      $ metrics_arg)
+      $ chaos_arg $ decode_arg $ prefill_workers_arg $ traffic_arg $ hbm_budget_arg
+      $ mem_blind_arg $ trace_arg $ metrics_arg)
 
 (* --- compare --------------------------------------------------------------- *)
 

@@ -49,6 +49,12 @@ type t = {
   capacity : int;
   table : (string, entry) Hashtbl.t;
   warm : (string, unit) Hashtbl.t;
+  reductions : (string * string, Mem.Reduce.decision) Hashtbl.t;
+      (* (key, rung signature) -> memory-reduction decision. Decisions
+         are a pure function of (executable, rung-ceiling binding), so
+         they ride alongside the artifact: one decide per fingerprint ×
+         bucket rung, replayed by every sharing session. Dropped with the
+         artifact on invalidation — a recompiled graph re-decides. *)
   mutable dir : string option;
   mutable tick : int;
   mutable hits : int;
@@ -66,6 +72,7 @@ let create ?(capacity = default_capacity) () =
     capacity = max 1 capacity;
     table = Hashtbl.create 32;
     warm = Hashtbl.create 32;
+    reductions = Hashtbl.create 32;
     dir = None;
     tick = 0;
     hits = 0;
@@ -193,6 +200,18 @@ let attach_dir t dir =
 
 let warm_keys t = Hashtbl.length t.warm
 
+(* --- memory-reduction decisions ------------------------------------------- *)
+
+let store_reduction t ~key ~rung d = Hashtbl.replace t.reductions (key, rung) d
+let find_reduction t ~key ~rung = Hashtbl.find_opt t.reductions (key, rung)
+let reductions_cached t = Hashtbl.length t.reductions
+
+let drop_reductions t key =
+  let stale =
+    Hashtbl.fold (fun (k, r) _ acc -> if k = key then (k, r) :: acc else acc) t.reductions []
+  in
+  List.iter (Hashtbl.remove t.reductions) stale
+
 (* Chaos injection: deterministically corrupt a fraction of the cache.
    Selected entries vanish from both the live table and the warm set (a
    fresh session or a recovering replica recompiles cold) and are
@@ -212,6 +231,7 @@ let corrupt t ~seed ~fraction =
       if Gpusim.Fault.stream_uniform ~seed ~counter:i < fraction then begin
         Hashtbl.remove t.table key;
         Hashtbl.remove t.warm key;
+        drop_reductions t key;
         t.corrupt <- t.corrupt + 1;
         incr hit;
         if Obs.Scope.on () then Obs.Scope.count "cache.corrupt"
@@ -313,6 +333,7 @@ let invalidate t key =
   Hashtbl.remove t.table key;
   let was_warm = Hashtbl.mem t.warm key in
   Hashtbl.remove t.warm key;
+  drop_reductions t key;
   if present || was_warm then begin
     t.invalidations <- t.invalidations + 1;
     if Obs.Scope.on () then Obs.Scope.count "cache.invalidations"

@@ -92,6 +92,19 @@ val attach_dir : t -> string -> unit
 val warm_keys : t -> int
 (** Number of warm (persisted, not yet re-materialized) keys known. *)
 
+val store_reduction : t -> key:string -> rung:string -> Mem.Reduce.decision -> unit
+(** Attach a memory-reduction decision ({!Mem.Reduce.decide}) to a
+    compiled artifact, keyed by (cache key, shape-bucket rung
+    signature). A decision is a pure function of (executable,
+    rung-ceiling binding), so one decide per fingerprint × rung is
+    replayed by every session sharing the artifact. Dropped together
+    with the artifact by {!invalidate} and chaos {!corrupt}. *)
+
+val find_reduction : t -> key:string -> rung:string -> Mem.Reduce.decision option
+
+val reductions_cached : t -> int
+(** Number of reduction decisions currently attached. *)
+
 val corrupt : t -> seed:int -> fraction:float -> int
 (** Chaos injection: deterministically destroy about [fraction] of the
     cache's keys (live + warm), selected by hashing (seed, sorted-key

@@ -80,6 +80,12 @@ type t = {
   warmup_c : Obs.Metrics.counter; (* served during the async-compile window *)
   hints_c : Obs.Metrics.counter; (* likely-value hints ingested from feedback *)
   latency_h : Obs.Metrics.histogram; (* all recorded request latencies, µs *)
+  mutable mem_est : Mem.Estimate.t option;
+      (* symbolic peak-memory estimate, built lazily from the compiled
+         executable (binding-free, so one per artifact) *)
+  mem_peak_memo : ((string * int) list, int option) Hashtbl.t;
+      (* env -> peak_bound: the serving pool's budget gate consults this
+         once per dispatch; the bound is a pure function of the env *)
   profile_memo : ((string * int) list, Profile.t) Hashtbl.t;
       (* warm-path result cache: env -> profile. [Compiler.simulate_result]
          is deterministic, so once a session is in steady state (no fault
@@ -157,6 +163,8 @@ let create ?(options = Compiler.default_options) ?(device = Gpusim.Device.a10)
     warmup_c = Obs.Metrics.counter m "session.warmup_served";
     hints_c = Obs.Metrics.counter m "session.shape_hints";
     latency_h = Obs.Metrics.histogram m "session.latency_us";
+    mem_est = None;
+    mem_peak_memo = Hashtbl.create 64;
     profile_memo = Hashtbl.create 64;
   }
 
@@ -482,6 +490,66 @@ let serve_result ?deadline_us (t : t) (env : (string * int) list) :
             Hashtbl.replace t.profile_memo env profile
         | _ -> ());
         res
+
+(* --- symbolic memory estimation -------------------------------------------
+
+   The estimate is binding-free (one per compiled artifact); evaluating
+   it at a request env is the serving fleet's pre-dispatch HBM check.
+   Reduction decisions are decided once per (artifact, bucket rung) and
+   cached in the shared Compile_cache so sharing sessions replay rather
+   than re-derive them. *)
+
+let mem_estimate t =
+  match t.mem_est with
+  | Some e -> e
+  | None ->
+      let e = Mem.Estimate.of_executable t.compiled.Compiler.exe in
+      t.mem_est <- Some e;
+      e
+
+(* Bind an env against the compiled graph's symbols (serve_dims — on a
+   cache hit these belong to the original session's graph). *)
+let binding_for_env t (env : (string * int) list) =
+  match List.map (fun (n, v) -> (List.assoc n t.serve_dims, v)) env with
+  | dims -> (
+      match Compiler.binding_of_dims t.compiled.Compiler.exe.Runtime.Executable.g dims with
+      | bnd -> Some bnd
+      | exception Table.Inconsistent _ -> None)
+  | exception Not_found -> None
+
+let mem_peak_bytes t (env : (string * int) list) =
+  match Hashtbl.find_opt t.mem_peak_memo env with
+  | Some r -> r
+  | None ->
+      let r =
+        Option.bind (binding_for_env t env)
+          (Mem.Estimate.peak_bound (mem_estimate t))
+      in
+      if Hashtbl.length t.mem_peak_memo >= memo_cap then Hashtbl.reset t.mem_peak_memo;
+      Hashtbl.replace t.mem_peak_memo env r;
+      r
+
+let rung_signature (env : (string * int) list) =
+  String.concat ","
+    (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) (List.sort compare env))
+
+let mem_reduction t (env : (string * int) list) =
+  let compute () =
+    let est = mem_estimate t in
+    match binding_for_env t env with
+    | Some bnd -> Mem.Reduce.decide ~env est bnd
+    | None -> Mem.Reduce.identity ~env est (Table.empty_binding ())
+  in
+  match t.cache with
+  | Some (cache, key) -> (
+      let rung = rung_signature env in
+      match Compile_cache.find_reduction cache ~key ~rung with
+      | Some d -> d
+      | None ->
+          let d = compute () in
+          Compile_cache.store_reduction cache ~key ~rung d;
+          d)
+  | None -> compute ()
 
 (* Data-plane request on real tensors; the fallback path computes the
    outputs with the reference interpreter (bit-identical to [Ir.Interp])

@@ -149,6 +149,23 @@ val serve : t -> (string * int) list -> Runtime.Profile.t
 val serve_data : t -> Tensor.Nd.t list -> Tensor.Nd.t list * Runtime.Profile.t
 (** Legacy wrapper over {!serve_data_result}; same raising behaviour. *)
 
+val mem_estimate : t -> Mem.Estimate.t
+(** The symbolic peak-memory estimate of this session's compiled
+    executable ({!Mem.Estimate}), built lazily once per session. *)
+
+val mem_peak_bytes : t -> (string * int) list -> int option
+(** Evaluated {!Mem.Estimate.peak_bound} (arena + resident) at a request
+    env — the number the serving budget gate compares against a
+    replica's HBM budget {e before} dispatching. Memoized per env; a
+    pure function of the env. [None] when the env doesn't bind (unknown
+    dim, inconsistent shape). *)
+
+val mem_reduction : t -> (string * int) list -> Mem.Reduce.decision
+(** The memory-reduction decision ({!Mem.Reduce.decide}) at a
+    bucket-rung-ceiling env. With a shared {!Compile_cache} attached the
+    decision is decided once per (artifact, rung) and replayed by every
+    sharing session. *)
+
 val despeculated_kernels : t -> string list
 (** Kernels the circuit breaker has pinned to their generic version. *)
 

@@ -41,6 +41,43 @@ let rec insert_free (blk : block) = function
       else if blk.b_off < b.b_off then blk :: all
       else b :: insert_free blk rest
 
+let cluster_of = function
+  | Executable.Fused k -> k.Codegen.Kernel.cluster
+  | Executable.Lib c -> c
+
+(* Lifetime of every cluster-produced intermediate under the schedule:
+   born at the producing item's position, dead after the position of its
+   last consuming item (graph outputs live to the end: [max_int]). The
+   symbolic estimator (lib/mem) walks exactly these lifetimes with sizes
+   as polynomials, so the walk is shared rather than mirrored. *)
+let lifetimes (e : Executable.t) : (int * int * int) list =
+  let items = e.Executable.items in
+  let produced_at = Hashtbl.create 64 in
+  List.iteri
+    (fun pos item ->
+      List.iter (fun o -> Hashtbl.replace produced_at o pos) (cluster_of item).Cluster.outputs)
+    items;
+  let last_use = Hashtbl.create 64 in
+  List.iteri
+    (fun pos item ->
+      List.iter
+        (fun input -> if Hashtbl.mem produced_at input then Hashtbl.replace last_use input pos)
+        (cluster_of item).Cluster.inputs)
+    items;
+  List.iter
+    (fun o -> if Hashtbl.mem produced_at o then Hashtbl.replace last_use o max_int)
+    (Graph.outputs (e.Executable.g));
+  let acc = ref [] in
+  List.iteri
+    (fun pos item ->
+      List.iter
+        (fun o ->
+          let last = Option.value (Hashtbl.find_opt last_use o) ~default:pos in
+          acc := (o, pos, last) :: !acc)
+        (cluster_of item).Cluster.outputs)
+    items;
+  List.rev !acc
+
 let plan ?(alignment = 256) (e : Executable.t) (bnd : Table.binding) : t =
   let g = e.Executable.g in
   let tab = Graph.symtab g in
@@ -59,23 +96,9 @@ let plan ?(alignment = 256) (e : Executable.t) (bnd : Table.binding) : t =
         | _ -> acc)
       0
   in
-  (* lifetime of each cluster-produced value *)
   let items = e.Executable.items in
-  let produced_at = Hashtbl.create 64 in
-  List.iteri
-    (fun pos item ->
-      let c = match item with Executable.Fused k -> k.Codegen.Kernel.cluster | Executable.Lib c -> c in
-      List.iter (fun o -> Hashtbl.replace produced_at o pos) c.Cluster.outputs)
-    items;
   let last_use = Hashtbl.create 64 in
-  List.iteri
-    (fun pos item ->
-      let c = match item with Executable.Fused k -> k.Codegen.Kernel.cluster | Executable.Lib c -> c in
-      List.iter
-        (fun input -> if Hashtbl.mem produced_at input then Hashtbl.replace last_use input pos)
-        c.Cluster.inputs)
-    items;
-  List.iter (fun o -> if Hashtbl.mem produced_at o then Hashtbl.replace last_use o max_int) (Graph.outputs g);
+  List.iter (fun (v, _, last) -> Hashtbl.replace last_use v last) (lifetimes e);
   (* walk the schedule: allocate at production, free after last use *)
   let free : block list ref = ref [] in
   let top = ref 0 in
@@ -105,14 +128,13 @@ let plan ?(alignment = 256) (e : Executable.t) (bnd : Table.binding) : t =
   in
   List.iteri
     (fun pos item ->
-      let c = match item with Executable.Fused k -> k.Codegen.Kernel.cluster | Executable.Lib c -> c in
       List.iter
         (fun o ->
           let size = size_of o in
           let offset = allocate size in
           let last_pos = Option.value (Hashtbl.find_opt last_use o) ~default:pos in
           assignments := { value = o; offset; size; first_pos = pos; last_pos } :: !assignments)
-        c.Cluster.outputs;
+        (cluster_of item).Cluster.outputs;
       (* free buffers whose last use is this position *)
       List.iter
         (fun a ->
@@ -157,10 +179,19 @@ let validate (p : t) : bool =
   in
   check p.assignments
 
+(* reuse = arena/naive: the fraction of the no-reuse footprint the
+   planned arena actually occupies (lower is better; 1.00 = no reuse).
+   resident share = weights+constants as a fraction of total device
+   footprint, so a glance tells whether activations or parameters
+   dominate. *)
 let to_string (p : t) =
-  Printf.sprintf "arena=%.2fMB naive=%.2fMB (%.1fx reuse) resident=%.2fMB buffers=%d"
+  let reuse = float_of_int p.arena_bytes /. float_of_int (max 1 p.naive_bytes) in
+  let footprint = max 1 (p.arena_bytes + p.resident_bytes) in
+  Printf.sprintf
+    "arena=%.2fMB naive=%.2fMB reuse=%.2f resident=%.2fMB (%.0f%% of footprint) buffers=%d"
     (float_of_int p.arena_bytes /. 1e6)
     (float_of_int p.naive_bytes /. 1e6)
-    (float_of_int p.naive_bytes /. float_of_int (max 1 p.arena_bytes))
+    reuse
     (float_of_int p.resident_bytes /. 1e6)
+    (100.0 *. float_of_int p.resident_bytes /. float_of_int footprint)
     (List.length p.assignments)

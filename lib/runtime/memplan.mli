@@ -21,6 +21,14 @@ type t = {
   resident_bytes : int;  (** parameters + constants, outside the arena *)
 }
 
+val lifetimes : Executable.t -> (int * int * int) list
+(** [(value, first_pos, last_pos)] of every cluster-produced
+    intermediate, in production order: born at the producing item's
+    schedule position, dead after its last consuming item's position
+    (graph outputs report [max_int]). Binding-independent — the symbolic
+    memory estimator ({!Mem.Estimate}) walks these same lifetimes with
+    sizes as polynomials instead of concrete bytes. *)
+
 val plan : ?alignment:int -> Executable.t -> Symshape.Table.binding -> t
 
 val plan_result :
@@ -38,3 +46,6 @@ val validate : t -> bool
 (** No two simultaneously-live buffers overlap. *)
 
 val to_string : t -> string
+(** One-line summary: arena and naive footprints, reuse ratio
+    ([arena_bytes]/[naive_bytes], lower is better), resident bytes with
+    their share of the total device footprint, and buffer count. *)

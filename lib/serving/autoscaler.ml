@@ -61,17 +61,25 @@ let note t ~now action =
   if Obs.Scope.on () then Obs.Scope.count (Printf.sprintf "pool.%s" (action_to_string action));
   action
 
-let decide t ~now ~alive ~queue_depth ~attainment =
+(* [mem_pressure] is the pool's memory signal: a sustained run of
+   dispatches estimated near the HBM budget (or capped to fit it). It is
+   a third scale-up trigger — more replicas spread the same footprint —
+   and a scale-down veto: shrinking a fleet that is capping batches to
+   fit its budget would concentrate the pressure it is under. *)
+let decide ?(mem_pressure = false) t ~now ~alive ~queue_depth ~attainment =
   let c = t.cfg in
   if alive < c.min_replicas then note t ~now Scale_up (* repair below the floor, cooldown or not *)
   else if now -. t.last_scale_us < c.cooldown_us then Hold
   else if
     alive < c.max_replicas
-    && (attainment < c.target_attainment || queue_depth > c.scale_up_queue * max 1 alive)
+    && (attainment < c.target_attainment
+       || queue_depth > c.scale_up_queue * max 1 alive
+       || mem_pressure)
   then note t ~now Scale_up
   else if
     alive > c.min_replicas
     && attainment >= c.target_attainment
     && queue_depth <= c.scale_down_queue
+    && not mem_pressure
   then note t ~now Scale_down
   else Hold

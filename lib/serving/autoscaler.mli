@@ -8,9 +8,11 @@
         alive < min ──────────────────────────────► Scale_up (always)
         in cooldown ──────────────────────────────► Hold
         alive < max  ∧ (attainment < target
-                        ∨ backlog/alive > up_q) ──► Scale_up
+                        ∨ backlog/alive > up_q
+                        ∨ mem_pressure) ──────────► Scale_up
         alive > min  ∧ attainment ≥ target
-                     ∧ backlog ≤ down_q ──────────► Scale_down
+                     ∧ backlog ≤ down_q
+                     ∧ ¬mem_pressure ─────────────► Scale_down
         otherwise ────────────────────────────────► Hold
     v}
 
@@ -46,11 +48,21 @@ val create : config -> t
 
 val config : t -> config
 
-val decide : t -> now:float -> alive:int -> queue_depth:int -> attainment:float -> action
+val decide :
+  ?mem_pressure:bool ->
+  t ->
+  now:float ->
+  alive:int ->
+  queue_depth:int ->
+  attainment:float ->
+  action
 (** One control-tick decision. [attainment] is the fraction of requests
     completed within their class deadline since the previous tick (1.0
-    when nothing completed — an idle pool is not failing its SLO). A
-    non-[Hold] decision starts the cooldown window. *)
+    when nothing completed — an idle pool is not failing its SLO).
+    [mem_pressure] (default [false]) reports sustained memory pressure —
+    dispatches estimated near the pool's HBM budget or capped to fit it;
+    it is a third scale-up trigger and a scale-down veto. A non-[Hold]
+    decision starts the cooldown window. *)
 
 val ups : t -> int
 val downs : t -> int

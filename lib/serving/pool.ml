@@ -24,6 +24,12 @@ type config = {
   router : Router.policy;
   max_pad_waste : float;
   cold_warmup_us : float;
+  hbm_budget : int option;
+      (* per-replica device-memory budget in bytes; None = unbudgeted *)
+  mem_aware : bool;
+      (* gate dispatches on the symbolic peak estimate (shrink batches to
+         fit the budget). false = memory-blind: dispatch anyway and lose
+         any batch whose estimated peak overruns the budget (OOM). *)
 }
 
 let default_config ~devices ~batch_dim ~bucket =
@@ -37,6 +43,8 @@ let default_config ~devices ~batch_dim ~bucket =
     router = Router.Warmth_aware;
     max_pad_waste = 0.5;
     cold_warmup_us = 1500.0;
+    hbm_budget = None;
+    mem_aware = true;
   }
 
 type request = { arrival_us : float; dims : (string * int) list; cls : Slo.cls }
@@ -168,6 +176,8 @@ type replica_report = {
   rr_requests : int;
   rr_cold_dispatches : int;
   rr_busy_us : float;
+  rr_mem_peak_bytes : int; (* high-water estimated batch peak dispatched here *)
+  rr_ooms : int; (* batches lost to budget overrun (memory-blind mode) *)
 }
 
 type adaptive_report = {
@@ -222,6 +232,30 @@ let resilience_summary_to_string (x : resilience_report) =
     x.xr_degraded_events x.xr_spike_requests x.xr_cache_corruptions x.xr_brownout_transitions
     x.xr_brownout_max x.xr_brownout_final x.xr_brownout_us x.xr_last_level0_us
 
+(* Memory accounting under an HBM budget ([Some] in [report.mem] iff
+   [cfg.hbm_budget] was set). The estimated peaks come from the symbolic
+   estimator ({!Disc.Session.mem_peak_bytes}) evaluated at each batch's
+   dispatch env — the same number the admission gate and the replica
+   overrun check consult, so a memory-aware pool can never dispatch a
+   batch it would then count as an OOM. *)
+type mem_report = {
+  mr_budget_bytes : int;
+  mr_est_peak_bytes : int; (* largest estimated batch peak dispatched *)
+  mr_capped : int; (* batch members bumped (re-queued at front) to fit the budget *)
+  mr_forced_exact : int; (* pad->exact flips because padding overran the budget *)
+  mr_rejected : int; (* single requests whose estimate alone exceeds the budget *)
+  mr_oom : int; (* batches lost to budget overrun (memory-blind mode only) *)
+  mr_pressure_ticks : int; (* adaptive control ticks under sustained pressure *)
+}
+
+let mem_summary_to_string (m : mem_report) =
+  Printf.sprintf
+    "mem: budget=%.1fMB est_peak=%.1fMB capped=%d forced_exact=%d rejected=%d oom=%d \
+     pressure_ticks=%d"
+    (float_of_int m.mr_budget_bytes /. 1.0e6)
+    (float_of_int m.mr_est_peak_bytes /. 1.0e6)
+    m.mr_capped m.mr_forced_exact m.mr_rejected m.mr_oom m.mr_pressure_ticks
+
 type report = {
   dispositions : disposition array;
   latencies_us : float array;
@@ -246,6 +280,7 @@ type report = {
   replicas : replica_report list;
   adaptive : adaptive_report option; (* Some iff run with ~adaptive *)
   resilience : resilience_report; (* all-zero unless chaos/resilience engaged *)
+  mem : mem_report option; (* Some iff cfg.hbm_budget was set *)
 }
 
 let padding_waste (r : report) =
@@ -337,19 +372,27 @@ let note_rate t ~service_us ~elements =
    of hedged re-dispatch. [if_hedge]/[if_hedge_of] tie a primary and its
    hedge together; whichever completes first finalizes the members and
    cancels the partner (the partner's replica stays busy: duplicated
-   work is wasted, never double-counted). *)
+   work is wasted, never double-counted).
+
+   All fields are mutable because the records live in a reusable slab
+   (see the hot-path comment below): a launch fills a recycled record
+   instead of allocating one, so a million-request run's event loop
+   allocates inflight state proportional to peak concurrency, not to
+   batch count. Hedge links are ids with -1 for "none" — an [int option]
+   would re-box on every recycle. *)
 type inflight = {
-  if_id : int;
-  if_members : (int * request) list;
-  if_key : string;
-  if_env : (string * int) list;
-  if_rep : Replica.t;
-  if_started : float;
-  if_done : float;
-  if_use_padded : bool;
-  if_path : [ `Compiled | `Fallback ];
-  if_hedge_of : int option; (* Some primary id iff this is a hedge *)
-  mutable if_hedge : int option; (* hedge id launched for this primary *)
+  mutable if_id : int;
+  mutable if_members : (int * request) list;
+  mutable if_key : string;
+  mutable if_env : (string * int) list;
+  mutable if_rep : Replica.t;
+  mutable if_started : float;
+  mutable if_done : float;
+  mutable if_use_padded : bool;
+  mutable if_path : [ `Compiled | `Fallback ];
+  mutable if_hedge_of : int; (* primary id iff this is a hedge; -1 = primary *)
+  mutable if_hedge : int; (* hedge id launched for this primary; -1 = none *)
+  mutable if_active : bool; (* slot holds a live (launched, unprocessed) batch *)
   mutable if_cancelled : bool;
 }
 
@@ -383,6 +426,14 @@ module Iq = struct
   let push q x =
     if q.len = Array.length q.buf then grow q;
     q.buf.((q.head + q.len) land (Array.length q.buf - 1)) <- x;
+    q.len <- q.len + 1
+
+  (* Re-queue at the head: a request bumped from a batch to fit the
+     memory budget keeps its place in line instead of starting over. *)
+  let push_front q x =
+    if q.len = Array.length q.buf then grow q;
+    q.head <- (q.head - 1) land (Array.length q.buf - 1);
+    q.buf.(q.head) <- x;
     q.len <- q.len + 1
 
   let peek q = q.buf.(q.head)
@@ -584,8 +635,88 @@ let run ?(failures = []) ?adaptive ?chaos ?(resilience = no_resilience) t
       (fun n r -> if Replica.dispatchable r then n + 1 else n)
       0 t.pool_replicas
   in
+  (* --- memory budget state -------------------------------------------------
+     One estimator serves the whole pool: the estimate is a pure function
+     of the dispatch env (replica 0's session memoizes per env), and the
+     admission gate and the overrun check read the same number — a
+     memory-aware pool can never dispatch a batch it would then OOM. *)
+  Array.iter (fun r -> r.Replica.hbm_budget <- cfg.hbm_budget) t.pool_replicas;
+  let est_env =
+    match cfg.hbm_budget with
+    | None -> fun _ -> None
+    | Some _ ->
+        let session0 = t.pool_replicas.(0).Replica.session in
+        fun env -> Session.mem_peak_bytes session0 env
+  in
+  let mem_capped = ref 0 and mem_forced_exact = ref 0 and mem_rejected = ref 0 in
+  let mem_oom = ref 0 and mem_est_peak = ref 0 and pressure_ticks = ref 0 in
+  (* pressure window: dispatches since the last control tick, and how
+     many of them were estimated near (>85% of) the budget *)
+  let win_disp = ref 0 and win_hi = ref 0 in
+  (* --- inflight slab --------------------------------------------------------
+     Scale discipline (ROADMAP item 5): inflight records are recycled
+     through a growable slab instead of consed onto a list. Slots
+     [0, slab_n) are in launch order; iterating backwards reproduces the
+     old list's newest-first order exactly (hedge scans and crash
+     re-queues are order-sensitive). Allocation happens only when every
+     slot is live: [if_alloc] first compacts retired slots out (keeping
+     the spare records for reuse), and only doubles the array if the
+     slab is genuinely full of in-flight batches. *)
+  let new_inflight () =
+    {
+      if_id = -1;
+      if_members = [];
+      if_key = "";
+      if_env = [];
+      if_rep = t.pool_replicas.(0);
+      if_started = 0.0;
+      if_done = 0.0;
+      if_use_padded = false;
+      if_path = `Compiled;
+      if_hedge_of = -1;
+      if_hedge = -1;
+      if_active = false;
+      if_cancelled = false;
+    }
+  in
+  let slab = ref (Array.init 16 (fun _ -> new_inflight ())) in
+  let slab_n = ref 0 in
+  let slab_compact () =
+    let s = !slab in
+    let k = ref 0 in
+    for j = 0 to !slab_n - 1 do
+      let fl = s.(j) in
+      if fl.if_active then begin
+        if j <> !k then begin
+          (* swap, not overwrite: the retired record at [k] stays in the
+             slab for reuse *)
+          s.(j) <- s.(!k);
+          s.(!k) <- fl
+        end;
+        incr k
+      end
+    done;
+    slab_n := !k
+  in
+  let if_alloc () =
+    if !slab_n = Array.length !slab then begin
+      slab_compact ();
+      if !slab_n = Array.length !slab then
+        slab :=
+          Array.init
+            (2 * Array.length !slab)
+            (fun j -> if j < !slab_n then (!slab).(j) else new_inflight ())
+    end;
+    let fl = (!slab).(!slab_n) in
+    incr slab_n;
+    fl.if_active <- true;
+    fl.if_cancelled <- false;
+    fl.if_hedge_of <- -1;
+    fl.if_hedge <- -1;
+    fl.if_members <- [];
+    fl
+  in
   (* resilience state *)
-  let inflights : inflight list ref = ref [] in
   let next_if_id = ref 0 in
   let retry : (int, int) Hashtbl.t = Hashtbl.create 16 in
   let base_rates : (int, float * float) Hashtbl.t = Hashtbl.create 8 in
@@ -766,16 +897,34 @@ let run ?(failures = []) ?adaptive ?chaos ?(resilience = no_resilience) t
   let launch time ~(members : (int * request) list) ~env ~key ~use_padded ~e_actual
       ~hedge_of rep =
     let count = List.length members in
-    match Session.serve_result rep.Replica.session env with
-    | Error _ ->
-        if hedge_of = None then begin
+    let est_bytes = est_env env in
+    match (cfg.hbm_budget, est_bytes) with
+    | Some budget, Some est when est > budget ->
+        (* only reachable memory-blind: the aware gate never hands this
+           function an over-budget env. The batch's working set does not
+           fit the device — it is lost to an OOM, not served. *)
+        incr mem_oom;
+        rep.Replica.ooms <- rep.Replica.ooms + 1;
+        if est > rep.Replica.mem_peak_bytes then rep.Replica.mem_peak_bytes <- est;
+        if est > !mem_est_peak then mem_est_peak := est;
+        if hedge_of < 0 then begin
           List.iter
             (fun (i, _) -> if dispc.(i) = d_pending then dispc.(i) <- d_failed)
             members;
           if obs then Obs.Metrics.inc ~by:count c_failed
         end;
         None
-    | Ok (profile, path) ->
+    | _ -> (
+        match Session.serve_result rep.Replica.session env with
+        | Error _ ->
+            if hedge_of < 0 then begin
+              List.iter
+                (fun (i, _) -> if dispc.(i) = d_pending then dispc.(i) <- d_failed)
+                members;
+              if obs then Obs.Metrics.inc ~by:count c_failed
+            end;
+            None
+        | Ok (profile, path) ->
         let cold = not (Replica.is_warm rep key) in
         let env_elems = Bucket.elements env in
         let base_us = Profile.total_us profile in
@@ -786,55 +935,62 @@ let run ?(failures = []) ?adaptive ?chaos ?(resilience = no_resilience) t
         let done_at = time +. service_us in
         rep.Replica.free_at <- done_at;
         if done_at > !last_done then last_done := done_at;
-        (* the pool's rate model tracks nominal (unslowed) cost — that
-           is what the watchdog compares a straggler's EWMA against *)
-        if hedge_of = None then note_rate t ~service_us:base_us ~elements:env_elems;
-        Replica.note_batch rep ~key ~elements:env_elems ~service_us
-          ~rate_us:(base_us *. rep.Replica.slow_factor) ~requests:count ~cold ();
-        incr batches;
-        batched_total := !batched_total + count;
-        if use_padded then incr padded_batches else incr exact_batches;
-        if cold then incr cold_total;
-        (* hedges duplicate work; keep them out of the padding-waste
-           metric, which measures batcher decisions *)
-        if hedge_of = None then begin
-          actual_elems := !actual_elems + e_actual;
-          padded_elems := !padded_elems + env_elems
-        end;
-        let fl =
-          {
-            if_id = !next_if_id;
-            if_members = members;
-            if_key = key;
-            if_env = env;
-            if_rep = rep;
-            if_started = time;
-            if_done = done_at;
-            if_use_padded = use_padded;
-            if_path = path;
-            if_hedge_of = hedge_of;
-            if_hedge = None;
-            if_cancelled = false;
-          }
-        in
-        incr next_if_id;
-        inflights := fl :: !inflights;
-        if obs then begin
-          Obs.Trace.set_track_name Obs.Trace.global (2 + rep.Replica.id)
-            (Printf.sprintf "replica%d" rep.Replica.id);
-          Obs.Scope.span ~track:(2 + rep.Replica.id) ~cat:"batch" ~ts:time
-            ~dur_us:service_us
-            ~args:
-              [
-                ("env", key);
-                ("n", string_of_int count);
-                ("padded", string_of_bool use_padded);
-                ("cold", string_of_bool cold);
-                ("hedge", string_of_bool (hedge_of <> None));
-              ]
-            (Printf.sprintf "batch@%s" key)
-        end;
-        Some fl
+            (* the pool's rate model tracks nominal (unslowed) cost — that
+               is what the watchdog compares a straggler's EWMA against *)
+            if hedge_of < 0 then note_rate t ~service_us:base_us ~elements:env_elems;
+            Replica.note_batch rep ~key ~elements:env_elems ~service_us
+              ~rate_us:(base_us *. rep.Replica.slow_factor) ~requests:count ~cold ();
+            incr batches;
+            batched_total := !batched_total + count;
+            if use_padded then incr padded_batches else incr exact_batches;
+            if cold then incr cold_total;
+            (* hedges duplicate work; keep them out of the padding-waste
+               metric, which measures batcher decisions *)
+            if hedge_of < 0 then begin
+              actual_elems := !actual_elems + e_actual;
+              padded_elems := !padded_elems + env_elems
+            end;
+            (match est_bytes with
+            | Some est ->
+                rep.Replica.mem_last_bytes <- est;
+                if est > rep.Replica.mem_peak_bytes then
+                  rep.Replica.mem_peak_bytes <- est;
+                if est > !mem_est_peak then mem_est_peak := est;
+                if hedge_of < 0 then begin
+                  incr win_disp;
+                  match cfg.hbm_budget with
+                  | Some b when 20 * est > 17 * b -> incr win_hi (* est > 85% of budget *)
+                  | _ -> ()
+                end
+            | None -> ());
+            let fl = if_alloc () in
+            fl.if_id <- !next_if_id;
+            fl.if_members <- members;
+            fl.if_key <- key;
+            fl.if_env <- env;
+            fl.if_rep <- rep;
+            fl.if_started <- time;
+            fl.if_done <- done_at;
+            fl.if_use_padded <- use_padded;
+            fl.if_path <- path;
+            fl.if_hedge_of <- hedge_of;
+            incr next_if_id;
+            if obs then begin
+              Obs.Trace.set_track_name Obs.Trace.global (2 + rep.Replica.id)
+                (Printf.sprintf "replica%d" rep.Replica.id);
+              Obs.Scope.span ~track:(2 + rep.Replica.id) ~cat:"batch" ~ts:time
+                ~dur_us:service_us
+                ~args:
+                  [
+                    ("env", key);
+                    ("n", string_of_int count);
+                    ("padded", string_of_bool use_padded);
+                    ("cold", string_of_bool cold);
+                    ("hedge", string_of_bool (hedge_of >= 0));
+                  ]
+                (Printf.sprintf "batch@%s" key)
+            end;
+            Some fl)
   in
   (* EWMA straggler watchdog, judged at each batch completion. The
      reference is the *median* of the alive replicas' measured rates —
@@ -899,14 +1055,29 @@ let run ?(failures = []) ?adaptive ?chaos ?(resilience = no_resilience) t
     if obs && !k > 0 then
       Obs.Metrics.inc ~by:!k (if code = d_served then c_served else c_fell_back)
   in
-  let rec any_due time = function
-    | [] -> false
-    | fl :: rest -> ((not fl.if_cancelled) && fl.if_done <= time) || any_due time rest
+  let any_due time =
+    let rec go j =
+      j < !slab_n
+      &&
+      let fl = (!slab).(j) in
+      (fl.if_active && (not fl.if_cancelled) && fl.if_done <= time) || go (j + 1)
+    in
+    go 0
   in
-  let rec min_done acc = function
-    | [] -> acc
-    | fl :: rest ->
-        min_done (if fl.if_cancelled then acc else Float.min acc fl.if_done) rest
+  let min_done () =
+    let acc = ref infinity in
+    for j = 0 to !slab_n - 1 do
+      let fl = (!slab).(j) in
+      if fl.if_active && (not fl.if_cancelled) && fl.if_done < !acc then
+        acc := fl.if_done
+    done;
+    !acc
+  in
+  let cancel_by_id id =
+    for j = 0 to !slab_n - 1 do
+      let o = (!slab).(j) in
+      if o.if_active && o.if_id = id then o.if_cancelled <- true
+    done
   in
   (* Finalize every due batch in (done, id) order. First result wins a
      hedged pair: the winner finalizes the members and cancels the
@@ -914,35 +1085,42 @@ let run ?(failures = []) ?adaptive ?chaos ?(resilience = no_resilience) t
      (duplicated work is wasted, not double-counted). The [any_due]
      guard keeps drained event-loop iterations allocation-free. *)
   let complete_inflights time =
-    if any_due time !inflights then begin
-      let due, rest =
-        List.partition (fun fl -> (not fl.if_cancelled) && fl.if_done <= time) !inflights
-      in
+    if any_due time then begin
+      let due = ref [] in
+      (* collect oldest-first so the cons-list is newest-first, matching
+         the retired list-partition's order before the sort *)
+      for j = 0 to !slab_n - 1 do
+        let fl = (!slab).(j) in
+        if fl.if_active && (not fl.if_cancelled) && fl.if_done <= time then
+          due := fl :: !due
+      done;
       let due =
-        List.sort (fun a b -> compare (a.if_done, a.if_id) (b.if_done, b.if_id)) due
-      in
-      inflights := List.filter (fun fl -> not fl.if_cancelled) rest;
-      let all = due @ !inflights in
-      let cancel_by_id id =
-        List.iter (fun o -> if o.if_id = id then o.if_cancelled <- true) all
+        List.sort (fun a b -> compare (a.if_done, a.if_id) (b.if_done, b.if_id)) !due
       in
       List.iter
         (fun fl ->
           if not fl.if_cancelled then begin
             finalize fl;
-            (match fl.if_hedge_of with
-            | Some pid ->
-                incr xr_hedge_wins;
-                cancel_by_id pid
-            | None -> (
-                match fl.if_hedge with Some hid -> cancel_by_id hid | None -> ()));
-            watchdog_check fl.if_rep
+            (if fl.if_hedge_of >= 0 then begin
+               incr xr_hedge_wins;
+               cancel_by_id fl.if_hedge_of
+             end
+             else if fl.if_hedge >= 0 then cancel_by_id fl.if_hedge);
+            watchdog_check fl.if_rep;
+            fl.if_cancelled <- true (* processed: retired by the sweep below *)
           end)
         due;
-      inflights := List.filter (fun fl -> not fl.if_cancelled) !inflights
+      (* retire everything completed or cancelled; slots recycle via
+         [if_alloc]'s compaction *)
+      for j = 0 to !slab_n - 1 do
+        let fl = (!slab).(j) in
+        if fl.if_active && fl.if_cancelled then fl.if_active <- false
+      done
     end
   in
-  let dispatch_batch time (members : (int * request) list) =
+  (* Batch planning for one member set: pad-vs-exact decision plus the
+     element accounting the waste metric needs. *)
+  let plan_batch (members : (int * request) list) =
     let member_dims = List.map (fun (_, r) -> r.dims) members in
     let exact = Bucket.exact_env ~batch_dim:cfg.batch_dim member_dims in
     let padded = Bucket.padded_env t.cur_bucket ~batch_dim:cfg.batch_dim member_dims in
@@ -976,12 +1154,72 @@ let run ?(failures = []) ?adaptive ?chaos ?(resilience = no_resilience) t
         cost e_padded (Bucket.env_key padded) <= cost e_exact (Bucket.env_key exact)
       end
     in
-    let env = if use_padded then padded else exact in
-    let key = Bucket.env_key env in
-    match Router.pick t.router ~now:time ~key t.pool_replicas with
-    | None -> assert false (* only called when a replica is free *)
-    | Some rep ->
-        ignore (launch time ~members ~env ~key ~use_padded ~e_actual ~hedge_of:None rep)
+    (exact, padded, e_actual, use_padded)
+  in
+  (* Bump the newest member out of an over-budget batch, back to the
+     FRONT of its bucket queue: it keeps its place in line and forms the
+     head of the next batch instead of starting over (or worse,
+     reordering behind younger arrivals). *)
+  let requeue_front (i, (r : request)) =
+    Slo.requeue slo r.cls;
+    let b = bq_of_dims r.dims in
+    Iq.push_front b.bq_q i;
+    if dls.(i) < b.bq_min_deadline then b.bq_min_deadline <- dls.(i);
+    incr queued_total;
+    if !queued_total > !peak_queued then peak_queued := !queued_total;
+    if obs then Obs.Metrics.set_gauge g_depth (float_of_int !queued_total)
+  in
+  (* Memory admission gate (aware mode only): shrink the batch until its
+     estimated peak fits the budget. Preference order — keep the padded
+     env (warmth!), fall back to the exact env (smaller working set),
+     then drop members newest-first. A single request that does not fit
+     even exact is structurally refused (counted in [mr_rejected]): no
+     smaller dispatch exists, and blind-dispatching it would OOM. *)
+  let rec fit_batch (members : (int * request) list) =
+    match members with
+    | [] -> None
+    | _ -> (
+        let exact, padded, e_actual, use_padded = plan_batch members in
+        let env = if use_padded then padded else exact in
+        match cfg.hbm_budget with
+        | Some budget when cfg.mem_aware -> (
+            let fits e = match est_env e with Some b -> b <= budget | None -> true in
+            if fits env then Some (members, env, use_padded, e_actual)
+            else if use_padded && fits exact then begin
+              incr mem_forced_exact;
+              incr win_hi;
+              (* running at the budget edge is pressure *)
+              Some (members, exact, false, e_actual)
+            end
+            else
+              match List.rev members with
+              | [] -> None
+              | last :: rev_rest ->
+                  if rev_rest = [] then begin
+                    let i, _ = last in
+                    dispc.(i) <- d_rejected;
+                    incr mem_rejected;
+                    if obs then Obs.Metrics.inc c_rejected;
+                    None
+                  end
+                  else begin
+                    requeue_front last;
+                    incr mem_capped;
+                    incr win_hi;
+                    fit_batch (List.rev rev_rest)
+                  end)
+        | _ -> Some (members, env, use_padded, e_actual))
+  in
+  let dispatch_batch time (members : (int * request) list) =
+    match fit_batch members with
+    | None -> ()
+    | Some (members, env, use_padded, e_actual) -> (
+        let key = Bucket.env_key env in
+        match Router.pick t.router ~now:time ~key t.pool_replicas with
+        | None -> assert false (* only called when a replica is free *)
+        | Some rep ->
+            ignore
+              (launch time ~members ~env ~key ~use_padded ~e_actual ~hedge_of:(-1) rep))
   in
   let try_dispatch time =
     if not (any_free time) then false
@@ -1010,16 +1248,18 @@ let run ?(failures = []) ?adaptive ?chaos ?(resilience = no_resilience) t
       dispc.(!cursor) <- d_failed;
       cursor := !cursor + 1
     done;
-    List.iter
-      (fun fl ->
+    for j = 0 to !slab_n - 1 do
+      let fl = (!slab).(j) in
+      if fl.if_active then begin
         if not fl.if_cancelled then begin
           fl.if_cancelled <- true;
           List.iter
             (fun (i, _) -> if dispc.(i) = d_pending then dispc.(i) <- d_failed)
             fl.if_members
-        end)
-      !inflights;
-    inflights := []
+        end;
+        fl.if_active <- false
+      end
+    done
   in
   (* --- adaptive control tick ---------------------------------------------- *)
   (* Re-key queued work after a policy change, preserving arrival order.
@@ -1066,21 +1306,37 @@ let run ?(failures = []) ?adaptive ?chaos ?(resilience = no_resilience) t
       let rep = t.pool_replicas.(id) in
       if rep.Replica.health <> Replica.Dead then begin
         incr xr_crashes;
-        let mine, rest =
-          List.partition (fun fl -> fl.if_rep == rep && not fl.if_cancelled) !inflights
+        (* Pass 1: cancel every live batch on the crashed replica first,
+           so the coverage scan below (partner lookup among survivors)
+           cannot count a doomed partner on the same replica as cover —
+           the semantics of the retired list-partition, which removed all
+           of [mine] before checking coverage in [rest]. Consing
+           oldest-first slab order gives the newest-first processing
+           order of the old list (crashes are rare; this path may
+           allocate). *)
+        let mine = ref [] in
+        for j = 0 to !slab_n - 1 do
+          let fl = (!slab).(j) in
+          if fl.if_active && fl.if_rep == rep && not fl.if_cancelled then begin
+            fl.if_cancelled <- true;
+            mine := fl :: !mine
+          end
+        done;
+        let live_partner id =
+          let rec go j =
+            j < !slab_n
+            &&
+            let o = (!slab).(j) in
+            (o.if_active && (not o.if_cancelled) && o.if_id = id) || go (j + 1)
+          in
+          go 0
         in
-        inflights := rest;
+        (* Pass 2: re-queue or fail the members of every uncovered batch. *)
         List.iter
           (fun fl ->
-            fl.if_cancelled <- true;
             let covered =
-              match fl.if_hedge_of with
-              | Some pid -> List.exists (fun o -> o.if_id = pid && not o.if_cancelled) rest
-              | None -> (
-                  match fl.if_hedge with
-                  | Some hid ->
-                      List.exists (fun o -> o.if_id = hid && not o.if_cancelled) rest
-                  | None -> false)
+              if fl.if_hedge_of >= 0 then live_partner fl.if_hedge_of
+              else fl.if_hedge >= 0 && live_partner fl.if_hedge
             in
             if not covered then
               List.iter
@@ -1098,8 +1354,9 @@ let run ?(failures = []) ?adaptive ?chaos ?(resilience = no_resilience) t
                       if obs then Obs.Metrics.inc c_failed
                     end
                   end)
-                fl.if_members)
-          mine;
+                fl.if_members;
+            fl.if_active <- false)
+          !mine;
         Replica.crash rep ~now:time
       end
     end
@@ -1185,42 +1442,53 @@ let run ?(failures = []) ?adaptive ?chaos ?(resilience = no_resilience) t
      age gets a duplicate launch on a free Healthy replica; first
      result wins (see [complete_inflights]). One hedge per primary. *)
   let try_hedge time =
-    if resilience.hedge then
+    if resilience.hedge then begin
+      (* snapshot the candidates before launching anything: a hedge
+         launch recycles slab slots (possibly compacting the array), so
+         the scan must not interleave with allocation. Newest-first, the
+         retired inflight list's order. Allocates only when a Degraded
+         replica holds an overdue Interactive batch — a rare chaos
+         condition, not the hot path. *)
+      let candidates = ref [] in
+      for j = 0 to !slab_n - 1 do
+        let fl = (!slab).(j) in
+        if
+          fl.if_active
+          && (not fl.if_cancelled)
+          && fl.if_hedge_of < 0
+          && fl.if_hedge < 0
+          && fl.if_done > time
+          && fl.if_rep.Replica.health = Replica.Degraded
+          && time -. fl.if_started >= resilience.hedge_after_us -. 1e-9
+          && List.exists
+               (fun (i, r) -> dispc.(i) = d_pending && r.cls = Slo.Interactive)
+               fl.if_members
+        then candidates := fl :: !candidates
+      done;
       List.iter
         (fun fl ->
-          if
-            (not fl.if_cancelled)
-            && fl.if_hedge_of = None
-            && fl.if_hedge = None
-            && fl.if_done > time
-            && fl.if_rep.Replica.health = Replica.Degraded
-            && time -. fl.if_started >= resilience.hedge_after_us -. 1e-9
-            && List.exists
-                 (fun (i, r) -> dispc.(i) = d_pending && r.cls = Slo.Interactive)
-                 fl.if_members
-          then
-            match Router.pick t.router ~now:time ~key:fl.if_key t.pool_replicas with
-            | Some rep when rep.Replica.health = Replica.Healthy && rep != fl.if_rep -> (
-                match
-                  launch time ~members:fl.if_members ~env:fl.if_env ~key:fl.if_key
-                    ~use_padded:fl.if_use_padded ~e_actual:0
-                    ~hedge_of:(Some fl.if_id) rep
-                with
-                | Some h ->
-                    fl.if_hedge <- Some h.if_id;
-                    incr xr_hedges;
-                    if obs then
-                      Obs.Scope.span ~cat:"hedge" ~ts:time ~dur_us:0.0
-                        ~args:
-                          [
-                            ("primary", string_of_int fl.if_rep.Replica.id);
-                            ("hedge", string_of_int rep.Replica.id);
-                            ("key", fl.if_key);
-                          ]
-                        "hedge_launch"
-                | None -> ())
-            | _ -> ())
-        !inflights
+          match Router.pick t.router ~now:time ~key:fl.if_key t.pool_replicas with
+          | Some rep when rep.Replica.health = Replica.Healthy && rep != fl.if_rep -> (
+              match
+                launch time ~members:fl.if_members ~env:fl.if_env ~key:fl.if_key
+                  ~use_padded:fl.if_use_padded ~e_actual:0 ~hedge_of:fl.if_id rep
+              with
+              | Some h ->
+                  fl.if_hedge <- h.if_id;
+                  incr xr_hedges;
+                  if obs then
+                    Obs.Scope.span ~cat:"hedge" ~ts:time ~dur_us:0.0
+                      ~args:
+                        [
+                          ("primary", string_of_int fl.if_rep.Replica.id);
+                          ("hedge", string_of_int rep.Replica.id);
+                          ("key", fl.if_key);
+                        ]
+                      "hedge_launch"
+              | None -> ())
+          | _ -> ())
+        !candidates
+    end
   in
   (* --- brownout ladder ----------------------------------------------------- *)
   (* Stepwise degradation under sustained overload or capacity loss:
@@ -1327,7 +1595,18 @@ let run ?(failures = []) ?adaptive ?chaos ?(resilience = no_resilience) t
     Array.iter
       (fun r -> if Replica.alive r then minted := !minted + Replica.prewarm r hot_keys)
       t.pool_replicas;
-    (* 4. autoscale against windowed attainment + backlog *)
+    (* 4. memory-pressure window: a majority of this tick's dispatches
+       estimated near (>85% of) the budget, or any capped/forced-exact
+       gate event, reads as sustained pressure — more replicas spread
+       the same footprint, so it feeds the autoscaler as a scale-up
+       signal (and a scale-down veto) *)
+    let mem_pressure =
+      cfg.hbm_budget <> None && !win_hi > 0 && 2 * !win_hi > !win_disp
+    in
+    if mem_pressure then incr pressure_ticks;
+    win_disp := 0;
+    win_hi := 0;
+    (* 5. autoscale against windowed attainment + backlog + pressure *)
     (match scaler with
     | None -> ()
     | Some asc ->
@@ -1338,13 +1617,14 @@ let run ?(failures = []) ?adaptive ?chaos ?(resilience = no_resilience) t
         win_total := 0;
         win_met := 0;
         (match
-           Autoscaler.decide asc ~now:time ~alive:(capacity_count ())
+           Autoscaler.decide ~mem_pressure asc ~now:time ~alive:(capacity_count ())
              ~queue_depth:!queued_total ~attainment
          with
         | Autoscaler.Hold -> ()
         | Autoscaler.Scale_up ->
             let rep = t.mint ~id:(Array.length t.pool_replicas) in
             rep.Replica.free_at <- time +. a.prewarm_us;
+            rep.Replica.hbm_budget <- cfg.hbm_budget;
             ignore (Replica.prewarm rep hot_keys);
             t.pool_replicas <- Array.append t.pool_replicas [| rep |]
         | Autoscaler.Scale_down ->
@@ -1401,28 +1681,31 @@ let run ?(failures = []) ?adaptive ?chaos ?(resilience = no_resilience) t
     in
     let t_fail = match !pending_failures with [] -> infinity | (ft, _) :: _ -> ft in
     let t_chaos = match !pending_chaos with [] -> infinity | (ct, _) :: _ -> ct in
-    let t_complete = min_done infinity !inflights in
+    let t_complete = min_done () in
     let t_hedge =
       if not resilience.hedge then infinity
-      else
-        List.fold_left
-          (fun acc fl ->
-            if
-              (not fl.if_cancelled)
-              && fl.if_hedge_of = None
-              && fl.if_hedge = None
-              && fl.if_rep.Replica.health = Replica.Degraded
-              && List.exists
-                   (fun (i, r) -> dispc.(i) = d_pending && r.cls = Slo.Interactive)
-                   fl.if_members
-              (* only a *future* hedge deadline is a wake-up; an attempt
-                 already due fired in try_hedge this instant and retries
-                 piggyback on the next real event — otherwise a hedge
-                 with no eligible peer pins the clock and livelocks *)
-              && fl.if_started +. resilience.hedge_after_us > !now
-            then Float.min acc (fl.if_started +. resilience.hedge_after_us)
-            else acc)
-          infinity !inflights
+      else begin
+        let acc = ref infinity in
+        for j = 0 to !slab_n - 1 do
+          let fl = (!slab).(j) in
+          if
+            fl.if_active
+            && (not fl.if_cancelled)
+            && fl.if_hedge_of < 0
+            && fl.if_hedge < 0
+            && fl.if_rep.Replica.health = Replica.Degraded
+            && List.exists
+                 (fun (i, r) -> dispc.(i) = d_pending && r.cls = Slo.Interactive)
+                 fl.if_members
+            (* only a *future* hedge deadline is a wake-up; an attempt
+               already due fired in try_hedge this instant and retries
+               piggyback on the next real event — otherwise a hedge
+               with no eligible peer pins the clock and livelocks *)
+            && fl.if_started +. resilience.hedge_after_us > !now
+          then acc := Float.min !acc (fl.if_started +. resilience.hedge_after_us)
+        done;
+        !acc
+      end
     in
     let t_brownout =
       if not resilience.brownout then infinity
@@ -1443,7 +1726,12 @@ let run ?(failures = []) ?adaptive ?chaos ?(resilience = no_resilience) t
                   (Float.min t_complete
                      (Float.min t_hedge (Float.min t_brownout t_tick)))))))
   in
-  let work_left () = !cursor < n || !queued_total > 0 || !inflights <> [] in
+  let work_left () =
+    !cursor < n || !queued_total > 0
+    ||
+    let rec any_active j = j < !slab_n && ((!slab).(j).if_active || any_active (j + 1)) in
+    any_active 0
+  in
   let rec loop () =
     process_chaos !now;
     process_failures !now;
@@ -1563,6 +1851,19 @@ let run ?(failures = []) ?adaptive ?chaos ?(resilience = no_resilience) t
           (match chaos with Some sc -> Chaos.spike_request_count sc | None -> 0);
         xr_cache_corruptions = !xr_corruptions;
       };
+    mem =
+      Option.map
+        (fun budget ->
+          {
+            mr_budget_bytes = budget;
+            mr_est_peak_bytes = !mem_est_peak;
+            mr_capped = !mem_capped;
+            mr_forced_exact = !mem_forced_exact;
+            mr_rejected = !mem_rejected;
+            mr_oom = !mem_oom;
+            mr_pressure_ticks = !pressure_ticks;
+          })
+        cfg.hbm_budget;
     adaptive =
       Option.map
         (fun (_ : adaptive) ->
@@ -1590,6 +1891,8 @@ let run ?(failures = []) ?adaptive ?chaos ?(resilience = no_resilience) t
                rr_requests = r.Replica.requests;
                rr_cold_dispatches = r.Replica.cold_dispatches;
                rr_busy_us = r.Replica.busy_us;
+               rr_mem_peak_bytes = r.Replica.mem_peak_bytes;
+               rr_ooms = r.Replica.ooms;
              })
            t.pool_replicas);
   }

@@ -30,12 +30,25 @@ type config = {
       (** hard cap: above this padding fraction, dispatch exact-shape *)
   cold_warmup_us : float;
       (** one-off cost the first time a replica executes a signature *)
+  hbm_budget : int option;
+      (** per-replica device-memory budget in bytes, enforced against the
+          symbolic peak estimate ({!Disc.Session.mem_peak_bytes}) of each
+          batch's dispatch env. [None] (the default) disables all memory
+          accounting — runs are bit-identical to the pre-budget pool. *)
+  mem_aware : bool;
+      (** with a budget set: [true] gates dispatches — a batch whose
+          estimated peak exceeds the budget is re-planned (padded →
+          exact, then members bumped back to the queue front) until it
+          fits, so nothing OOMs by construction; [false] is the
+          memory-blind ablation — over-budget batches dispatch anyway
+          and are lost as OOMs. Ignored when [hbm_budget] is [None]. *)
 }
 
 val default_config :
   devices:Gpusim.Device.t list -> batch_dim:string -> bucket:Bucket.spec -> config
 (** max_batch 8, max_wait 2 ms, default SLO policy, warmth-aware
-    routing, 50 % padding cap, 1.5 ms cold warmup. *)
+    routing, 50 % padding cap, 1.5 ms cold warmup, no memory budget
+    (gating on once a budget is set). *)
 
 type adaptive = {
   control_interval_us : float;  (** virtual time between control ticks *)
@@ -138,6 +151,9 @@ type replica_report = {
   rr_requests : int;
   rr_cold_dispatches : int;
   rr_busy_us : float;
+  rr_mem_peak_bytes : int;
+      (** high-water estimated batch peak dispatched to this replica *)
+  rr_ooms : int;  (** batches lost to budget overrun (memory-blind mode) *)
 }
 
 type adaptive_report = {
@@ -176,6 +192,30 @@ val resilience_summary_to_string : resilience_report -> string
 (** Two lines: chaos counters, then the brownout ladder (the
     [brownout_final=] token is what the CI smoke greps). *)
 
+(** Memory accounting under an HBM budget. Every estimate comes from the
+    symbolic estimator evaluated at the batch's dispatch env — the
+    {e same} number the admission gate and the replica overrun check
+    consult, so a memory-aware pool can never dispatch a batch it would
+    then count as an OOM: [mr_oom = 0] in aware mode is structural, not
+    statistical. *)
+type mem_report = {
+  mr_budget_bytes : int;
+  mr_est_peak_bytes : int;  (** largest estimated batch peak dispatched *)
+  mr_capped : int;
+      (** batch members bumped back to the queue front to fit the budget *)
+  mr_forced_exact : int;
+      (** pad→exact flips because the padded env overran the budget *)
+  mr_rejected : int;
+      (** single requests whose estimate alone exceeds the budget
+          (structurally unservable at this budget; refused, not lost) *)
+  mr_oom : int;  (** batches lost to budget overrun — memory-blind mode only *)
+  mr_pressure_ticks : int;
+      (** adaptive control ticks that read as sustained memory pressure *)
+}
+
+val mem_summary_to_string : mem_report -> string
+(** One line; the [oom=] token is what the CI memory smoke greps. *)
+
 type report = {
   dispositions : disposition array;  (** per request, arrival order *)
   latencies_us : float array;  (** [nan] for requests that never completed *)
@@ -207,6 +247,7 @@ type report = {
   adaptive : adaptive_report option;  (** [Some] iff run with [~adaptive] *)
   resilience : resilience_report;
       (** always present; all-zero unless chaos/resilience engaged *)
+  mem : mem_report option;  (** [Some] iff [config.hbm_budget] was set *)
 }
 
 val padding_waste : report -> float

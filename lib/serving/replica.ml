@@ -24,6 +24,10 @@ type t = {
   mutable busy_us : float;
   mutable crashes : int;
   mutable recoveries : int;
+  mutable hbm_budget : int option;
+  mutable mem_last_bytes : int;
+  mutable mem_peak_bytes : int;
+  mutable ooms : int;
 }
 
 let create ~id session =
@@ -42,7 +46,20 @@ let create ~id session =
     busy_us = 0.0;
     crashes = 0;
     recoveries = 0;
+    hbm_budget = None;
+    mem_last_bytes = 0;
+    mem_peak_bytes = 0;
+    ooms = 0;
   }
+
+(* Fraction of the HBM budget left after the most recent batch's
+   estimated footprint — the router's memory-headroom signal. 1.0 when
+   unbudgeted or never dispatched to. *)
+let mem_headroom t =
+  match t.hbm_budget with
+  | Some b when b > 0 ->
+      float_of_int (b - min t.mem_last_bytes b) /. float_of_int b
+  | _ -> 1.0
 
 (* Degraded replicas still take traffic (the router just deprioritizes
    them), so for every purpose except routing preference they are as

@@ -49,10 +49,23 @@ type t = {
   mutable busy_us : float;  (** total service time accumulated *)
   mutable crashes : int;
   mutable recoveries : int;  (** completed [Recovering] -> [Healthy] spin-ups *)
+  mutable hbm_budget : int option;
+      (** device-memory budget (bytes) the pool enforces; [None] = unbudgeted *)
+  mutable mem_last_bytes : int;
+      (** estimated peak of the most recently dispatched batch *)
+  mutable mem_peak_bytes : int;  (** high-water estimated batch peak *)
+  mutable ooms : int;  (** batches lost to budget overrun (memory-blind mode) *)
 }
 
 val create : id:int -> Disc.Session.t -> t
 (** The device is taken from the session. *)
+
+val mem_headroom : t -> float
+(** Fraction of [hbm_budget] left after the most recent batch's
+    estimated footprint ([1.0] when unbudgeted or never dispatched to).
+    The router's memory-headroom term: replicas that just held a
+    memory-hot signature score lower, spreading big-footprint batches
+    across the fleet. *)
 
 val alive : t -> bool
 (** [Healthy] or [Degraded] — serving traffic. *)

@@ -25,15 +25,24 @@ let policy t = t.p
    magnitudes are strictly tiered so no lower term can outvote a higher
    one at simulation scale. A Degraded (straggling) replica carries a
    penalty above the warmth tier: even a cold Healthy replica beats a
-   warm straggler — matching [pick]'s health partition. *)
+   warm straggler — matching [pick]'s health partition. Memory headroom
+   sits between the breaker and speed tiers: under an HBM budget,
+   replicas that just held a memory-hot signature yield to ones with
+   more recent headroom (spreading big-footprint batches), but never at
+   the cost of warmth; without a budget the term is identically zero. *)
 let score ~now:_ ~key (r : Replica.t) =
   let degraded = if r.Replica.health = Replica.Degraded then -1e14 else 0.0 in
   let warm = if Replica.is_warm r key then 1e12 else 0.0 in
   let breaker =
     -1e8 *. float_of_int (Disc.Session.despeculated_count r.Replica.session)
   in
+  let headroom =
+    match r.Replica.hbm_budget with
+    | Some b when b > 0 -> 1e6 *. Replica.mem_headroom r
+    | _ -> 0.0
+  in
   let speed = 1e3 *. r.Replica.device.Gpusim.Device.fp32_tflops in
-  degraded +. warm +. breaker +. speed -. r.Replica.busy_us
+  degraded +. warm +. breaker +. headroom +. speed -. r.Replica.busy_us
 
 let note_decision t ~key (r : Replica.t) =
   if Obs.Scope.on () then

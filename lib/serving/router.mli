@@ -9,14 +9,16 @@
     shape warmth (has it served this signature before — the dominant
     term: a warm replica skips the cold-dispatch warmup), then
     circuit-breaker state (de-speculated kernels make a replica slower
-    at this model), device throughput, and accumulated load (the
+    at this model), memory headroom (under an HBM budget, replicas that
+    just held a memory-hot signature yield to fresher ones — zero when
+    unbudgeted), device throughput, and accumulated load (the
     idle-time analogue of queue depth — spreading cold signatures so a
     hot replica doesn't hoard every bucket). *)
 
 type policy =
   | Round_robin  (** rotate over free replicas, warmth-blind *)
   | Least_loaded  (** least accumulated busy time first *)
-  | Warmth_aware  (** warmth, breaker state, speed, then load *)
+  | Warmth_aware  (** warmth, breaker state, memory headroom, speed, then load *)
 
 val policy_to_string : policy -> string
 val policy_of_string : string -> policy option

@@ -136,6 +136,17 @@ let upper_bound t (d : Sym.dim) =
 let likely_values t (d : Sym.dim) =
   match resolve t d with Sym.Static v -> [ v ] | Sym.Sym id -> (info t id).likely
 
+(* Display metadata for symbolic expressions (the memory estimator's
+   peak polynomials): prefer the class root's name, fall back to the
+   symbol's own creation name. *)
+let dim_name t (d : Sym.dim) =
+  match d with
+  | Sym.Static _ -> None
+  | Sym.Sym id ->
+      let root_name = (info t id).name in
+      let n = if root_name <> "" then root_name else t.syms.(id).name in
+      if n = "" then None else Some n
+
 let set_range t (d : Sym.dim) ?lb ?ub () =
   match resolve t d with
   | Sym.Static v ->

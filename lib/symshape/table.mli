@@ -38,6 +38,12 @@ val lower_bound : t -> Sym.dim -> int
 val upper_bound : t -> Sym.dim -> int option
 val likely_values : t -> Sym.dim -> int list
 
+val dim_name : t -> Sym.dim -> string option
+(** The user-facing name the symbol (or its equality-class root) was
+    created with, if any. Pure display metadata — the memory estimator
+    prints peak polynomials as [4·batch·hist] instead of [4·s0·s1];
+    never used for reasoning. [None] for statics and unnamed symbols. *)
+
 val set_range : t -> Sym.dim -> ?lb:int -> ?ub:int -> unit -> unit
 val add_likely : t -> Sym.dim -> int list -> unit
 
