@@ -1407,6 +1407,90 @@ let scale ?json ?(requests = 1_000_000) () =
       Printf.printf "scale numbers -> %s\n" path
 
 (* ----------------------------------------------------------------------
+   E20b (extension): the scale harness pointed at decode serving. The
+   same frozen Trace_gen traffic (diurnal + bursts + drift, seed 42)
+   adapted into prompt/generation lengths and driven through the
+   token-level continuous-batching scheduler on a 4x A10 fleet; the
+   token-level report must pass every Decode.Audit invariant, lose
+   nothing, and be bit-identical on a rerun. *)
+
+let scale_decode ?json ?(requests = 100_000) () =
+  header
+    (Printf.sprintf "E20b (extension): scale harness, decode serving — %d sequences, 4x A10"
+       requests);
+  let module S = Decode.Scheduler in
+  let module Trace_gen = Serving.Trace_gen in
+  let prefill () = Models.Gpt2.build ~config:Models.Gpt2.tiny () in
+  let decode () = Models.Gpt2.build_decode ~config:Models.Gpt2.tiny () in
+  let seq_ub = S.dim_bound (prefill ()) "seq" in
+  let cache_ub = S.dim_bound (decode ()) "cache" in
+  let spec =
+    Trace_gen.mixed ~seed:42 ~qps:4000.0
+      ~dims_a:
+        [ ("prompt", Workloads.Trace.Skewed (4, 16)); ("new", Workloads.Trace.Uniform (4, 12)) ]
+      ~dims_b:
+        [ ("prompt", Workloads.Trace.Bimodal (4, 16)); ("new", Workloads.Trace.Uniform (2, 8)) ]
+      ()
+  in
+  Printf.printf "trace: %s\n%!" (Trace_gen.describe spec);
+  let reqs = S.of_pool_requests ~seq_ub ~cache_ub (Trace_gen.generate spec ~n:requests) in
+  let cfg =
+    {
+      (S.default_config
+         ~devices:
+           [ Gpusim.Device.a10; Gpusim.Device.a10; Gpusim.Device.a10; Gpusim.Device.a10 ])
+      with
+      S.cache_scheme = Serving.Bucket.Linear 8;
+    }
+  in
+  let b0 = Gc.allocated_bytes () in
+  let t0 = Unix.gettimeofday () in
+  let r = S.run ~prefill ~decode cfg reqs in
+  let wall = Unix.gettimeofday () -. t0 in
+  let bytes_per_seq = (Gc.allocated_bytes () -. b0) /. float_of_int requests in
+  let audit = Decode.Audit.check r in
+  let r2 = S.run ~prefill ~decode cfg reqs in
+  let reproducible = S.digest r = S.digest r2 in
+  Printf.printf "n=%d wall=%.2fs sustained=%.0f seq/s alloc=%.0f B/seq\n" requests wall
+    (float_of_int requests /. wall)
+    bytes_per_seq;
+  String.split_on_char '\n' (S.report_to_string r) |> List.iter (Printf.printf "%s\n");
+  Printf.printf "%s\n" (Decode.Audit.to_string audit);
+  Printf.printf "reproducible: %b (two runs, identical token schedules)\n" reproducible;
+  let ok =
+    audit = Ok () && reproducible && r.S.lost = 0 && r.S.finished = requests
+  in
+  Printf.printf "finished=%d/%d lost=%d tokens/s=%.0f%s\n" r.S.finished requests r.S.lost
+    r.S.tokens_per_s
+    (if ok then "" else "  (ACCEPTANCE NOT MET)");
+  match json with
+  | None -> ()
+  | Some path ->
+      let doc =
+        Obs.Json.Obj
+          [
+            ("experiment", Obs.Json.Str "E20b-scale-decode");
+            ("trace", Obs.Json.Str (Trace_gen.describe spec));
+            ("sequences", Obs.Json.Int requests);
+            ("wall_s", Obs.Json.Float wall);
+            ("bytes_per_sequence", Obs.Json.Float bytes_per_seq);
+            ("finished", Obs.Json.Int r.S.finished);
+            ("lost", Obs.Json.Int r.S.lost);
+            ("tokens", Obs.Json.Int r.S.tokens);
+            ("tokens_per_s", Obs.Json.Float r.S.tokens_per_s);
+            ("ttft_p99_us", Obs.Json.Float r.S.ttft_p99_us);
+            ("tpot_p99_us", Obs.Json.Float r.S.tpot_p99_us);
+            ("signatures", Obs.Json.Int r.S.signatures);
+            ("warm_rate", Obs.Json.Float r.S.warm_rate);
+            ("audit_ok", Obs.Json.Bool (audit = Ok ()));
+            ("reproducible", Obs.Json.Bool reproducible);
+            ("acceptance", Obs.Json.Bool ok);
+          ]
+      in
+      Obs.Json.write_file path doc;
+      Printf.printf "scale-decode numbers -> %s\n" path
+
+(* ----------------------------------------------------------------------
    E21 (extension): the symbolic-shape memory planner end to end.
    Three panels:
 
@@ -1637,6 +1721,137 @@ let hbm_serving ?json () =
            ]);
       Printf.printf "hbm numbers -> %s\n" path
 
+(* ----------------------------------------------------------------------
+   E22 (extension): hardware-aware schedule autotuning. For every suite
+   model on A10 and T4: serve the model's bench grid with the default
+   speculative version set, tune (sample-free — hierarchical device
+   pruning + analytical cost ranking at the same grid), serve again,
+   and compare fused-kernel time per rung. Three gates:
+
+   1. speedup — geomean kernel-time improvement >= 10% on >= 3 suite
+      models on A10 (the T4 column shows the plans are device-specific,
+      not gated);
+   2. legality — every version of every emitted plan passes
+      Tune.Space.validate against its kernel's device constraints;
+   3. determinism — a re-tune through a fresh cache yields a
+      byte-identical plan (digest equality) for every model. *)
+
+let fused_us (p : Profile.t) =
+  List.fold_left
+    (fun acc (r : Profile.kernel_record) ->
+      if r.Profile.kind = "library" || r.Profile.kind = "interp" then acc
+      else acc +. r.Profile.time_us)
+    0.0 p.Profile.records
+
+let tune_experiment ?json () =
+  header "E22 (extension): schedule autotuner — tuned vs default speculative set";
+  let module Plan = Tune.Plan in
+  let module Executable = Runtime.Executable in
+  let geomean = function
+    | [] -> 1.0
+    | xs -> exp (List.fold_left (fun a x -> a +. log x) 0.0 xs /. float_of_int (List.length xs))
+  in
+  let illegal_total = ref 0 in
+  let unstable = ref [] in
+  let rows = ref [] in
+  let a10_gains = ref [] in
+  Printf.printf "%-11s %-5s %10s %10s %9s %8s %7s %s\n" "model" "dev" "default_us"
+    "tuned_us" "geomean" "kernels" "illegal" "digest";
+  List.iter
+    (fun device ->
+      List.iter
+        (fun entry ->
+          let build () = entry.Suite.build () in
+          let envs = entry.Suite.bench_dims in
+          let serve_us session env =
+            match Disc.Session.serve_result session env with
+            | Ok (p, _) -> fused_us p
+            | Error e -> failwith (Runtime.Error.to_string e)
+          in
+          let session =
+            Disc.Session.create ~device ~cache:(Disc.Compile_cache.create ()) (build ())
+          in
+          let default_us = List.map (serve_us session) envs in
+          let plan, _ = Disc.Session.tune session ~envs in
+          let tuned_us = List.map (serve_us session) envs in
+          let ratios = List.map2 (fun d t -> if t > 0.0 then d /. t else 1.0) default_us tuned_us in
+          let gm = geomean ratios in
+          (* gate 2: every emitted version re-validates against the
+             device profile of the kernel it was minted for *)
+          let c = Disc.Compiler.compile (build ()).Common.graph in
+          let illegal = ref 0 in
+          List.iter
+            (fun item ->
+              match item with
+              | Executable.Fused k -> (
+                  match Plan.find plan k.Kernel.name with
+                  | Some e ->
+                      List.iter
+                        (fun v ->
+                          if
+                            not
+                              (Tune.Space.validate device ~has_reduce:k.Kernel.has_reduce
+                                 ~kind:k.Kernel.cluster.Cluster.kind v)
+                          then incr illegal)
+                        e.Plan.versions
+                  | None -> ())
+              | Executable.Lib _ -> ())
+            c.Disc.Compiler.exe.Executable.items;
+          illegal_total := !illegal_total + !illegal;
+          (* gate 3: fresh cache, fresh session — byte-identical plan *)
+          let session' =
+            Disc.Session.create ~device ~cache:(Disc.Compile_cache.create ()) (build ())
+          in
+          let plan', _ = Disc.Session.tune session' ~envs in
+          let stable = Plan.digest plan = Plan.digest plan' in
+          if not stable then
+            unstable := (entry.Suite.name, device.Gpusim.Device.name) :: !unstable;
+          if device.Gpusim.Device.name = "A10" then a10_gains := gm :: !a10_gains;
+          let dsum = List.fold_left ( +. ) 0.0 default_us in
+          let tsum = List.fold_left ( +. ) 0.0 tuned_us in
+          Printf.printf "%-11s %-5s %10.1f %10.1f %8.2fx %8d %7d %s\n" entry.Suite.name
+            device.Gpusim.Device.name dsum tsum gm (Plan.kernels_tuned plan) !illegal
+            (if stable then "stable" else "UNSTABLE");
+          rows :=
+            Obs.Json.Obj
+              [
+                ("model", Obs.Json.Str entry.Suite.name);
+                ("device", Obs.Json.Str device.Gpusim.Device.name);
+                ("default_us", Obs.Json.Float dsum);
+                ("tuned_us", Obs.Json.Float tsum);
+                ("geomean_improvement_x", Obs.Json.Float gm);
+                ("kernels_tuned", Obs.Json.Int (Plan.kernels_tuned plan));
+                ("illegal_versions", Obs.Json.Int !illegal);
+                ("digest", Obs.Json.Str (Plan.digest plan));
+                ("digest_stable", Obs.Json.Bool stable);
+              ]
+            :: !rows)
+        Suite.all)
+    devices;
+  let winners = List.length (List.filter (fun g -> g >= 1.10) !a10_gains) in
+  let ok = winners >= 3 && !illegal_total = 0 && !unstable = [] in
+  Printf.printf
+    "A10 models with >= 10%% geomean kernel-time improvement: %d/%d (gate: >= 3); \
+     illegal schedules: %d (gate: 0); unstable digests: %d (gate: 0)%s\n"
+    winners (List.length !a10_gains) !illegal_total (List.length !unstable)
+    (if ok then "" else "  (ACCEPTANCE NOT MET)");
+  match json with
+  | None -> ()
+  | Some path ->
+      let doc =
+        Obs.Json.Obj
+          [
+            ("experiment", Obs.Json.Str "E22-tune");
+            ("a10_winners", Obs.Json.Int winners);
+            ("illegal_schedules", Obs.Json.Int !illegal_total);
+            ("unstable_digests", Obs.Json.Int (List.length !unstable));
+            ("acceptance", Obs.Json.Bool ok);
+            ("rows", Obs.Json.List (List.rev !rows));
+          ]
+      in
+      Obs.Json.write_file path doc;
+      Printf.printf "tune numbers -> %s\n" path
+
 (* ---------------------------------------------------------------------- *)
 
 let all ?json () =
@@ -1659,24 +1874,26 @@ let all ?json () =
   adaptive_serving ();
   chaos_serving ();
   decode_serving ();
-  hbm_serving ()
+  hbm_serving ();
+  tune_experiment ()
 
 let () =
   (* main.exe [--] [EXPERIMENT] [--json OUT.json] [--trace OUT.json]
      --json: write E1 headline numbers machine-readably (e2e / all)
      --trace: arm the observability layer and dump a Chrome trace of
        every compile phase and kernel launch the experiments simulate *)
-  let rec parse_args cmd json trace requests = function
-    | [] -> (cmd, json, trace, requests)
-    | "--" :: rest -> parse_args cmd json trace requests rest
-    | "--json" :: path :: rest -> parse_args cmd (Some path) trace requests rest
-    | "--trace" :: path :: rest -> parse_args cmd json (Some path) requests rest
+  let rec parse_args cmd json trace requests dec = function
+    | [] -> (cmd, json, trace, requests, dec)
+    | "--" :: rest -> parse_args cmd json trace requests dec rest
+    | "--json" :: path :: rest -> parse_args cmd (Some path) trace requests dec rest
+    | "--trace" :: path :: rest -> parse_args cmd json (Some path) requests dec rest
     | "--requests" :: n :: rest ->
-        parse_args cmd json trace (Some (int_of_string n)) rest
-    | a :: rest -> parse_args (Some a) json trace requests rest
+        parse_args cmd json trace (Some (int_of_string n)) dec rest
+    | "--decode" :: rest -> parse_args cmd json trace requests true rest
+    | a :: rest -> parse_args (Some a) json trace requests dec rest
   in
-  let cmd, json, trace, requests =
-    parse_args None None None None (List.tl (Array.to_list Sys.argv))
+  let cmd, json, trace, requests, dec =
+    parse_args None None None None false (List.tl (Array.to_list Sys.argv))
   in
   let cmd = Option.value cmd ~default:"all" in
   if trace <> None then Obs.Scope.enable ();
@@ -1700,16 +1917,17 @@ let () =
   | "adaptive" -> adaptive_serving ?json ()
   | "chaos" -> chaos_serving ?json ()
   | "decode" -> decode_serving ?json ()
-  | "scale" -> scale ?json ?requests ()
+  | "scale" -> if dec then scale_decode ?json ?requests () else scale ?json ?requests ()
   | "hbm" -> hbm_serving ?json ()
+  | "tune" -> tune_experiment ?json ()
   | "micro" -> micro ()
   | "all" -> all ?json ()
   | other ->
       Printf.eprintf
         "unknown experiment %s\n\
          usage: main.exe \
-         [e2e|suite|sweep|fusion_ablation|speculation_ablation|compile_time|memory|constraints|mixed_precision|horizontal|cpu|serving|specialization|resilience|cache|pool|adaptive|chaos|decode|scale|hbm|micro|all] \
-         [--json OUT.json] [--trace OUT.json] [--requests N]\n"
+         [e2e|suite|sweep|fusion_ablation|speculation_ablation|compile_time|memory|constraints|mixed_precision|horizontal|cpu|serving|specialization|resilience|cache|pool|adaptive|chaos|decode|scale|hbm|tune|micro|all] \
+         [--json OUT.json] [--trace OUT.json] [--requests N] [--decode]\n"
         other;
       exit 1);
   match trace with

@@ -490,17 +490,10 @@ let serve_cmd =
     in
     Arg.(value & flag & info [ "mem-blind" ] ~doc)
   in
-  (* Shared cache line for the end-of-run report: warm/corrupt health at
-     a glance, without --metrics. *)
-  let cache_health cs =
-    Printf.sprintf "cache: %s; hit_rate=%.0f%%%s"
-      (Disc.Compile_cache.stats_to_string cs)
-      (100.0 *. Disc.Compile_cache.hit_rate cs)
-      (if cs.Disc.Compile_cache.corrupt > 0 then
-         Printf.sprintf "; UNHEALTHY (%d corrupt artifacts quarantined)"
-           cs.Disc.Compile_cache.corrupt
-       else "; healthy")
-  in
+  (* Shared cache line for the end-of-run report: warm/corrupt health
+     and side-table (reductions/schedules) counts at a glance, without
+     --metrics. *)
+  let cache_health = Disc.Compile_cache.health_to_string in
   let run model tiny replicas devices qps requests seed router max_batch fails adaptive
       chaos_file decode prefill_workers traffic hbm_budget_mb mem_blind trace metrics =
     with_obs ~trace ~metrics @@ fun () ->
@@ -703,6 +696,104 @@ let serve_cmd =
       $ chaos_arg $ decode_arg $ prefill_workers_arg $ traffic_arg $ hbm_budget_arg
       $ mem_blind_arg $ trace_arg $ metrics_arg)
 
+(* --- tune ------------------------------------------------------------------- *)
+
+(* Fused-kernel time of a serve: what schedule tuning can move. Library
+   calls (cuBLAS-analog) and reference-path records are out of the
+   tuner's reach and excluded. *)
+let fused_time_us (p : Runtime.Profile.t) =
+  List.fold_left
+    (fun acc (r : Runtime.Profile.kernel_record) ->
+      if r.Runtime.Profile.kind = "library" || r.Runtime.Profile.kind = "interp" then acc
+      else acc +. r.Runtime.Profile.time_us)
+    0.0 p.Runtime.Profile.records
+
+let tune_cmd =
+  let rungs_arg =
+    let doc =
+      "Representative bucket-rung envs to rank schedules at, \
+       semicolon-separated, e.g. 'batch=1,seq=37;batch=8,seq=120'. \
+       Default: 1/8, 1/2 and full ceiling of every dynamic dim."
+    in
+    Arg.(value & opt (some string) None & info [ "rungs" ] ~docv:"ENVS" ~doc)
+  in
+  let run model tiny device rungs trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
+    let device = device_of_string device in
+    let build () = build_model model tiny in
+    let probe = build () in
+    let envs =
+      match rungs with
+      | Some s -> List.map parse_dims (String.split_on_char ';' s)
+      | None ->
+          (* ceiling ladder: every dynamic dim at 1/8, 1/2 and full bound *)
+          let tab = Ir.Graph.symtab probe.Common.graph in
+          let ub d =
+            match Symshape.Table.upper_bound tab d with Some u -> u | None -> 64
+          in
+          List.sort_uniq compare
+            (List.map
+               (fun frac ->
+                 List.map (fun (n, d) -> (n, max 1 (ub d / frac))) probe.Common.dims)
+               [ 8; 2; 1 ])
+    in
+    (* unknown dim names are usage errors (exit 1), as in `discc run` *)
+    List.iter
+      (List.iter (fun (n, _) -> ignore (Common.dim_exn probe n)))
+      envs;
+    let cache = Disc.Compile_cache.create () in
+    let session = Disc.Session.create ~device ~cache (build ()) in
+    Printf.printf "tune %s (%s) on %s: %d rungs, %d schedule candidates/kernel ceiling\n"
+      model
+      (if tiny then "tiny" else "paper scale")
+      device.Gpusim.Device.name (List.length envs)
+      (List.length (Tune.Space.enumerate device ~has_reduce:true ~kind:Fusion.Cluster.Loop));
+    let serve_us s env =
+      match Disc.Session.serve_result s env with
+      | Ok (p, _) -> fused_time_us p
+      | Error e -> raise (Runtime.Error.Error e)
+    in
+    let default_us = List.map (fun env -> serve_us session env) envs in
+    let plan, origin = Disc.Session.tune session ~envs in
+    let tuned_us = List.map (fun env -> serve_us session env) envs in
+    List.iter2
+      (fun env (d, t) ->
+        Printf.printf "  rung %-24s default=%8.1fus tuned=%8.1fus speedup=%.2fx\n"
+          (String.concat "," (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) env))
+          d t
+          (if t > 0.0 then d /. t else 1.0))
+      envs
+      (List.combine default_us tuned_us);
+    String.split_on_char '\n' (Tune.Plan.to_string plan)
+    |> List.iter (fun l -> if l <> "" then Printf.printf "  %s\n" l);
+    Printf.printf "plan: kernels=%d digest=%s origin=%s\n"
+      (Tune.Plan.kernels_tuned plan) (Tune.Plan.digest plan)
+      (match origin with `Tuned -> "searched" | `Cached -> "cached");
+    (* a second session sharing the cache replays the stored plan *)
+    let session2 = Disc.Session.create ~device ~cache (build ()) in
+    let _plan2, origin2 = Disc.Session.tune session2 ~envs in
+    (match origin2 with
+    | `Cached ->
+        Printf.printf "second session: schedule-cache hit (schedules cached=%d)\n"
+          (Disc.Compile_cache.schedules_cached cache)
+    | `Tuned -> Printf.printf "second session: UNEXPECTED re-search\n");
+    (* bit-identity: a fresh cache forces a full re-search *)
+    let session3 = Disc.Session.create ~device ~cache:(Disc.Compile_cache.create ()) (build ()) in
+    let plan3, _ = Disc.Session.tune session3 ~envs in
+    Printf.printf "re-tune (fresh cache): digest=%s bit-identical=%s\n" (Tune.Plan.digest plan3)
+      (if Tune.Plan.digest plan3 = Tune.Plan.digest plan then "yes" else "no");
+    Printf.printf "%s\n"
+      (Disc.Compile_cache.health_to_string (Disc.Compile_cache.stats cache))
+  in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:
+         "Autotune kernel schedules for a device (sample-free: hierarchical \
+          hardware pruning + analytical cost ranking) and persist the plan in \
+          the schedule cache")
+    Term.(
+      const run $ model_arg $ tiny_arg $ device_arg $ rungs_arg $ trace_arg $ metrics_arg)
+
 (* --- compare --------------------------------------------------------------- *)
 
 let compare_cmd =
@@ -739,6 +830,7 @@ let no_subcommand_term =
       ("exec", "Execute the tiny model on real data and print outputs");
       ("serve", "Simulate a multi-replica serving pool on an arrival trace");
       ("explain", "Explain why two instructions did (not) fuse");
+      ("tune", "Autotune kernel schedules for a device and cache the plan");
       ("compare", "Compare all systems at one shape");
       ("fingerprint", "Print compile-cache identities of suite models");
     ]
@@ -764,7 +856,7 @@ let () =
     Cmd.eval ~catch:false (Cmd.group ~default:no_subcommand_term info
       [
         list_cmd; compile_cmd; compile_file_cmd; run_cmd; exec_cmd; serve_cmd;
-        explain_cmd; compare_cmd; fingerprint_cmd;
+        explain_cmd; tune_cmd; compare_cmd; fingerprint_cmd;
       ])
   with
   | code -> exit code

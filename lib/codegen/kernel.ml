@@ -18,15 +18,34 @@ type config = { enable_speculation : bool }
 let default_config = { enable_speculation = true }
 let no_speculation_config = { enable_speculation = false }
 
+(* Explicit launch schedule attached to a tuned version. [None] means
+   the legacy default (256 threads, 4 elements per thread), so every
+   version minted by [build] behaves exactly as before the tuner
+   existed. [s_max_domain] is an applicability window: the tuner emits
+   one version per shape-bucket window, ordered smallest window first,
+   and the guard rejects shapes past the bound so the next (wider)
+   version takes over. *)
+type sched = {
+  s_threads : int; (* threads per block *)
+  s_tile : int; (* elements each thread processes *)
+  s_smem_bytes : int; (* static shared-memory footprint of the schedule *)
+  s_max_domain : int option; (* serve shapes with domain numel <= bound *)
+}
+
 (* One speculative specialization of a kernel. *)
 type version = {
   tag : string;
   vectorized : bool; (* float4 loads/stores *)
   tree_reduce : bool; (* power-of-two shuffle reduction *)
   persistent : bool; (* single-wave schedule for small shapes *)
+  sched : sched option; (* tuned launch schedule; None = default 256x4 *)
 }
 
-let generic_version = { tag = "generic"; vectorized = false; tree_reduce = false; persistent = false }
+let generic_version =
+  { tag = "generic"; vectorized = false; tree_reduce = false; persistent = false; sched = None }
+
+let sched_threads v = match v.sched with Some s -> s.s_threads | None -> 256
+let sched_tile v = match v.sched with Some s -> s.s_tile | None -> 4
 
 type t = {
   name : string;
@@ -52,6 +71,9 @@ let version_guard (d : Gpusim.Device.t) v ~innermost ~row ~domain_numel =
   (not v.vectorized || innermost mod 4 = 0)
   && ((not v.tree_reduce) || is_pow2 row)
   && ((not v.persistent) || domain_numel <= d.sm_count * 1024)
+  && (match v.sched with
+     | Some { s_max_domain = Some bound; _ } -> domain_numel <= bound
+     | _ -> true)
 
 (* --- compile time --------------------------------------------------------- *)
 
@@ -95,6 +117,7 @@ let build (g : Graph.t) (config : config) (c : Cluster.t) : t =
                       vectorized = vec;
                       tree_reduce = tree;
                       persistent = pers;
+                      sched = None;
                     })
                   bools)
               (if !has_reduce then bools else [ false ]))
@@ -131,6 +154,27 @@ let concrete_row (g : Graph.t) (bnd : Table.binding) (k : t) =
           List.fold_left (fun acc d -> acc * Table.eval_dim_exn tab bnd input.shape.(d)) 1 dims
       | _ -> 1)
 
+(* Launch dims for an explicitly chosen version (no guard search): the
+   schedule fixes threads and per-thread tile, the shape fixes the rest.
+   The tuner scores candidate schedules through this, and the breaker's
+   despeculate path uses it to recompute *default* dims when pinning a
+   kernel to [generic_version] (a tuned version's block count must not
+   leak into the generic launch). *)
+let launch_with (g : Graph.t) (_d : Gpusim.Device.t) (bnd : Table.binding) (k : t)
+    (version : version) : launch =
+  let tab = Graph.symtab g in
+  let domain = Table.eval_shape tab bnd k.cluster.Cluster.domain in
+  let domain_numel = Tensor.Shape.numel domain in
+  let row = concrete_row g bnd k in
+  let threads = sched_threads version in
+  let tile = sched_tile version in
+  let blocks =
+    match k.cluster.Cluster.kind with
+    | Cluster.Input | Cluster.Stitch -> max 1 (domain_numel / max 1 row)
+    | _ -> max 1 ((domain_numel + (threads * tile) - 1) / (threads * tile))
+  in
+  { version; domain_numel; row; blocks; threads }
+
 let launch_for (g : Graph.t) (d : Gpusim.Device.t) (bnd : Table.binding) (k : t) : launch =
   let tab = Graph.symtab g in
   let domain = Table.eval_shape tab bnd k.cluster.Cluster.domain in
@@ -145,13 +189,7 @@ let launch_for (g : Graph.t) (d : Gpusim.Device.t) (bnd : Table.binding) (k : t)
       k.versions
     (* the generic version always guards true, so find cannot fail *)
   in
-  let threads = 256 in
-  let blocks =
-    match k.cluster.Cluster.kind with
-    | Cluster.Input | Cluster.Stitch -> max 1 (domain_numel / max 1 row)
-    | _ -> max 1 ((domain_numel + (threads * 4) - 1) / (threads * 4))
-  in
-  { version; domain_numel; row; blocks; threads }
+  launch_with g d bnd k version
 
 (* --- runtime: cost ---------------------------------------------------------- *)
 

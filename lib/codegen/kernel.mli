@@ -19,14 +19,33 @@ type config = { enable_speculation : bool }
 val default_config : config
 val no_speculation_config : config
 
+(** Explicit launch schedule carried by a tuned version. [None] on a
+    version means the legacy default (256 threads, 4 elements per
+    thread), so everything {!build} mints is byte-compatible with the
+    pre-tuner behaviour. *)
+type sched = {
+  s_threads : int;  (** threads per block *)
+  s_tile : int;  (** elements each thread processes *)
+  s_smem_bytes : int;  (** static shared-memory footprint *)
+  s_max_domain : int option;
+      (** applicability window: guard rejects domain numel past this *)
+}
+
 type version = {
   tag : string;  (** e.g. ["vec4+tree"], ["generic"] *)
   vectorized : bool;  (** float4 loads/stores; guard: innermost %% 4 = 0 *)
   tree_reduce : bool;  (** shuffle tree reduction; guard: pow2 row *)
   persistent : bool;  (** single-wave schedule; guard: small domain *)
+  sched : sched option;  (** tuned launch schedule; [None] = default 256x4 *)
 }
 
 val generic_version : version
+
+val sched_threads : version -> int
+(** Threads per block the version launches with (256 when untuned). *)
+
+val sched_tile : version -> int
+(** Elements per thread (4 when untuned). *)
 
 type t = {
   name : string;
@@ -56,6 +75,14 @@ val build : Ir.Graph.t -> config -> Cluster.t -> t
 val launch_for : Ir.Graph.t -> Gpusim.Device.t -> Symshape.Table.binding -> t -> launch
 (** Runtime half: evaluate shapes, pick the best guarded version and the
     launch dimensions. *)
+
+val launch_with :
+  Ir.Graph.t -> Gpusim.Device.t -> Symshape.Table.binding -> t -> version -> launch
+(** Launch dims for an explicitly chosen version (no guard search) — the
+    tuner's scoring hook, and how despeculation recomputes default dims. *)
+
+val concrete_row : Ir.Graph.t -> Symshape.Table.binding -> t -> int
+(** Product of the reduced dims at a binding (1 without a reduce). *)
 
 val bytes_of_value : Ir.Graph.t -> Symshape.Table.binding -> int -> int
 

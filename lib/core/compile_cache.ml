@@ -43,6 +43,8 @@ type stats = {
   invalidations : int;
   corrupt : int;
   entries : int;
+  reductions : int; (* memory-reduction decisions attached (side table) *)
+  schedules : int; (* tuned schedule plans attached (side table) *)
 }
 
 type t = {
@@ -55,6 +57,14 @@ type t = {
          they ride alongside the artifact: one decide per fingerprint ×
          bucket rung, replayed by every sharing session. Dropped with the
          artifact on invalidation — a recompiled graph re-decides. *)
+  schedules : (string * string, Tune.Plan.t) Hashtbl.t;
+      (* (key, device|rungs bucket signature) -> tuned schedule plan.
+         Plans are a pure function of (executable, device, rung set) —
+         the tuner samples nothing — so like reductions they ride
+         alongside the artifact: one search per fingerprint × device ×
+         shape-bucket set, replayed by every sharing session and adopted
+         by pool replicas on prewarm/revive. Dropped with the artifact
+         on invalidation/corruption — a recompiled graph re-tunes. *)
   mutable dir : string option;
   mutable tick : int;
   mutable hits : int;
@@ -73,6 +83,7 @@ let create ?(capacity = default_capacity) () =
     table = Hashtbl.create 32;
     warm = Hashtbl.create 32;
     reductions = Hashtbl.create 32;
+    schedules = Hashtbl.create 32;
     dir = None;
     tick = 0;
     hits = 0;
@@ -96,6 +107,8 @@ let stats t =
     invalidations = t.invalidations;
     corrupt = t.corrupt;
     entries = Hashtbl.length t.table;
+    reductions = Hashtbl.length t.reductions;
+    schedules = Hashtbl.length t.schedules;
   }
 
 let key_of ?(dims = []) ~(options : Compiler.options) (g : Graph.t) : string =
@@ -212,6 +225,42 @@ let drop_reductions t key =
   in
   List.iter (Hashtbl.remove t.reductions) stale
 
+(* --- tuned schedule plans --------------------------------------------------
+
+   Same lifecycle as reduction decisions: pure side artifacts of a
+   cached executable, keyed (cache key, "<device>|<rung sigs>" bucket),
+   dropped whenever the artifact itself is dropped. *)
+
+let store_schedule t ~key ~bucket plan = Hashtbl.replace t.schedules (key, bucket) plan
+let find_schedule t ~key ~bucket = Hashtbl.find_opt t.schedules (key, bucket)
+let schedules_cached t = Hashtbl.length t.schedules
+
+(* Any plan tuned for this artifact on this device, regardless of which
+   rung set minted it — what a freshly prewarmed/revived replica adopts.
+   Deterministic pick: the lexicographically smallest bucket. *)
+let find_schedule_for_device t ~key ~device =
+  let prefix = device ^ "|" in
+  let plen = String.length prefix in
+  Hashtbl.fold
+    (fun (k, bucket) plan best ->
+      if
+        k = key
+        && String.length bucket >= plen
+        && String.sub bucket 0 plen = prefix
+      then
+        match best with
+        | Some (b, _) when b <= bucket -> best
+        | _ -> Some (bucket, plan)
+      else best)
+    t.schedules None
+  |> Option.map snd
+
+let drop_schedules t key =
+  let stale =
+    Hashtbl.fold (fun (k, b) _ acc -> if k = key then (k, b) :: acc else acc) t.schedules []
+  in
+  List.iter (Hashtbl.remove t.schedules) stale
+
 (* Chaos injection: deterministically corrupt a fraction of the cache.
    Selected entries vanish from both the live table and the warm set (a
    fresh session or a recovering replica recompiles cold) and are
@@ -232,6 +281,7 @@ let corrupt t ~seed ~fraction =
         Hashtbl.remove t.table key;
         Hashtbl.remove t.warm key;
         drop_reductions t key;
+        drop_schedules t key;
         t.corrupt <- t.corrupt + 1;
         incr hit;
         if Obs.Scope.on () then Obs.Scope.count "cache.corrupt"
@@ -334,6 +384,7 @@ let invalidate t key =
   let was_warm = Hashtbl.mem t.warm key in
   Hashtbl.remove t.warm key;
   drop_reductions t key;
+  drop_schedules t key;
   if present || was_warm then begin
     t.invalidations <- t.invalidations + 1;
     if Obs.Scope.on () then Obs.Scope.count "cache.invalidations"
@@ -350,3 +401,13 @@ let stats_to_string (s : stats) =
 let hit_rate (s : stats) =
   let total = s.hits + s.misses + s.warm_hits in
   if total = 0 then 0.0 else float_of_int (s.hits + s.warm_hits) /. float_of_int total
+
+(* The one cache-health line serving surfaces print: core stats, the
+   side-table entry counts (reductions, schedules), the hit rate, and an
+   explicit verdict that calls out corrupt-artifact quarantines. *)
+let health_to_string (s : stats) =
+  Printf.sprintf "cache: %s; side: reductions=%d schedules=%d; hit_rate=%.0f%%%s"
+    (stats_to_string s) s.reductions s.schedules (100.0 *. hit_rate s)
+    (if s.corrupt > 0 then
+       Printf.sprintf "; UNHEALTHY (%d corrupt artifacts quarantined)" s.corrupt
+     else "; healthy")

@@ -33,6 +33,8 @@ type stats = {
       (** persisted records quarantined at {!attach_dir} + entries
           destroyed by chaos {!corrupt} *)
   entries : int;
+  reductions : int;  (** memory-reduction decisions attached (side table) *)
+  schedules : int;  (** tuned schedule plans attached (side table) *)
 }
 
 val default_capacity : int
@@ -54,6 +56,12 @@ val stats_to_string : stats -> string
 
 val hit_rate : stats -> float
 (** [(hits + warm_hits) / lookups], 0 if no lookups. *)
+
+val health_to_string : stats -> string
+(** The one cache-health line serving surfaces print: core stats plus
+    side-table entry counts (reductions, schedules), the hit rate, and
+    a verdict — [healthy], or [UNHEALTHY (n corrupt artifacts
+    quarantined)] when any record was quarantined or destroyed. *)
 
 val key_of :
   ?dims:(string * Symshape.Sym.dim) list -> options:Compiler.options -> Ir.Graph.t -> string
@@ -104,6 +112,25 @@ val find_reduction : t -> key:string -> rung:string -> Mem.Reduce.decision optio
 
 val reductions_cached : t -> int
 (** Number of reduction decisions currently attached. *)
+
+val store_schedule : t -> key:string -> bucket:string -> Tune.Plan.t -> unit
+(** Attach a tuned schedule plan ({!Tune.Search.plan}) to a compiled
+    artifact, keyed by (cache key, ["<device>|<rung sigs>"] bucket
+    signature). The tuner is sample-free — a plan is a pure function of
+    (executable, device, rung set) — so one search per fingerprint ×
+    device × bucket is replayed by every session sharing the artifact
+    and adopted by pool replicas on prewarm/revive. Dropped together
+    with the artifact by {!invalidate} and chaos {!corrupt}. *)
+
+val find_schedule : t -> key:string -> bucket:string -> Tune.Plan.t option
+
+val find_schedule_for_device : t -> key:string -> device:string -> Tune.Plan.t option
+(** Any plan tuned for this artifact on this device regardless of rung
+    set — what a freshly prewarmed or revived replica adopts. Picks the
+    lexicographically smallest bucket signature, deterministically. *)
+
+val schedules_cached : t -> int
+(** Number of tuned schedule plans currently attached. *)
 
 val corrupt : t -> seed:int -> fraction:float -> int
 (** Chaos injection: deterministically destroy about [fraction] of the

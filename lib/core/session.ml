@@ -53,6 +53,14 @@ let ring_contents r = Array.sub r.buf 0 r.len (* order irrelevant for percentile
 type t = {
   built : Common.built;
   compiled : Compiler.compiled;
+  mutable active : Compiler.compiled;
+      (* the executable requests actually serve through: [compiled] with
+         any adopted tuned-schedule plan applied. Starts equal to
+         [compiled]; [tune] / [adopt_tuned_schedules] swap in an
+         immutably rewritten copy, so the shared cached artifact itself
+         is never mutated. Graph and symbols are unchanged by the
+         rewrite — only kernel version lists differ. *)
+  mutable tuned : Tune.Plan.t option; (* the adopted plan, if any *)
   serve_dims : (string * Symshape.Sym.dim) list;
       (* named dynamic dims resolved in the symbol table of
          [compiled.exe.g] — on a cache hit that is the *original*
@@ -142,6 +150,8 @@ let create ?(options = Compiler.default_options) ?(device = Gpusim.Device.a10)
   {
     built;
     compiled;
+    active = compiled;
+    tuned = None;
     serve_dims;
     compile_ms;
     cache_hit;
@@ -406,7 +416,7 @@ let serve_result_slow ?deadline_us (t : t) (env : (string * int) list) :
   | Ok dims -> (
       let compiled () =
         Compiler.simulate_result ~device:t.device ?faults:t.faults
-          ~despeculate:(is_tripped t) t.compiled dims
+          ~despeculate:(is_tripped t) t.active dims
       in
       let reference () =
         match Compiler.binding_of_dims t.compiled.Compiler.exe.Runtime.Executable.g dims with
@@ -551,6 +561,73 @@ let mem_reduction t (env : (string * int) list) =
           d)
   | None -> compute ()
 
+(* --- hardware-aware schedule tuning ----------------------------------------
+
+   The tuner is sample-free: [Tune.Search] ranks the device-pruned
+   schedule space with the analytical cost model at the given bucket
+   rungs, so a plan is a pure function of (artifact, device, rung set).
+   Plans ride the shared Compile_cache in a side table (like reduction
+   decisions) keyed fingerprint × device × bucket, so one search warms
+   every session sharing the artifact — and pool replicas adopt on
+   prewarm/revive via [adopt_tuned_schedules]. Adoption rewrites a
+   *copy* of the executable into [active]; the cached artifact is never
+   mutated, and a session can always be re-tuned for another rung set. *)
+
+let schedule_bucket t sigs =
+  t.device.Gpusim.Device.name ^ "|" ^ String.concat "|" (List.sort compare sigs)
+
+let adopt_plan t (plan : Tune.Plan.t) =
+  t.active <-
+    { t.compiled with Compiler.exe = Tune.Plan.apply plan t.compiled.Compiler.exe };
+  t.tuned <- Some plan;
+  (* memoized profiles were minted off the untuned kernels *)
+  Hashtbl.reset t.profile_memo
+
+let tune (t : t) ~(envs : (string * int) list list) :
+    Tune.Plan.t * [ `Tuned | `Cached ] =
+  if envs = [] then invalid_arg "Session.tune: no rung envs";
+  let rungs =
+    List.map
+      (fun env ->
+        match binding_for_env t env with
+        | Some bnd -> { Tune.Search.env; bnd }
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Session.tune: env %s does not bind the model's dims"
+                 (rung_signature env)))
+      envs
+  in
+  let search () = Tune.Search.plan ~device:t.device ~rungs t.compiled.Compiler.exe in
+  let plan, origin =
+    match t.cache with
+    | Some (cache, key) -> (
+        let bucket = schedule_bucket t (List.map (fun e -> rung_signature e) envs) in
+        match Compile_cache.find_schedule cache ~key ~bucket with
+        | Some plan -> (plan, `Cached)
+        | None ->
+            let plan = search () in
+            Compile_cache.store_schedule cache ~key ~bucket plan;
+            (plan, `Tuned))
+    | None -> (search (), `Tuned)
+  in
+  adopt_plan t plan;
+  (plan, origin)
+
+let adopt_tuned_schedules (t : t) : bool =
+  match t.cache with
+  | Some (cache, key) -> (
+      match
+        Compile_cache.find_schedule_for_device cache ~key
+          ~device:t.device.Gpusim.Device.name
+      with
+      | Some plan ->
+          adopt_plan t plan;
+          true
+      | None -> false)
+  | None -> false
+
+let tuned_plan (t : t) = t.tuned
+
 (* Data-plane request on real tensors; the fallback path computes the
    outputs with the reference interpreter (bit-identical to [Ir.Interp])
    and charges the op-by-op reference cost. *)
@@ -559,7 +636,7 @@ let serve_data_result (t : t) (inputs : Tensor.Nd.t list) :
   let g = t.built.Common.graph in
   let retries_used = ref 0 in
   begin_request_span t "serve_data" [];
-  let compiled () = Compiler.run_result ~device:t.device ?faults:t.faults t.compiled inputs in
+  let compiled () = Compiler.run_result ~device:t.device ?faults:t.faults t.active inputs in
   let reference () =
     match Ir.Interp.run g inputs with
     | outs ->

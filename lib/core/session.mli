@@ -166,6 +166,34 @@ val mem_reduction : t -> (string * int) list -> Mem.Reduce.decision
     decision is decided once per (artifact, rung) and replayed by every
     sharing session. *)
 
+val tune :
+  t -> envs:(string * int) list list -> Tune.Plan.t * [ `Tuned | `Cached ]
+(** Hardware-aware schedule autotuning at representative bucket-rung
+    envs. Sample-free: {!Tune.Search} ranks the device-pruned schedule
+    space with the analytical cost model — no profiling runs — so the
+    plan is a pure (deterministic) function of (artifact, device, rung
+    set). The returned plan is adopted immediately: subsequent requests
+    serve through an immutably rewritten copy of the executable (the
+    shared cached artifact is untouched).
+
+    With a shared {!Compile_cache} attached, plans persist in a side
+    table keyed fingerprint × device × rung-set bucket: the first call
+    searches and stores ([`Tuned]), later calls — from any session
+    sharing the artifact — replay ([`Cached]).
+    @raise Invalid_argument if [envs] is empty or an env does not bind
+    the model's dynamic dims. *)
+
+val adopt_tuned_schedules : t -> bool
+(** Warm-start from the fleet's tuned artifacts: look up any plan tuned
+    for this artifact on this session's device in the shared cache and
+    adopt it. [true] if a plan was adopted. [false] without a cache or
+    when nothing was tuned yet — the session keeps serving the default
+    speculative version set. Pool replicas call this on prewarm and
+    post-crash revive. *)
+
+val tuned_plan : t -> Tune.Plan.t option
+(** The adopted tuned-schedule plan, if any. *)
+
 val despeculated_kernels : t -> string list
 (** Kernels the circuit breaker has pinned to their generic version. *)
 

@@ -165,6 +165,25 @@ let dim_ub built name =
   | Some ub -> ub
   | None -> max_int
 
+let dim_bound = dim_ub
+
+(* Adapt a Pool/Trace_gen request stream to decode requests: the pool's
+   named dims become prompt ("prompt") and generation length ("new"),
+   clamped so every adapted request passes [run]'s bound validation —
+   traffic generators know nothing about a particular model's seq/cache
+   ceilings. Arrival order and SLO classes pass through untouched. *)
+let of_pool_requests ~seq_ub ~cache_ub (reqs : Serving.Pool.request list) : request list =
+  if cache_ub < 2 then invalid_arg "Scheduler.of_pool_requests: cache_ub must be >= 2";
+  List.map
+    (fun (r : Serving.Pool.request) ->
+      let get name default =
+        match List.assoc_opt name r.Serving.Pool.dims with Some v -> v | None -> default
+      in
+      let prompt = max 1 (min (get "prompt" 16) (min seq_ub (cache_ub - 1))) in
+      let max_new = max 1 (min (get "new" 16) (cache_ub - prompt)) in
+      { arrival_us = r.Serving.Pool.arrival_us; prompt; max_new; cls = r.Serving.Pool.cls })
+    reqs
+
 let run ?cache ~prefill:(prefill_built : unit -> Models.Common.built)
     ~decode:(decode_built : unit -> Models.Common.built) (cfg : config)
     (reqs : request list) : report =

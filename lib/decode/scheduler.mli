@@ -49,6 +49,22 @@ type request = {
   cls : Serving.Slo.cls;
 }
 
+val dim_bound : Models.Common.built -> string -> int
+(** Upper bound of a named dynamic dim in the built model's symbol
+    table ([max_int] if unbounded) — what callers clamp request shapes
+    against before {!run} validates them.
+    @raise Invalid_argument if the model has no such dim. *)
+
+val of_pool_requests :
+  seq_ub:int -> cache_ub:int -> Serving.Pool.request list -> request list
+(** Adapt a {!Serving.Pool} request stream (e.g. from
+    {!Serving.Trace_gen.generate}) to decode requests: dim ["prompt"]
+    becomes the prompt length and ["new"] the generation length
+    (defaults 16), clamped into [1, seq_ub] / [1, cache_ub - prompt] so
+    every adapted request passes {!run}'s bound validation. Arrivals
+    and SLO classes pass through untouched.
+    @raise Invalid_argument if [cache_ub < 2]. *)
+
 val gen_requests :
   seed:int ->
   qps:float ->

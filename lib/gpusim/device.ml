@@ -13,6 +13,8 @@ type t = {
   kernel_launch_us : float; (* host->device kernel dispatch latency *)
   kernel_tail_us : float; (* fixed per-kernel ramp/drain cost *)
   shared_mem_per_block : int; (* bytes usable for kStitch relays *)
+  max_threads_per_block : int; (* launch-legality ceiling on blockDim *)
+  registers_per_block : int; (* register file per block (threads x regs) *)
   l2_bytes : int;
   memory_bytes : int; (* device memory capacity *)
 }
@@ -27,6 +29,8 @@ let a10 =
     kernel_launch_us = 3.5;
     kernel_tail_us = 1.2;
     shared_mem_per_block = 48 * 1024;
+    max_threads_per_block = 1024;
+    registers_per_block = 64 * 1024;
     l2_bytes = 6 * 1024 * 1024;
     memory_bytes = 24 * 1024 * 1024 * 1024;
   }
@@ -41,6 +45,8 @@ let t4 =
     kernel_launch_us = 3.5;
     kernel_tail_us = 1.5;
     shared_mem_per_block = 48 * 1024;
+    max_threads_per_block = 1024;
+    registers_per_block = 64 * 1024;
     l2_bytes = 4 * 1024 * 1024;
     memory_bytes = 16 * 1024 * 1024 * 1024;
   }
@@ -60,6 +66,8 @@ let xeon =
     kernel_launch_us = 0.4;
     kernel_tail_us = 0.3;
     shared_mem_per_block = 1024 * 1024;
+    max_threads_per_block = 256; (* parallel loop chunk width, not a warp grid *)
+    registers_per_block = 32 * 1024;
     l2_bytes = 48 * 1024 * 1024;
     memory_bytes = 256 * 1024 * 1024 * 1024;
   }

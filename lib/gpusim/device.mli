@@ -9,6 +9,8 @@ type t = {
   kernel_launch_us : float;
   kernel_tail_us : float;
   shared_mem_per_block : int;
+  max_threads_per_block : int;
+  registers_per_block : int;
   l2_bytes : int;
   memory_bytes : int;
 }

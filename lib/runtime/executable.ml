@@ -77,7 +77,9 @@ let select_launch ?(despeculate = fun _ -> false) g device bnd kname (k : Kernel
       Error.fail
         (Error.Guard_violation (Printf.sprintf "no version guard held for kernel %s" kname))
   in
-  if despeculate kname then { l with Kernel.version = Kernel.generic_version } else l
+  (* pinning to generic must also recompute the launch dims: a tuned
+     version's block count reflects its own schedule, not the default *)
+  if despeculate kname then Kernel.launch_with g device bnd k Kernel.generic_version else l
 
 (* Per-kernel-launch observability: one trace span per launch (advancing
    the simulated timeline by device + host time, so an enclosing request

@@ -1376,8 +1376,10 @@ let run ?(failures = []) ?adaptive ?chaos ?(resilience = no_resilience) t
             if rep.Replica.health = Replica.Dead then begin
               Replica.begin_recover rep ~now:time ~spinup_us;
               (* re-warm from the shared cache on the pool's hottest
-                 signatures, like a freshly-minted scale-up replica *)
-              ignore (Replica.prewarm rep (pool_hot_keys 8))
+                 signatures, like a freshly-minted scale-up replica —
+                 and re-adopt any tuned schedule plan for its device *)
+              ignore (Replica.prewarm rep (pool_hot_keys 8));
+              ignore (Session.adopt_tuned_schedules rep.Replica.session)
             end)
     | Chaos.Slow { replica; factor } ->
         with_rep replica (fun rep -> rep.Replica.slow_factor <- factor)
@@ -1626,6 +1628,9 @@ let run ?(failures = []) ?adaptive ?chaos ?(resilience = no_resilience) t
             rep.Replica.free_at <- time +. a.prewarm_us;
             rep.Replica.hbm_budget <- cfg.hbm_budget;
             ignore (Replica.prewarm rep hot_keys);
+            (* fleet-warm tuned artifacts: a fresh replica adopts any
+               schedule plan already tuned for its device *)
+            ignore (Session.adopt_tuned_schedules rep.Replica.session);
             t.pool_replicas <- Array.append t.pool_replicas [| rep |]
         | Autoscaler.Scale_down ->
             (* drain the youngest alive replica: warmth seniority stays *)

@@ -1,0 +1,60 @@
+(* The tuned-schedule artifact: per-kernel version lists plus the
+   context they were derived under (device, bucket rungs). A plan is a
+   pure value with a byte-stable rendering — golden tests pin
+   [to_string] so schedule drift is caught exactly like fingerprint
+   drift, and [digest] is the bit-identity the CLI and CI compare
+   across re-tunes. [apply] rewrites an executable immutably, so the
+   untouched compiled artifact in the shared cache stays pristine. *)
+
+module Kernel = Codegen.Kernel
+module Executable = Runtime.Executable
+
+type entry = { kname : string; versions : Kernel.version list }
+
+type t = {
+  device : string; (* Gpusim.Device name the plan was tuned for *)
+  rungs : string list; (* bucket-rung signatures ranked over, e.g. "batch=1,seq=37" *)
+  entries : entry list; (* kernel name -> tuned version list *)
+}
+
+let kernels_tuned t = List.length t.entries
+
+let version_to_string (v : Kernel.version) =
+  match v.Kernel.sched with
+  | None -> v.Kernel.tag
+  | Some { Kernel.s_max_domain = Some bound; _ } ->
+      Printf.sprintf "%s@<=%d" v.Kernel.tag bound
+  | Some { Kernel.s_max_domain = None; _ } -> v.Kernel.tag
+
+let to_string t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "tuned-plan device=%s\n" t.device);
+  Buffer.add_string buf (Printf.sprintf "rungs: %s\n" (String.concat " | " t.rungs));
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s: %s\n" e.kname
+           (String.concat " -> " (List.map version_to_string e.versions))))
+    t.entries;
+  Buffer.contents buf
+
+let digest t = Digest.to_hex (Digest.string (to_string t))
+
+let find t kname = List.find_opt (fun e -> e.kname = kname) t.entries
+
+(* Immutable rewrite: fused kernels named in the plan get the tuned
+   version list, everything else (library clusters, untuned kernels)
+   passes through. The input executable is not mutated. *)
+let apply t (e : Executable.t) : Executable.t =
+  let items =
+    List.map
+      (fun item ->
+        match item with
+        | Executable.Fused k -> (
+            match find t k.Kernel.name with
+            | Some entry -> Executable.Fused { k with Kernel.versions = entry.versions }
+            | None -> item)
+        | Executable.Lib _ -> item)
+      e.Executable.items
+  in
+  { e with Executable.items }

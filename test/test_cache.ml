@@ -220,6 +220,74 @@ let test_async_warmup_budget_drains () =
   | Ok (_, path) -> Alcotest.(check bool) "then compiled" true (path = `Compiled)
   | Error e -> Alcotest.failf "post-drain serve failed: %s" (Runtime.Error.to_string e)
 
+(* --- schedule side table ------------------------------------------------------ *)
+
+let contains hay needle =
+  let n = String.length needle in
+  let rec go i = i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let mk_plan device = { Tune.Plan.device; rungs = [ "b=1" ]; entries = [] }
+
+let test_schedule_side_table_stats () =
+  let cache = Cache.create () in
+  Cache.store_schedule cache ~key:"k1" ~bucket:"A10|b=1" (mk_plan "A10");
+  Cache.store_schedule cache ~key:"k1" ~bucket:"T4|b=1" (mk_plan "T4");
+  Cache.store_schedule cache ~key:"k2" ~bucket:"A10|b=2" (mk_plan "A10");
+  let s = Cache.stats cache in
+  Alcotest.(check int) "schedules surfaced in stats" 3 s.Cache.schedules;
+  Alcotest.(check int) "schedules_cached agrees" 3 (Cache.schedules_cached cache);
+  Alcotest.(check bool) "exact bucket found" true
+    (Cache.find_schedule cache ~key:"k1" ~bucket:"A10|b=1" <> None);
+  Alcotest.(check bool) "unknown bucket misses" true
+    (Cache.find_schedule cache ~key:"k1" ~bucket:"V100|b=1" = None);
+  (match Cache.find_schedule_for_device cache ~key:"k1" ~device:"A10" with
+  | Some p -> Alcotest.(check string) "device scan finds the A10 plan" "A10" p.Tune.Plan.device
+  | None -> Alcotest.fail "device scan found nothing");
+  Alcotest.(check bool) "device scan scoped to the key" true
+    (Cache.find_schedule_for_device cache ~key:"k3" ~device:"A10" = None);
+  (* the serving health line surfaces the side-table counts *)
+  let line = Cache.health_to_string s in
+  Alcotest.(check bool) "health line carries side-table counts" true
+    (contains line "side: reductions=0 schedules=3");
+  Alcotest.(check bool) "health line verdict" true (contains line "; healthy");
+  let sick = Cache.health_to_string { s with Cache.corrupt = 2 } in
+  Alcotest.(check bool) "quarantines surface as UNHEALTHY" true
+    (contains sick "UNHEALTHY (2 corrupt artifacts quarantined)")
+
+let test_invalidate_drops_schedules () =
+  let cache = Cache.create () in
+  Cache.store_schedule cache ~key:"k1" ~bucket:"A10|b=1" (mk_plan "A10");
+  Cache.store_schedule cache ~key:"k1" ~bucket:"T4|b=1" (mk_plan "T4");
+  Cache.store_schedule cache ~key:"k2" ~bucket:"A10|b=1" (mk_plan "A10");
+  Cache.invalidate cache "k1";
+  Alcotest.(check int) "invalidation drops the key's schedules" 1
+    (Cache.schedules_cached cache);
+  Alcotest.(check bool) "other keys' schedules survive" true
+    (Cache.find_schedule cache ~key:"k2" ~bucket:"A10|b=1" <> None)
+
+let test_session_tune_populates_and_replays () =
+  let cache = Cache.create () in
+  let envs = [ tiny_env "dien" ] in
+  let s1 = Session.create ~cache (build "dien") in
+  let plan1, origin1 = Session.tune s1 ~envs in
+  Alcotest.(check bool) "first tune searches" true (origin1 = `Tuned);
+  Alcotest.(check int) "plan stored in the side table" 1 (Cache.schedules_cached cache);
+  let s2 = Session.create ~cache (build "dien") in
+  let plan2, origin2 = Session.tune s2 ~envs in
+  Alcotest.(check bool) "second session replays from cache" true (origin2 = `Cached);
+  Alcotest.(check string) "replayed plan is bit-identical"
+    (Tune.Plan.digest plan1) (Tune.Plan.digest plan2);
+  (* fleet-warm adoption: a fresh same-device replica picks the plan up
+     without tuning; a different device profile must not *)
+  let s3 = Session.create ~cache (build "dien") in
+  Alcotest.(check bool) "same-device replica adopts" true
+    (Session.adopt_tuned_schedules s3);
+  Alcotest.(check bool) "adopted plan visible" true (Session.tuned_plan s3 <> None);
+  let s4 = Session.create ~cache ~device:Gpusim.Device.t4 (build "dien") in
+  Alcotest.(check bool) "other device finds nothing to adopt" false
+    (Session.adopt_tuned_schedules s4)
+
 (* --- cache hit without cache: plain sessions unaffected ---------------------- *)
 
 let test_no_cache_defaults () =
@@ -292,6 +360,15 @@ let () =
             test_async_warmup_bit_identical_fallback;
           Alcotest.test_case "fallback traffic drains the budget" `Quick
             test_async_warmup_budget_drains;
+        ] );
+      ( "schedule side table",
+        [
+          Alcotest.test_case "stats and health line surface counts" `Quick
+            test_schedule_side_table_stats;
+          Alcotest.test_case "invalidation drops schedules" `Quick
+            test_invalidate_drops_schedules;
+          Alcotest.test_case "session tune populates and replays" `Quick
+            test_session_tune_populates_and_replays;
         ] );
       ( "observability",
         [ Alcotest.test_case "counters and spans recorded" `Quick test_obs_counters ] );

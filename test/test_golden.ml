@@ -157,6 +157,80 @@ let test_fingerprint_golden () =
            built.Models.Common.graph))
     pinned_fingerprints
 
+(* Tuned-schedule pins: the autotuner's plan text must be byte-stable —
+   the digest doubles as the schedule-cache identity, so silent drift
+   here silently invalidates every warmed fleet. The single-kernel plan
+   is pinned in full; the suite models pin the digest of the full
+   [Tune.Plan.to_string] (the digest is the MD5 of that text). To
+   refresh after an intentional cost-model or space change, regenerate
+   with
+
+     dune exec bin/discc.exe -- tune --model <name> --tiny --device A10
+
+   and paste the digests below. *)
+let test_tuned_plan_golden () =
+  let g, s = scaled_exp_graph () in
+  let c = Disc.Compiler.compile g in
+  let exe = c.Disc.Compiler.exe in
+  let rungs =
+    List.map
+      (fun v ->
+        {
+          Tune.Search.env = [ ("s", v) ];
+          bnd = Disc.Compiler.binding_of_dims exe.Runtime.Executable.g [ (s, v) ];
+        })
+      [ 16; 64; 128 ]
+  in
+  let plan = Tune.Search.plan ~device:Gpusim.Device.a10 ~rungs exe in
+  check_string "tuned plan text"
+    "tuned-plan device=A10\n\
+     rungs: s=16 | s=64 | s=128\n\
+    \  kernel_3_kLoop: t64.c4+vec4@<=256 -> t64.c1 -> generic\n"
+    (Tune.Plan.to_string plan)
+
+let pinned_tuned_digests =
+  [
+    ("bert", "cc697d8d49b953f25f001f3ea466edb2");
+    ("gpt2", "f35453220849f319c6bd7ed24cd47436");
+    ("gpt2-decode", "bdfe8098ba5a8ac66414d7801ad9aae9");
+    ("seq2seq", "ac5abd0373942e44d0a450eaebb817e5");
+    ("t5", "ab6350b544692065ba351e3d9ac2d8f4");
+    ("crnn", "f9e2b0112ebb73a34c4d0cf156346720");
+    ("fastspeech", "0171d9153257ec36266695b8ba1834bf");
+    ("asr", "7f4147149bc5f9f17b61b2c7d1b0e061");
+    ("vit", "0c2ca848bb046fec12f173a57b91d2ca");
+    ("dien", "7333a92e1e741264ebef62a0a28d304f");
+  ]
+
+let test_tuned_digests_golden () =
+  Alcotest.(check int) "every suite model pinned"
+    (List.length Models.Suite.all)
+    (List.length pinned_tuned_digests);
+  List.iter
+    (fun (name, expected) ->
+      let entry = Models.Suite.find name in
+      let probe = entry.Models.Suite.build_tiny () in
+      let tab = Graph.symtab probe.Models.Common.graph in
+      let ub d =
+        match Table.upper_bound tab d with Some u -> u | None -> 64
+      in
+      (* same ceiling ladder `discc tune` defaults to: 1/8, 1/2, full *)
+      let envs =
+        List.sort_uniq compare
+          (List.map
+             (fun frac ->
+               List.map
+                 (fun (n, d) -> (n, max 1 (ub d / frac)))
+                 probe.Models.Common.dims)
+             [ 8; 2; 1 ])
+      in
+      let session =
+        Disc.Session.create ~device:Gpusim.Device.a10 (entry.Models.Suite.build_tiny ())
+      in
+      let plan, _ = Disc.Session.tune session ~envs in
+      check_string (name ^ " tuned-plan digest") expected (Tune.Plan.digest plan))
+    pinned_tuned_digests
+
 let () =
   Alcotest.run "golden"
     [
@@ -172,4 +246,10 @@ let () =
         ] );
       ( "fingerprints",
         [ Alcotest.test_case "suite models pinned" `Quick test_fingerprint_golden ] );
+      ( "tuned schedules",
+        [
+          Alcotest.test_case "single-kernel plan text" `Quick test_tuned_plan_golden;
+          Alcotest.test_case "suite plan digests (A10)" `Quick
+            test_tuned_digests_golden;
+        ] );
     ]

@@ -135,6 +135,61 @@ let test_audit_catches_tampering () =
   let cooked3 = { r with Pool.peak_queued = -1 } in
   Alcotest.(check bool) "peak_queued bound caught" true (Audit.check cooked3 <> [])
 
+(* --- decode serving at scale (E20b's test layer) --------------------------- *)
+
+module Sched = Decode.Scheduler
+
+(* the frozen E20b decode trace + config (bench `scale --decode` uses
+   the same shape): tiny gpt2 prefill/decode pair, mixed drift traffic
+   mapped onto (prompt, max_new) within the models' bounds *)
+let decode_prefill () = Models.Gpt2.build ~config:Models.Gpt2.tiny ()
+let decode_decode () = Models.Gpt2.build_decode ~config:Models.Gpt2.tiny ()
+
+let decode_reqs n =
+  let seq_ub = Sched.dim_bound (decode_prefill ()) "seq" in
+  let cache_ub = Sched.dim_bound (decode_decode ()) "cache" in
+  let spec =
+    Tg.mixed ~seed:42 ~qps:4000.0
+      ~dims_a:[ ("prompt", Trace.Skewed (4, 16)); ("new", Trace.Uniform (4, 12)) ]
+      ~dims_b:[ ("prompt", Trace.Bimodal (4, 16)); ("new", Trace.Uniform (2, 8)) ]
+      ()
+  in
+  Sched.of_pool_requests ~seq_ub ~cache_ub (Tg.generate spec ~n)
+
+let decode_cfg () =
+  {
+    (Sched.default_config
+       ~devices:
+         [ Gpusim.Device.a10; Gpusim.Device.a10; Gpusim.Device.a10; Gpusim.Device.a10 ])
+    with
+    Sched.cache_scheme = Bucket.Linear 8;
+  }
+
+let test_decode_conservation_at_scale () =
+  let n = 10_000 in
+  let reqs = decode_reqs n in
+  let r = Sched.run ~prefill:decode_prefill ~decode:decode_decode (decode_cfg ()) reqs in
+  (match Decode.Audit.check r with
+  | Ok () -> ()
+  | Error vs -> Alcotest.fail (String.concat "; " vs));
+  Alcotest.(check string) "audit renders ok" "audit: ok"
+    (Decode.Audit.to_string (Decode.Audit.check r));
+  Alcotest.(check int) "every sequence finished" n r.Sched.finished;
+  Alcotest.(check int) "lost = 0" 0 r.Sched.lost;
+  Alcotest.(check bool) "tokens conserved against the log" true
+    (r.Sched.tokens = List.fold_left (fun a (_, _, _, t) -> a + t) 0 r.Sched.seq_log)
+
+let test_decode_bit_identical_rerun () =
+  let n = 10_000 in
+  let reqs = decode_reqs n in
+  let r1 = Sched.run ~prefill:decode_prefill ~decode:decode_decode (decode_cfg ()) reqs in
+  let r2 = Sched.run ~prefill:decode_prefill ~decode:decode_decode (decode_cfg ()) reqs in
+  Alcotest.(check string) "token schedules identical" (Sched.digest r1) (Sched.digest r2);
+  Alcotest.(check bool) "reports agree on counters" true
+    (r1.Sched.tokens = r2.Sched.tokens
+    && r1.Sched.decode_steps = r2.Sched.decode_steps
+    && r1.Sched.signatures = r2.Sched.signatures)
+
 (* --- trace generator properties ------------------------------------------- *)
 
 let spec_of (seed, qps_i, preset) =
@@ -240,6 +295,13 @@ let () =
           Alcotest.test_case "golden report string" `Quick test_golden_report;
           Alcotest.test_case "audit catches tampering" `Quick
             test_audit_catches_tampering;
+        ] );
+      ( "decode",
+        [
+          Alcotest.test_case "conservation + audit at 10^4" `Quick
+            test_decode_conservation_at_scale;
+          Alcotest.test_case "bit-identical rerun at 10^4" `Quick
+            test_decode_bit_identical_rerun;
         ] );
       ( "trace-gen",
         [
